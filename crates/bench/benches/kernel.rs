@@ -1,0 +1,74 @@
+//! Substrate micro-benchmarks: event-engine throughput, frame allocation,
+//! coherent-region ops, and the fabric hot path. These guard against
+//! regressions in the simulator itself — the evaluation's run time is
+//! dominated by these operations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lmp_fabric::{Fabric, LinkProfile, NodeId};
+use lmp_mem::{FrameAllocator, MemoryNode, RegionKind};
+use lmp_sim::prelude::*;
+use std::hint::black_box;
+
+fn bench_engine(c: &mut Criterion) {
+    c.bench_function("engine/schedule-and-drain-1k", |b| {
+        b.iter(|| {
+            let mut eng: Engine<u32> = Engine::new();
+            for i in 0..1_000u32 {
+                eng.schedule_at(SimTime::from_nanos((i as u64 * 37) % 5_000), i);
+            }
+            let mut sum = 0u64;
+            eng.run(|_, i| sum += i as u64);
+            black_box(sum)
+        });
+    });
+}
+
+fn bench_allocator(c: &mut Criterion) {
+    c.bench_function("allocator/alloc-free-cycle", |b| {
+        let mut a = FrameAllocator::new(50_000);
+        b.iter(|| {
+            let f = a.alloc().expect("room");
+            black_box(f);
+            a.free(f).expect("allocated");
+        });
+    });
+}
+
+fn bench_dram_access(c: &mut Criterion) {
+    c.bench_function("mem/timed-access", |b| {
+        let mut node = MemoryNode::new(
+            "bench",
+            GIB,
+            GIB / 2,
+            lmp_mem::DramProfile::xeon_gold_5120(),
+        );
+        let frame = node.alloc(RegionKind::Shared).expect("room");
+        let mut now = SimTime::ZERO;
+        b.iter(|| {
+            let cpl = node.access(now, 64, 0, true, Some(frame));
+            now = cpl.complete;
+            black_box(cpl)
+        });
+    });
+}
+
+fn bench_fabric_read(c: &mut Criterion) {
+    c.bench_function("fabric/remote-read", |b| {
+        let mut fabric = Fabric::new(LinkProfile::link1(), 4);
+        let mut now = SimTime::ZERO;
+        b.iter(|| {
+            let cpl = fabric.read(now, NodeId(0), NodeId(1), 4096);
+            now = cpl.complete;
+            black_box(cpl)
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_engine,
+    bench_allocator,
+    bench_dram_access,
+    bench_fabric_read
+);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Ablation: two-level translation with and without the per-server
+//! translation cache (§5 "Address translation").
+//!
+//! Measures host-side cost of resolving logical addresses — the operation
+//! that sits on every pool access — with the TLB enabled vs disabled, and
+//! under post-migration staleness.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use lmp_core::prelude::*;
+use lmp_fabric::{Fabric, LinkProfile, NodeId};
+use lmp_mem::{DramProfile, FRAME_BYTES};
+use lmp_sim::prelude::*;
+use std::hint::black_box;
+
+fn pool_with_tlb(tlb_capacity: usize, segments: u32) -> (LogicalPool, Vec<SegmentId>) {
+    let mut pool = LogicalPool::new(PoolConfig {
+        servers: 4,
+        capacity_per_server: (segments as u64 + 8) * FRAME_BYTES,
+        shared_per_server: (segments as u64 + 4) * FRAME_BYTES,
+        dram: DramProfile::xeon_gold_5120(),
+        tlb_capacity,
+    });
+    let segs = (0..segments)
+        .map(|i| {
+            pool.alloc(FRAME_BYTES, Placement::On(NodeId(i % 4)))
+                .expect("fits")
+        })
+        .collect();
+    (pool, segs)
+}
+
+fn bench_translate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("translate");
+    for (name, tlb) in [("tlb-on", 256usize), ("tlb-off", 0)] {
+        group.bench_function(name, |b| {
+            let (mut pool, segs) = pool_with_tlb(tlb, 64);
+            let mut i = 0usize;
+            b.iter(|| {
+                let seg = segs[i % segs.len()];
+                i += 1;
+                black_box(pool.translate(NodeId(0), seg).expect("resolves"))
+            });
+        });
+    }
+    // Staleness path: every lookup hits a translation invalidated by a
+    // migration.
+    group.bench_function("stale-after-migration", |b| {
+        b.iter_batched(
+            || {
+                let (mut pool, segs) = pool_with_tlb(256, 16);
+                let mut fabric = Fabric::new(LinkProfile::link1(), 4);
+                for &s in &segs {
+                    pool.translate(NodeId(0), s).expect("warm the cache");
+                }
+                for &s in &segs {
+                    let to = NodeId((pool.holder_of(s).unwrap().0 + 1) % 4);
+                    migrate_segment(&mut pool, &mut fabric, SimTime::ZERO, s, to)
+                        .expect("migrates");
+                }
+                (pool, segs)
+            },
+            |(mut pool, segs)| {
+                for &s in &segs {
+                    black_box(pool.translate(NodeId(0), s).expect("resolves"));
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_translate);
+criterion_main!(benches);

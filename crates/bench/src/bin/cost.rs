@@ -1,0 +1,83 @@
+//! **§4.2 Benefit 1** — lower entry barrier: deployment cost comparison.
+//!
+//! Prints the bill of materials for the logical and physical deployments
+//! under the paper's two scenarios: equal *disaggregated* memory (physical
+//! must buy extra local DIMMs, a chassis, rack space, and ports) and equal
+//! *total* memory (costs converge but physical servers end up with less
+//! local memory — the operational gap behind Figure 5).
+
+use lmp_bench::{emit_header, emit_row};
+use lmp_physical::{compare, Bill, ComponentPrices, Scenario};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    scenario: String,
+    deployment: String,
+    total_cost_units: f64,
+    local_gb_per_server: f64,
+    disaggregated_gb: f64,
+    items: Vec<(String, f64, f64)>,
+}
+
+fn print_bill(scenario: &str, bill: &Bill) {
+    for item in &bill.items {
+        println!(
+            "     {:<28} {:>8.0} x {:>7.0} = {:>9.0}",
+            item.name,
+            item.qty,
+            item.unit,
+            item.subtotal()
+        );
+    }
+    emit_row(
+        &format!(
+            "   {:<16} total {:>9.0} units | local/server {:>5.1} GB | pool {:>5.1} GB",
+            bill.label,
+            bill.total(),
+            bill.local_gb_per_server,
+            bill.disaggregated_gb
+        ),
+        &Row {
+            scenario: scenario.to_string(),
+            deployment: bill.label.clone(),
+            total_cost_units: bill.total(),
+            local_gb_per_server: bill.local_gb_per_server,
+            disaggregated_gb: bill.disaggregated_gb,
+            items: bill
+                .items
+                .iter()
+                .map(|i| (i.name.clone(), i.qty, i.unit))
+                .collect(),
+        },
+    );
+}
+
+fn main() {
+    let prices = ComponentPrices::default();
+    // The paper's rack: 4 servers needing 8 GB private each, 64 GB pooled.
+    let servers = 4;
+    let local_need = 8.0;
+    let pool_gb = 64.0;
+
+    emit_header(
+        "Benefit 1 (§4.2)",
+        "Deployment cost, logical vs physical",
+        "physical costs more for equal disaggregated memory; for equal total memory it \
+         still pays for pool hardware and leaves servers with less local memory",
+    );
+
+    for (name, scenario) in [
+        ("equal-disaggregated", Scenario::EqualDisaggregated),
+        ("equal-total", Scenario::EqualTotal),
+    ] {
+        println!(" scenario: {name}");
+        let c = compare(&prices, scenario, servers, local_need, pool_gb);
+        print_bill(name, &c.lmp);
+        print_bill(name, &c.physical);
+        println!(
+            "   -> physical / logical cost ratio: {:.2}x",
+            c.cost_ratio()
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! **Figures 2–5** — aggregation bandwidth on the three deployments.
+//!
+//! The paper's core evaluation: one server sums a vector of 8/24/64/96 GB
+//! in disaggregated memory with 14 cores, 10 repetitions, on Logical,
+//! Physical cache, and Physical no-cache deployments over Link0 and Link1.
+//!
+//! Usage: `cargo run --release -p lmp-bench --bin figures [-- --size-gb N] [--reps R]`
+//! (defaults: all four paper sizes, 10 reps).
+//!
+//! Shape expectations from the paper: Logical ≈ local bandwidth when the
+//! vector fits its share (up to 4.7× over no-cache, 3.4× over cache at
+//! 24 GB); 42% over cache at 64 GB on Link1; both physical deployments
+//! infeasible at 96 GB.
+
+use lmp_bench::{emit_header, emit_row, fmt_gbps};
+use lmp_sim::units::GIB;
+use lmp_workloads::vector::{paper_sizes, run_figure, FigureRow, PAPER_REPS};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row<'a> {
+    figure: &'a str,
+    link: &'a str,
+    size_gb: u64,
+    arch: &'a str,
+    avg_gbps: Option<f64>,
+    per_rep_gbps: &'a [f64],
+}
+
+fn figure_id(size: u64) -> &'static str {
+    match size / GIB {
+        8 => "Figure 2",
+        24 => "Figure 3",
+        64 => "Figure 4",
+        96 => "Figure 5",
+        _ => "Figure (custom)",
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut sizes: Vec<u64> = paper_sizes().to_vec();
+    let mut reps = PAPER_REPS;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--size-gb" => {
+                i += 1;
+                let gb: u64 = args[i].parse().expect("numeric --size-gb");
+                sizes = vec![gb * GIB];
+            }
+            "--reps" => {
+                i += 1;
+                reps = args[i].parse().expect("numeric --reps");
+            }
+            other => panic!("unknown argument {other}"),
+        }
+        i += 1;
+    }
+
+    for size in sizes {
+        let fig = figure_id(size);
+        emit_header(
+            fig,
+            &format!("{} GB vector aggregation bandwidth", size / GIB),
+            "Logical ≥ Physical cache ≥ Physical no-cache; gaps grow on Link1",
+        );
+        let rows: Vec<FigureRow> = run_figure(size, reps);
+        for r in &rows {
+            emit_row(
+                &format!(
+                    "{:<6} {:>3} GB  {:<18} {}",
+                    r.link,
+                    r.size / GIB,
+                    r.arch,
+                    fmt_gbps(r.avg_gbps)
+                ),
+                &Row {
+                    figure: fig,
+                    link: &r.link,
+                    size_gb: r.size / GIB,
+                    arch: r.arch,
+                    avg_gbps: r.avg_gbps,
+                    per_rep_gbps: &r.per_rep_gbps,
+                },
+            );
+        }
+        // Ratio analysis per link, mirroring the claims in §4.3/§4.5.
+        for link in ["Link0", "Link1"] {
+            let get = |arch: &str| {
+                rows.iter()
+                    .find(|r| r.link == link && r.arch == arch)
+                    .and_then(|r| r.avg_gbps)
+            };
+            let log = get("Logical");
+            let cache = get("Physical cache");
+            let nocache = get("Physical no-cache");
+            match (log, cache, nocache) {
+                (Some(l), Some(c), Some(n)) => println!(
+                    "   {link}: Logical/{{cache,no-cache}} = {:.2}x / {:.2}x",
+                    l / c,
+                    l / n
+                ),
+                (Some(_), None, None) => println!(
+                    "   {link}: only Logical is feasible (the Figure 5 flexibility result)"
+                ),
+                _ => {}
+            }
+        }
+    }
+}

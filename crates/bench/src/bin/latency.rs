@@ -1,0 +1,107 @@
+//! **§4.3 latency analysis** — loaded-latency ratios, remote vs local.
+//!
+//! The paper: "the maximum remote loaded latency is 2.8× and 3.6× higher
+//! than maximum loaded local latency, when using Link0 and Link1". This
+//! binary saturates local DRAM and each link with closed-loop streams and
+//! reports the measured maxima and their ratios.
+
+use lmp_bench::{emit_header, emit_row};
+use lmp_fabric::{Fabric, LinkProfile, NodeId};
+use lmp_mem::{DramChannel, DramProfile};
+use lmp_sim::prelude::*;
+use serde::Serialize;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+#[derive(Serialize)]
+struct Row {
+    target: String,
+    unloaded_ns: u64,
+    max_loaded_ns: u64,
+    ratio_vs_local_max: f64,
+    paper_ratio: Option<f64>,
+}
+
+/// Saturate local DRAM; return (unloaded, max loaded) latency.
+fn local_latency() -> (u64, u64) {
+    let mut idle = DramChannel::new(DramProfile::xeon_gold_5120());
+    let unloaded = idle.access(SimTime::ZERO, 64).latency.as_nanos();
+
+    let mut dram = DramChannel::new(DramProfile::xeon_gold_5120());
+    let mut heap: BinaryHeap<Reverse<(SimTime, u32, u64)>> = BinaryHeap::new();
+    for s in 0..32 {
+        heap.push(Reverse((SimTime::ZERO, s, 300)));
+    }
+    let mut max_lat = 0;
+    while let Some(Reverse((now, s, left))) = heap.pop() {
+        let a = dram.access(now, 2 * MIB);
+        max_lat = max_lat.max(a.latency.as_nanos());
+        if left > 1 {
+            heap.push(Reverse((a.complete, s, left - 1)));
+        }
+    }
+    (unloaded, max_lat)
+}
+
+/// Saturate a fabric link; return (unloaded, max loaded) end-to-end
+/// latency component.
+fn remote_latency(profile: LinkProfile) -> (u64, u64) {
+    let mut idle = Fabric::new(profile.clone(), 2);
+    let unloaded = idle
+        .read(SimTime::ZERO, NodeId(0), NodeId(1), 64)
+        .latency
+        .as_nanos();
+
+    let mut fabric = Fabric::new(profile, 2);
+    let mut heap: BinaryHeap<Reverse<(SimTime, u32, u64)>> = BinaryHeap::new();
+    for s in 0..32 {
+        heap.push(Reverse((SimTime::ZERO, s, 300)));
+    }
+    let mut max_lat = 0;
+    while let Some(Reverse((now, s, left))) = heap.pop() {
+        let a = fabric.read(now, NodeId(0), NodeId(1), 2 * MIB);
+        max_lat = max_lat.max(a.latency.as_nanos());
+        if left > 1 {
+            heap.push(Reverse((a.complete, s, left - 1)));
+        }
+    }
+    (unloaded, max_lat)
+}
+
+fn main() {
+    emit_header(
+        "§4.3 latency",
+        "Maximum loaded latency, remote vs local",
+        "remote max = 2.8x (Link0) and 3.6x (Link1) the local max",
+    );
+    println!(
+        "{:<8} {:>12} {:>14} {:>10}",
+        "Target", "Unloaded", "Max loaded", "Ratio"
+    );
+    let (lu, lmax) = local_latency();
+    emit_row(
+        &format!("{:<8} {lu:>10}ns {lmax:>12}ns {:>10.2}", "Local", 1.0),
+        &Row {
+            target: "local".into(),
+            unloaded_ns: lu,
+            max_loaded_ns: lmax,
+            ratio_vs_local_max: 1.0,
+            paper_ratio: None,
+        },
+    );
+    for (profile, paper) in [(LinkProfile::link0(), 2.8), (LinkProfile::link1(), 3.6)] {
+        let name = profile.name.clone();
+        let (ru, rmax) = remote_latency(profile);
+        let ratio = rmax as f64 / lmax as f64;
+        emit_row(
+            &format!("{name:<8} {ru:>10}ns {rmax:>12}ns {ratio:>10.2}"),
+            &Row {
+                target: name.clone(),
+                unloaded_ns: ru,
+                max_loaded_ns: rmax,
+                ratio_vs_local_max: ratio,
+                paper_ratio: Some(paper),
+            },
+        );
+    }
+}

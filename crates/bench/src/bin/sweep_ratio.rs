@@ -1,0 +1,105 @@
+//! **Ratio sweep** — the fixed local:pooled ratio drawback (§1, §4.5).
+//!
+//! "Physical pools impose a fixed ratio of local to pooled memory: once
+//! the system is deployed, this ratio is hard to adjust." This sweep holds
+//! the total budget at 96 GB and varies how a physical deployment splits
+//! it between server-local memory and the pool, then runs every paper
+//! vector size on each split. No single split handles all sizes: small
+//! pools reject big vectors, small local memory wrecks cache locality.
+//! The logical pool handles every size with one deployment.
+
+use lmp_bench::{emit_header, emit_row, fmt_gbps};
+use lmp_cluster::{Cluster, ClusterConfig, PoolArch};
+use lmp_fabric::{LinkProfile, NodeId};
+use lmp_sim::units::GIB;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    local_gb_per_server: u64,
+    pool_gb: u64,
+    size_gb: u64,
+    avg_gbps: Option<f64>,
+}
+
+fn main() {
+    emit_header(
+        "Sweep: local:pooled ratio",
+        "Physical-cache deployments under a fixed 96 GB budget, Link1",
+        "every fixed split fails some size; the logical pool (last row) handles all",
+    );
+    println!(
+        "{:<26} {:>8} {:>8} {:>8} {:>8}",
+        "Deployment (local+pool)", "8 GB", "24 GB", "64 GB", "80 GB"
+    );
+    let sizes = [8u64, 24, 64, 80];
+    for local_gb in [4u64, 8, 12, 16, 20] {
+        let pool_gb = 96 - 4 * local_gb;
+        let mut cells = Vec::new();
+        for &size in &sizes {
+            let mut cfg = ClusterConfig::paper(PoolArch::PhysicalCache, LinkProfile::link1());
+            cfg.local_per_server = local_gb * GIB;
+            cfg.pool_capacity = pool_gb * GIB;
+            let mut cluster = Cluster::new(cfg);
+            let bw = cluster
+                .run_aggregation(size * GIB, NodeId(0), 3)
+                .ok()
+                .map(|r| r.avg_bandwidth_gbps);
+            emit_row(
+                &format!(
+                    "  4x{local_gb}GB + {pool_gb}GB pool, {size}GB vector: {}",
+                    fmt_gbps(bw)
+                ),
+                &Row {
+                    local_gb_per_server: local_gb,
+                    pool_gb,
+                    size_gb: size,
+                    avg_gbps: bw,
+                },
+            );
+            cells.push(bw);
+        }
+        let rendered: Vec<String> = cells
+            .iter()
+            .map(|c| match c {
+                Some(b) => format!("{b:7.1}"),
+                None => "   INF.".into(),
+            })
+            .collect();
+        println!(
+            "{:<26} {}",
+            format!("4x{local_gb}GB local +{pool_gb}GB pool"),
+            rendered.join(" ")
+        );
+    }
+    // The logical pool: one deployment, every size.
+    let mut cells = Vec::new();
+    for &size in &sizes {
+        let mut cluster = Cluster::new(ClusterConfig::paper(
+            PoolArch::Logical,
+            LinkProfile::link1(),
+        ));
+        let bw = cluster
+            .run_aggregation(size * GIB, NodeId(0), 3)
+            .ok()
+            .map(|r| r.avg_bandwidth_gbps);
+        emit_row(
+            &format!("  logical 4x24GB, {size}GB vector: {}", fmt_gbps(bw)),
+            &Row {
+                local_gb_per_server: 24,
+                pool_gb: 0,
+                size_gb: size,
+                avg_gbps: bw,
+            },
+        );
+        cells.push(bw);
+    }
+    let rendered: Vec<String> = cells
+        .iter()
+        .map(|c| match c {
+            Some(b) => format!("{b:7.1}"),
+            None => "   INF.".into(),
+        })
+        .collect();
+    println!("{:<26} {}", "logical 4x24GB (flexible)", rendered.join(" "));
+}

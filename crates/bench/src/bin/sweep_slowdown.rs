@@ -1,0 +1,69 @@
+//! **Slowdown sweep** — the paper's fabric parameterization (§1/§4.1).
+//!
+//! "As CXL fabrics for disaggregated memory are not yet available, we
+//! parameterize our experiments based on a slowdown of the disaggregated
+//! memory relative to local memory." This sweep scales Link0 by 1×–8× and
+//! runs the 24 GB aggregation on all three deployments: the logical pool's
+//! advantage must grow monotonically with the slowdown (§4.3: "the slower
+//! the remote link, the better the performance of LMPs relative to
+//! physical pools").
+
+use lmp_bench::{emit_header, emit_row, fmt_gbps};
+use lmp_cluster::PoolArch;
+use lmp_fabric::LinkProfile;
+use lmp_sim::units::GIB;
+use lmp_workloads::vector::run_point;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    slowdown: f64,
+    arch: &'static str,
+    avg_gbps: Option<f64>,
+}
+
+fn main() {
+    emit_header(
+        "Sweep: slowdown",
+        "24 GB aggregation vs disaggregated-memory slowdown (Link0 × factor)",
+        "logical advantage grows with slowdown; logical absolute bandwidth is unaffected \
+         while the vector fits locally",
+    );
+    println!(
+        "{:<9} {:<18} {:>12} {:>18}",
+        "Slowdown", "Deployment", "Bandwidth", "Logical advantage"
+    );
+    let size = 24 * GIB;
+    let mut last_ratio = 0.0;
+    for slowdown in [1.0f64, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0] {
+        let link = LinkProfile::link0().slowed(slowdown);
+        let mut results = Vec::new();
+        for arch in [
+            PoolArch::Logical,
+            PoolArch::PhysicalCache,
+            PoolArch::PhysicalNoCache,
+        ] {
+            let row = run_point(arch, link.clone(), size, 3);
+            results.push((arch.label(), row.avg_gbps));
+        }
+        let logical = results[0].1.expect("logical always feasible");
+        let nocache = results[2].1.expect("24GB fits the physical pool");
+        let ratio = logical / nocache;
+        for (arch, bw) in &results {
+            emit_row(
+                &format!("{slowdown:<9.1} {arch:<18} {}", fmt_gbps(*bw)),
+                &Row {
+                    slowdown,
+                    arch,
+                    avg_gbps: *bw,
+                },
+            );
+        }
+        println!("   -> logical / no-cache = {ratio:.2}x");
+        assert!(
+            ratio >= last_ratio * 0.999,
+            "advantage must not shrink with slowdown ({last_ratio:.2} -> {ratio:.2})"
+        );
+        last_ratio = ratio;
+    }
+}

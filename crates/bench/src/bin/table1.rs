@@ -1,0 +1,123 @@
+//! **Table 1** — latency and bandwidth for different memory types.
+//!
+//! Paper values: local memory 82 ns / 97 GB/s (their testbed); CXL remote
+//! memory 280 or 303 ns / 31 or 20 GB/s (Pond / FPGA prototype). This
+//! binary re-measures all three rows through the simulator's models: a
+//! pointer-chase for unloaded latency and a 14-core streaming scan for
+//! bandwidth.
+
+use lmp_bench::{emit_header, emit_row};
+use lmp_fabric::{Fabric, LinkProfile, NodeId};
+use lmp_mem::{DramChannel, DramProfile};
+use lmp_sim::prelude::*;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    memory_type: String,
+    latency_ns: u64,
+    bandwidth_gbps: f64,
+    paper_latency_ns: u64,
+    paper_bandwidth_gbps: f64,
+}
+
+fn measure_local() -> (u64, f64) {
+    // Unloaded latency: dependent 64B accesses on an idle channel.
+    let mut dram = DramChannel::new(DramProfile::xeon_gold_5120());
+    let mut now = SimTime::ZERO;
+    let mut lat = Histogram::new();
+    for _ in 0..100 {
+        let c = dram.access(now, 64);
+        lat.record(c.latency.as_nanos());
+        now = c.complete + SimDuration::from_micros(10); // keep it unloaded
+    }
+    // Streaming bandwidth: 14 closed-loop core streams of 2 MiB chunks.
+    let mut dram = DramChannel::new(DramProfile::xeon_gold_5120());
+    let chunk = 2 * MIB;
+    let total_per_core = 64u64; // chunks
+    let mut heap = std::collections::BinaryHeap::new();
+    for c in 0..14u64 {
+        heap.push(std::cmp::Reverse((SimTime::ZERO, c, total_per_core)));
+    }
+    let mut done = SimTime::ZERO;
+    let mut bytes = 0u64;
+    while let Some(std::cmp::Reverse((now, c, left))) = heap.pop() {
+        let a = dram.access(now, chunk);
+        bytes += chunk;
+        done = done.max(a.complete);
+        if left > 1 {
+            heap.push(std::cmp::Reverse((a.complete, c, left - 1)));
+        }
+    }
+    let bw = Bandwidth::measured(bytes, done.duration_since(SimTime::ZERO));
+    (lat.p50(), bw.as_gbps())
+}
+
+fn measure_remote(profile: LinkProfile) -> (u64, f64) {
+    // Unloaded latency: isolated 64B reads across the fabric.
+    let mut fabric = Fabric::new(profile.clone(), 2);
+    let mut lat = Histogram::new();
+    let mut now = SimTime::ZERO;
+    for _ in 0..100 {
+        let c = fabric.read(now, NodeId(0), NodeId(1), 64);
+        lat.record(c.complete.duration_since(now).as_nanos());
+        now = c.complete + SimDuration::from_micros(10);
+    }
+    // Bandwidth: 14 closed-loop streams across the link.
+    let mut fabric = Fabric::new(profile, 2);
+    let chunk = 2 * MIB;
+    let mut heap = std::collections::BinaryHeap::new();
+    for c in 0..14u64 {
+        heap.push(std::cmp::Reverse((SimTime::ZERO, c, 64u64)));
+    }
+    let mut done = SimTime::ZERO;
+    let mut bytes = 0u64;
+    while let Some(std::cmp::Reverse((now, c, left))) = heap.pop() {
+        let a = fabric.read(now, NodeId(0), NodeId(1), chunk);
+        bytes += chunk;
+        done = done.max(a.complete);
+        if left > 1 {
+            heap.push(std::cmp::Reverse((a.complete, c, left - 1)));
+        }
+    }
+    let bw = Bandwidth::measured(bytes, done.duration_since(SimTime::ZERO));
+    (lat.p50(), bw.as_gbps())
+}
+
+fn main() {
+    emit_header(
+        "Table 1",
+        "Latency and bandwidth for different memory types",
+        "local 82ns/97GB/s; CXL remote 280 or 303ns / 31 or 20GB/s",
+    );
+    println!("{:<24} {:>12} {:>16}", "", "Latency (ns)", "Bandwidth (GB/s)");
+
+    let (lns, lbw) = measure_local();
+    emit_row(
+        &format!("{:<24} {lns:>12} {lbw:>16.1}", "Local memory"),
+        &Row {
+            memory_type: "local".into(),
+            latency_ns: lns,
+            bandwidth_gbps: lbw,
+            paper_latency_ns: 82,
+            paper_bandwidth_gbps: 97.0,
+        },
+    );
+    for (profile, paper_lat, paper_bw) in [
+        (LinkProfile::pond(), 280, 31.0),
+        (LinkProfile::fpga(), 303, 20.0),
+    ] {
+        let name = format!("CXL remote ({})", profile.name);
+        let (ns, bw) = measure_remote(profile);
+        emit_row(
+            &format!("{name:<24} {ns:>12} {bw:>16.1}"),
+            &Row {
+                memory_type: name.clone(),
+                latency_ns: ns,
+                bandwidth_gbps: bw,
+                paper_latency_ns: paper_lat,
+                paper_bandwidth_gbps: paper_bw,
+            },
+        );
+    }
+}

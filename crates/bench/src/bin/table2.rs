@@ -1,0 +1,119 @@
+//! **Table 2** — min/max latency under load and bandwidth for the two
+//! emulated CXL links.
+//!
+//! Paper values: Link0 163–418 ns, 34.5 GB/s; Link1 261–527 ns, 21 GB/s.
+//! The sweep drives each link with an increasing number of closed-loop
+//! streams (the Intel MLC loaded-latency methodology): the latency of
+//! small probe reads is recorded at each load level; the minimum comes
+//! from the idle link, the maximum from saturation, and bandwidth is the
+//! achieved rate at the deepest load level.
+
+use lmp_bench::{emit_header, emit_row};
+use lmp_fabric::{Link, LinkProfile};
+use lmp_sim::prelude::*;
+use serde::Serialize;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+#[derive(Serialize)]
+struct Row {
+    link: String,
+    min_latency_ns: u64,
+    max_latency_ns: u64,
+    bandwidth_gbps: f64,
+    paper_min_ns: u64,
+    paper_max_ns: u64,
+    paper_bw_gbps: f64,
+    sweep: Vec<SweepPoint>,
+}
+
+#[derive(Serialize)]
+struct SweepPoint {
+    streams: u32,
+    probe_latency_ns: u64,
+    achieved_gbps: f64,
+}
+
+/// Run `streams` closed-loop 2 MiB streams for a while; return the latency
+/// component a probe read sees at steady state and the achieved bandwidth.
+fn load_level(profile: &LinkProfile, streams: u32) -> (u64, f64) {
+    let mut link = Link::new(profile.clone());
+    let chunk = 2 * MIB;
+    let rounds = 200u64;
+    let mut heap: BinaryHeap<Reverse<(SimTime, u32, u64)>> = BinaryHeap::new();
+    for s in 0..streams {
+        heap.push(Reverse((SimTime::ZERO, s, rounds)));
+    }
+    let mut bytes = 0u64;
+    let mut done = SimTime::ZERO;
+    let mut last_latency = profile.min_latency();
+    while let Some(Reverse((now, s, left))) = heap.pop() {
+        let tr = link.transfer(now, chunk);
+        bytes += chunk;
+        done = done.max(tr.delivered());
+        last_latency = tr.latency;
+        if left > 1 {
+            heap.push(Reverse((tr.delivered(), s, left - 1)));
+        }
+    }
+    let bw = Bandwidth::measured(bytes, done.duration_since(SimTime::ZERO));
+    (last_latency.as_nanos(), bw.as_gbps())
+}
+
+fn main() {
+    emit_header(
+        "Table 2",
+        "Min/max latency under load and bandwidth per emulated CXL link",
+        "Link0 163/418ns 34.5GB/s; Link1 261/527ns 21.0GB/s",
+    );
+    println!(
+        "{:<8} {:>10} {:>10} {:>12}   (sweep: streams -> latency)",
+        "Link", "Min lat", "Max lat", "Bandwidth"
+    );
+    for (profile, pmin, pmax, pbw) in [
+        (LinkProfile::link0(), 163, 418, 34.5),
+        (LinkProfile::link1(), 261, 527, 21.0),
+    ] {
+        let mut sweep = Vec::new();
+        let mut min_lat = u64::MAX;
+        let mut max_lat = 0u64;
+        let mut best_bw: f64 = 0.0;
+        for streams in [1u32, 2, 4, 8, 16, 32, 64] {
+            let (lat, bw) = load_level(&profile, streams);
+            min_lat = min_lat.min(lat);
+            max_lat = max_lat.max(lat);
+            best_bw = best_bw.max(bw);
+            sweep.push(SweepPoint {
+                streams,
+                probe_latency_ns: lat,
+                achieved_gbps: bw,
+            });
+        }
+        // The unloaded endpoint comes from a truly idle link.
+        let mut idle = Link::new(profile.clone());
+        let idle_lat = idle.transfer(SimTime::ZERO, 64).latency.as_nanos();
+        min_lat = min_lat.min(idle_lat);
+
+        let summary: Vec<String> = sweep
+            .iter()
+            .map(|p| format!("{}→{}ns", p.streams, p.probe_latency_ns))
+            .collect();
+        emit_row(
+            &format!(
+                "{:<8} {min_lat:>8}ns {max_lat:>8}ns {best_bw:>9.1}GB/s  {}",
+                profile.name,
+                summary.join(" ")
+            ),
+            &Row {
+                link: profile.name.clone(),
+                min_latency_ns: min_lat,
+                max_latency_ns: max_lat,
+                bandwidth_gbps: best_bw,
+                paper_min_ns: pmin,
+                paper_max_ns: pmax,
+                paper_bw_gbps: pbw,
+                sweep,
+            },
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! # lmp-bench — harness utilities
+//!
+//! Shared table/JSON output helpers for the per-table and per-figure
+//! binaries (`table1`, `table2`, `figures`, `cost`, `nearmem`, `latency`,
+//! and the ablations). Each binary prints a human-readable table matching
+//! the paper's artifact plus one JSON line per row for machine diffing
+//! against EXPERIMENTS.md.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use serde::Serialize;
+
+/// Print one experiment row: aligned text plus a `#json` trailer line.
+pub fn emit_row<T: Serialize>(text: &str, row: &T) {
+    println!("{text}");
+    println!(
+        "#json {}",
+        serde_json::to_string(row).expect("row serializes")
+    );
+}
+
+/// Print a section header for an experiment artifact.
+pub fn emit_header(id: &str, title: &str, paper_expectation: &str) {
+    println!("== {id}: {title}");
+    println!("   paper: {paper_expectation}");
+}
+
+/// Render an `Option<f64>` bandwidth as the figures do ("INFEASIBLE" when a
+/// deployment cannot run the workload).
+pub fn fmt_gbps(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:7.1} GB/s"),
+        None => " INFEASIBLE".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_gbps_renders_both_cases() {
+        assert_eq!(fmt_gbps(Some(4.25)), "    4.2 GB/s");
+        assert_eq!(fmt_gbps(None), " INFEASIBLE");
+    }
+}

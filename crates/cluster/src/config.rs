@@ -1,0 +1,129 @@
+//! Deployment configurations (§4.1 "Memory pool configurations").
+//!
+//! The paper's microbenchmarks compare three 4-server deployments with a
+//! total memory budget of 96 GB:
+//!
+//! | name | local per server | pool | notes |
+//! |---|---|---|---|
+//! | Logical | 24 GB (all poolable) | union of shared regions | |
+//! | Physical cache | 8 GB (used as a cache of the pool) | 64 GB appliance | upfront memcpy per miss |
+//! | Physical no-cache | 8 GB (unused by the benchmark) | 64 GB appliance | all pool accesses remote |
+//!
+//! Both UPI-emulated links (Link0, Link1) are supported, as are custom
+//! budgets for sweeps.
+
+use lmp_fabric::LinkProfile;
+use lmp_physical::AdmissionPolicy;
+use lmp_mem::DramProfile;
+use lmp_sim::units::GIB;
+
+/// Which pool architecture a cluster uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolArch {
+    /// Logical memory pool: shared regions carved from server DRAM.
+    Logical,
+    /// Physical pool with server-local memory used as a frame cache.
+    PhysicalCache,
+    /// Physical pool accessed directly; local memory unused.
+    PhysicalNoCache,
+}
+
+impl PoolArch {
+    /// Display label matching the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PoolArch::Logical => "Logical",
+            PoolArch::PhysicalCache => "Physical cache",
+            PoolArch::PhysicalNoCache => "Physical no-cache",
+        }
+    }
+}
+
+/// Full description of a deployment.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Architecture under test.
+    pub arch: PoolArch,
+    /// Number of servers (the paper uses 4).
+    pub servers: u32,
+    /// Cores per server (the paper's Xeon Gold 5120 has 14).
+    pub cores_per_server: u32,
+    /// Fabric link class.
+    pub link: LinkProfile,
+    /// Server DRAM timing.
+    pub dram: DramProfile,
+    /// Per-server memory for `Logical` (all poolable), or per-server local
+    /// memory for the physical setups.
+    pub local_per_server: u64,
+    /// Physical pool capacity (ignored for `Logical`).
+    pub pool_capacity: u64,
+    /// Per-server translation-cache capacity (Logical only).
+    pub tlb_capacity: usize,
+    /// Cache admission policy (PhysicalCache only).
+    pub cache_policy: AdmissionPolicy,
+}
+
+impl ClusterConfig {
+    /// The paper's §4.1 configuration for `arch` over `link`:
+    /// 96 GB total; Logical = 4×24 GB, physical = 4×8 GB + 64 GB pool.
+    pub fn paper(arch: PoolArch, link: LinkProfile) -> Self {
+        let (local, pool) = match arch {
+            PoolArch::Logical => (24 * GIB, 0),
+            PoolArch::PhysicalCache | PoolArch::PhysicalNoCache => (8 * GIB, 64 * GIB),
+        };
+        ClusterConfig {
+            arch,
+            servers: 4,
+            cores_per_server: 14,
+            link,
+            dram: DramProfile::xeon_gold_5120(),
+            local_per_server: local,
+            pool_capacity: pool,
+            tlb_capacity: 1024,
+            cache_policy: AdmissionPolicy::PinUntilFull,
+        }
+    }
+
+    /// Total memory bought for the deployment.
+    pub fn total_memory(&self) -> u64 {
+        self.servers as u64 * self.local_per_server + self.pool_capacity
+    }
+
+    /// Memory available for pooled data.
+    pub fn disaggregated_capacity(&self) -> u64 {
+        match self.arch {
+            PoolArch::Logical => self.servers as u64 * self.local_per_server,
+            _ => self.pool_capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_budgets_match_section_4_1() {
+        for arch in [
+            PoolArch::Logical,
+            PoolArch::PhysicalCache,
+            PoolArch::PhysicalNoCache,
+        ] {
+            let c = ClusterConfig::paper(arch, LinkProfile::link1());
+            assert_eq!(c.total_memory(), 96 * GIB, "{arch:?} total budget");
+            assert_eq!(c.servers, 4);
+            assert_eq!(c.cores_per_server, 14);
+        }
+        let logical = ClusterConfig::paper(PoolArch::Logical, LinkProfile::link0());
+        assert_eq!(logical.disaggregated_capacity(), 96 * GIB);
+        let phys = ClusterConfig::paper(PoolArch::PhysicalCache, LinkProfile::link0());
+        assert_eq!(phys.disaggregated_capacity(), 64 * GIB);
+    }
+
+    #[test]
+    fn labels_match_figures() {
+        assert_eq!(PoolArch::Logical.label(), "Logical");
+        assert_eq!(PoolArch::PhysicalCache.label(), "Physical cache");
+        assert_eq!(PoolArch::PhysicalNoCache.label(), "Physical no-cache");
+    }
+}

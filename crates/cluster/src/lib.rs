@@ -1,0 +1,15 @@
+//! # lmp-cluster — runnable deployments
+//!
+//! Wires the substrates into the three §4.1 deployments (Logical,
+//! Physical cache, Physical no-cache) behind one interface, so the
+//! benchmark harness runs the identical workload on each and the
+//! differences are purely architectural.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cluster;
+pub mod config;
+
+pub use cluster::{AggregationResult, Cluster, ClusterError, VectorHandle};
+pub use config::{ClusterConfig, PoolArch};

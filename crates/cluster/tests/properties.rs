@@ -1,0 +1,108 @@
+//! Property tests over whole deployments: physical resource caps and
+//! architecture orderings hold for arbitrary configurations.
+
+use lmp_cluster::{Cluster, ClusterConfig, PoolArch};
+use lmp_fabric::{LinkProfile, NodeId};
+use lmp_mem::FRAME_BYTES;
+use proptest::prelude::*;
+
+fn cluster(arch: PoolArch, local_frames: u64, pool_frames: u64) -> Cluster {
+    let mut cfg = ClusterConfig::paper(arch, LinkProfile::link1());
+    cfg.local_per_server = local_frames * FRAME_BYTES;
+    cfg.pool_capacity = pool_frames * FRAME_BYTES;
+    Cluster::new(cfg)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Aggregation bandwidth never exceeds what the architecture's
+    /// resources permit: local DRAM for logical, and for physical setups
+    /// the sum of local DRAM (cache hits) and the pool uplink.
+    #[test]
+    fn bandwidth_physically_plausible(
+        size_frames in 1u64..48,
+        arch_idx in 0usize..3,
+    ) {
+        let arch = [PoolArch::Logical, PoolArch::PhysicalCache, PoolArch::PhysicalNoCache][arch_idx];
+        let (local, pool) = match arch {
+            PoolArch::Logical => (16, 0),
+            _ => (8, 48),
+        };
+        let mut c = cluster(arch, local, pool);
+        match c.run_aggregation(size_frames * FRAME_BYTES, NodeId(0), 2) {
+            Ok(r) => {
+                prop_assert!(r.avg_bandwidth_gbps > 0.0);
+                // A vector spanning local and remote shares streams from
+                // both memory systems in parallel, so the hard cap is
+                // DRAM + link, not DRAM alone.
+                prop_assert!(
+                    r.avg_bandwidth_gbps <= 97.0 + 21.5,
+                    "{arch:?} exceeded DRAM+link: {}",
+                    r.avg_bandwidth_gbps
+                );
+                if arch == PoolArch::PhysicalNoCache {
+                    prop_assert!(
+                        r.avg_bandwidth_gbps <= 21.5,
+                        "no-cache exceeded Link1: {}",
+                        r.avg_bandwidth_gbps
+                    );
+                }
+            }
+            Err(_) => {
+                // Infeasible is only legitimate when the pool really is
+                // too small.
+                let capacity = match arch {
+                    PoolArch::Logical => 4 * local,
+                    _ => pool,
+                };
+                prop_assert!(size_frames > capacity, "spurious infeasibility");
+            }
+        }
+    }
+
+    /// The logical pool dominates physical no-cache for every feasible
+    /// size (the Figure 2–4 ordering, generalized).
+    #[test]
+    fn logical_dominates_nocache(size_frames in 1u64..40) {
+        let mut logical = cluster(PoolArch::Logical, 12, 0);
+        let mut nocache = cluster(PoolArch::PhysicalNoCache, 8, 48);
+        let size = size_frames * FRAME_BYTES;
+        let l = logical.run_aggregation(size, NodeId(0), 2);
+        let n = nocache.run_aggregation(size, NodeId(0), 2);
+        if let (Ok(l), Ok(n)) = (l, n) {
+            prop_assert!(
+                l.avg_bandwidth_gbps >= n.avg_bandwidth_gbps * 0.99,
+                "logical {} < no-cache {} at {size_frames} frames",
+                l.avg_bandwidth_gbps,
+                n.avg_bandwidth_gbps
+            );
+        }
+    }
+
+    /// alloc/free round-trips restore full pool capacity on every
+    /// architecture.
+    #[test]
+    fn alloc_free_conserves_capacity(
+        sizes in proptest::collection::vec(1u64..16, 1..8),
+        arch_idx in 0usize..3,
+    ) {
+        let arch = [PoolArch::Logical, PoolArch::PhysicalCache, PoolArch::PhysicalNoCache][arch_idx];
+        let (local, pool) = match arch {
+            PoolArch::Logical => (16, 0),
+            _ => (8, 48),
+        };
+        let mut c = cluster(arch, local, pool);
+        let before = c.pool_available();
+        let mut handles = Vec::new();
+        for s in sizes {
+            if let Ok(h) = c.alloc_vector(s * FRAME_BYTES, NodeId(0)) {
+                handles.push(h);
+            }
+        }
+        for h in handles {
+            c.free_vector(h).unwrap();
+        }
+        prop_assert_eq!(c.pool_available(), before);
+    }
+}

@@ -1,0 +1,92 @@
+//! Coherence configuration and shared types.
+//!
+//! The paper's §3.2/§5 position: LMPs provide only a **few GBs** of cache
+//! coherent shared memory (enough for coordination), track sharing at a
+//! granularity **finer than a cache line** to avoid false sharing, and keep
+//! the inclusive snoop filter small enough to be practical — overflow
+//! triggers CXL-style back-invalidation.
+
+use lmp_sim::time::SimDuration;
+
+/// Identifies a server participating in the coherent region.
+pub type NodeId = u32;
+
+/// Index of a coherence block (coherent address / granularity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u64);
+
+/// Where the coherence engine is placed — §5 discusses interposition cost
+/// and proposes fabric-switch placement to keep local accesses fast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnginePlacement {
+    /// Engine in the fabric switch: every coherent access pays one fabric
+    /// round-trip, but local accesses are not otherwise slowed.
+    Switch,
+    /// Engine interposed on each node's memory path: coherent hits are
+    /// cheaper, but the engine slows *all* accesses to coherent memory.
+    PerNode,
+}
+
+/// Tunable parameters of the coherent region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoherenceConfig {
+    /// Sharing-tracking granularity in bytes. 64 matches a cache line;
+    /// smaller values (8, 16, 32) avoid false sharing at the cost of more
+    /// directory entries (§3.2).
+    pub granularity: u64,
+    /// Capacity of the inclusive snoop filter, in blocks. Evictions
+    /// back-invalidate every sharer of the victim block.
+    pub filter_capacity: usize,
+    /// Cost the engine adds to every coherent access (interposition).
+    pub interpose: SimDuration,
+    /// Cost of one coherence message between nodes (invalidate, fetch, …).
+    pub message_latency: SimDuration,
+    /// Engine placement.
+    pub placement: EnginePlacement,
+}
+
+impl CoherenceConfig {
+    /// Defaults matching the paper's sketch: 16-byte granularity (finer
+    /// than a line), a 64Ki-entry filter, switch placement, and message
+    /// costs on the order of an unloaded Link1 hop.
+    pub fn default_lmp() -> Self {
+        CoherenceConfig {
+            granularity: 16,
+            filter_capacity: 64 * 1024,
+            interpose: SimDuration::from_nanos(30),
+            message_latency: SimDuration::from_nanos(261),
+            placement: EnginePlacement::Switch,
+        }
+    }
+
+    /// A classic 64-byte cache-line configuration (the false-sharing
+    /// ablation baseline).
+    pub fn cache_line() -> Self {
+        CoherenceConfig {
+            granularity: 64,
+            ..Self::default_lmp()
+        }
+    }
+
+    /// Block containing coherent-address `addr`.
+    pub fn block_of(&self, addr: u64) -> BlockId {
+        BlockId(addr / self.granularity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_mapping_respects_granularity() {
+        let c = CoherenceConfig::default_lmp();
+        assert_eq!(c.granularity, 16);
+        assert_eq!(c.block_of(0), BlockId(0));
+        assert_eq!(c.block_of(15), BlockId(0));
+        assert_eq!(c.block_of(16), BlockId(1));
+        let line = CoherenceConfig::cache_line();
+        assert_eq!(line.block_of(63), BlockId(0));
+        assert_eq!(line.block_of(64), BlockId(1));
+    }
+}

@@ -1,0 +1,337 @@
+//! Directory-based MSI protocol.
+//!
+//! One directory entry per coherence block records the global state:
+//! `Invalid` (no cached copies), `Shared` (read-only copies at a set of
+//! nodes), or `Modified` (one node owns a dirty copy). Transitions emit
+//! [`CohMessage`]s — the inter-node traffic a hardware implementation would
+//! put on the fabric — which callers (the coherent region, the benches)
+//! count and price.
+
+use crate::config::{BlockId, NodeId};
+use std::collections::{BTreeSet, HashMap};
+
+/// Global sharing state of one block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DirState {
+    /// No cached copies; memory is the only copy.
+    Invalid,
+    /// Read-only copies at these nodes.
+    Shared(BTreeSet<NodeId>),
+    /// One dirty copy at this node.
+    Modified(NodeId),
+}
+
+/// A coherence protocol message (for counting and pricing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CohMessage {
+    /// Ask the current owner to write back and downgrade to Shared.
+    DowngradeOwner {
+        /// Current owner holding the dirty copy.
+        owner: NodeId,
+    },
+    /// Ask the current owner to write back and invalidate.
+    FlushOwner {
+        /// Current owner holding the dirty copy.
+        owner: NodeId,
+    },
+    /// Invalidate read-only copies.
+    Invalidate {
+        /// Nodes whose copies must be dropped.
+        sharers: Vec<NodeId>,
+    },
+    /// Supply clean data from the home memory.
+    FetchFromMemory,
+}
+
+/// Result of one directory access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirAccess {
+    /// Messages required to satisfy the access.
+    pub messages: Vec<CohMessage>,
+    /// Whether the requester already had a valid copy (no protocol action).
+    pub hit: bool,
+}
+
+/// The MSI directory.
+#[derive(Debug, Default)]
+pub struct Directory {
+    entries: HashMap<BlockId, DirState>,
+    reads: u64,
+    writes: u64,
+    invalidations: u64,
+    downgrades: u64,
+}
+
+impl Directory {
+    /// An empty directory (all blocks Invalid).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current state of a block.
+    pub fn state(&self, block: BlockId) -> DirState {
+        self.entries
+            .get(&block)
+            .cloned()
+            .unwrap_or(DirState::Invalid)
+    }
+
+    /// Number of blocks with a non-Invalid entry.
+    pub fn tracked_blocks(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Handle a read (load) of `block` by `node`.
+    pub fn read(&mut self, block: BlockId, node: NodeId) -> DirAccess {
+        self.reads += 1;
+        let state = self.state(block);
+        match state {
+            DirState::Invalid => {
+                self.entries
+                    .insert(block, DirState::Shared(BTreeSet::from([node])));
+                DirAccess {
+                    messages: vec![CohMessage::FetchFromMemory],
+                    hit: false,
+                }
+            }
+            DirState::Shared(mut sharers) => {
+                let hit = sharers.contains(&node);
+                sharers.insert(node);
+                self.entries.insert(block, DirState::Shared(sharers));
+                DirAccess {
+                    messages: if hit {
+                        vec![]
+                    } else {
+                        vec![CohMessage::FetchFromMemory]
+                    },
+                    hit,
+                }
+            }
+            DirState::Modified(owner) => {
+                if owner == node {
+                    return DirAccess {
+                        messages: vec![],
+                        hit: true,
+                    };
+                }
+                self.downgrades += 1;
+                self.entries
+                    .insert(block, DirState::Shared(BTreeSet::from([owner, node])));
+                DirAccess {
+                    messages: vec![CohMessage::DowngradeOwner { owner }],
+                    hit: false,
+                }
+            }
+        }
+    }
+
+    /// Handle a write (store / RMW) of `block` by `node`.
+    pub fn write(&mut self, block: BlockId, node: NodeId) -> DirAccess {
+        self.writes += 1;
+        let state = self.state(block);
+        match state {
+            DirState::Invalid => {
+                self.entries.insert(block, DirState::Modified(node));
+                DirAccess {
+                    messages: vec![CohMessage::FetchFromMemory],
+                    hit: false,
+                }
+            }
+            DirState::Shared(sharers) => {
+                let others: Vec<NodeId> = sharers.iter().copied().filter(|&s| s != node).collect();
+                let had_copy = sharers.contains(&node);
+                self.entries.insert(block, DirState::Modified(node));
+                let mut messages = Vec::new();
+                if !others.is_empty() {
+                    self.invalidations += others.len() as u64;
+                    messages.push(CohMessage::Invalidate { sharers: others });
+                }
+                if !had_copy {
+                    messages.push(CohMessage::FetchFromMemory);
+                }
+                let hit = had_copy && messages.is_empty();
+                DirAccess { messages, hit }
+            }
+            DirState::Modified(owner) => {
+                if owner == node {
+                    return DirAccess {
+                        messages: vec![],
+                        hit: true,
+                    };
+                }
+                self.entries.insert(block, DirState::Modified(node));
+                DirAccess {
+                    messages: vec![CohMessage::FlushOwner { owner }],
+                    hit: false,
+                }
+            }
+        }
+    }
+
+    /// Drop a block entirely (back-invalidation landed or memory freed).
+    /// Returns the nodes that held copies and must be invalidated.
+    pub fn evict(&mut self, block: BlockId) -> Vec<NodeId> {
+        match self.entries.remove(&block) {
+            None | Some(DirState::Invalid) => vec![],
+            Some(DirState::Shared(sharers)) => sharers.into_iter().collect(),
+            Some(DirState::Modified(owner)) => vec![owner],
+        }
+    }
+
+    /// A node crashed: purge it from every entry. Returns blocks whose only
+    /// copy was dirty at the crashed node (their latest data is lost unless
+    /// protected by replication — the §5 failure-domain hazard).
+    pub fn purge_node(&mut self, node: NodeId) -> Vec<BlockId> {
+        let mut lost = Vec::new();
+        let mut remove = Vec::new();
+        for (block, state) in self.entries.iter_mut() {
+            match state {
+                DirState::Invalid => {}
+                DirState::Shared(sharers) => {
+                    sharers.remove(&node);
+                    if sharers.is_empty() {
+                        remove.push(*block);
+                    }
+                }
+                DirState::Modified(owner) => {
+                    if *owner == node {
+                        lost.push(*block);
+                        remove.push(*block);
+                    }
+                }
+            }
+        }
+        for b in remove {
+            self.entries.remove(&b);
+        }
+        lost.sort_unstable();
+        lost
+    }
+
+    /// Total reads processed.
+    pub fn read_count(&self) -> u64 {
+        self.reads
+    }
+    /// Total writes processed.
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+    /// Total sharer-invalidation messages sent.
+    pub fn invalidation_count(&self) -> u64 {
+        self.invalidations
+    }
+    /// Total owner-downgrade messages sent.
+    pub fn downgrade_count(&self) -> u64 {
+        self.downgrades
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const B: BlockId = BlockId(7);
+
+    #[test]
+    fn cold_read_fetches_from_memory() {
+        let mut d = Directory::new();
+        let a = d.read(B, 0);
+        assert!(!a.hit);
+        assert_eq!(a.messages, vec![CohMessage::FetchFromMemory]);
+        assert_eq!(d.state(B), DirState::Shared(BTreeSet::from([0])));
+    }
+
+    #[test]
+    fn repeated_read_is_hit() {
+        let mut d = Directory::new();
+        d.read(B, 0);
+        let a = d.read(B, 0);
+        assert!(a.hit);
+        assert!(a.messages.is_empty());
+    }
+
+    #[test]
+    fn multiple_readers_share() {
+        let mut d = Directory::new();
+        d.read(B, 0);
+        d.read(B, 1);
+        d.read(B, 2);
+        assert_eq!(d.state(B), DirState::Shared(BTreeSet::from([0, 1, 2])));
+    }
+
+    #[test]
+    fn write_invalidates_sharers() {
+        let mut d = Directory::new();
+        d.read(B, 0);
+        d.read(B, 1);
+        d.read(B, 2);
+        let a = d.write(B, 0);
+        assert_eq!(
+            a.messages,
+            vec![CohMessage::Invalidate { sharers: vec![1, 2] }]
+        );
+        assert_eq!(d.state(B), DirState::Modified(0));
+        assert_eq!(d.invalidation_count(), 2);
+    }
+
+    #[test]
+    fn owner_rewrites_are_free() {
+        let mut d = Directory::new();
+        d.write(B, 3);
+        let a = d.write(B, 3);
+        assert!(a.hit);
+        assert!(a.messages.is_empty());
+    }
+
+    #[test]
+    fn read_of_modified_downgrades_owner() {
+        let mut d = Directory::new();
+        d.write(B, 1);
+        let a = d.read(B, 2);
+        assert_eq!(a.messages, vec![CohMessage::DowngradeOwner { owner: 1 }]);
+        assert_eq!(d.state(B), DirState::Shared(BTreeSet::from([1, 2])));
+        assert_eq!(d.downgrade_count(), 1);
+    }
+
+    #[test]
+    fn write_of_modified_flushes_previous_owner() {
+        let mut d = Directory::new();
+        d.write(B, 1);
+        let a = d.write(B, 2);
+        assert_eq!(a.messages, vec![CohMessage::FlushOwner { owner: 1 }]);
+        assert_eq!(d.state(B), DirState::Modified(2));
+    }
+
+    #[test]
+    fn evict_returns_copy_holders() {
+        let mut d = Directory::new();
+        d.read(B, 0);
+        d.read(B, 1);
+        assert_eq!(d.evict(B), vec![0, 1]);
+        assert_eq!(d.state(B), DirState::Invalid);
+        assert_eq!(d.evict(B), Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn purge_node_reports_lost_dirty_blocks() {
+        let mut d = Directory::new();
+        d.write(BlockId(1), 5); // dirty at 5 → lost
+        d.read(BlockId(2), 5); // shared only at 5 → entry removed, not lost
+        d.read(BlockId(2), 6);
+        d.write(BlockId(3), 7); // unaffected
+        let lost = d.purge_node(5);
+        assert_eq!(lost, vec![BlockId(1)]);
+        assert_eq!(d.state(BlockId(2)), DirState::Shared(BTreeSet::from([6])));
+        assert_eq!(d.state(BlockId(3)), DirState::Modified(7));
+    }
+
+    #[test]
+    fn upgrade_with_no_other_sharers_is_quiet() {
+        let mut d = Directory::new();
+        d.read(B, 4);
+        let a = d.write(B, 4);
+        assert!(a.messages.is_empty());
+        assert!(a.hit);
+        assert_eq!(d.state(B), DirState::Modified(4));
+    }
+}

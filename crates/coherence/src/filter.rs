@@ -1,0 +1,161 @@
+//! Bounded inclusive snoop filter.
+//!
+//! CXL tracks multi-host sharing in an **inclusive snoop filter**: every
+//! remotely cached block must have an entry. The filter is a fixed-size
+//! structure; when it fills, inserting a new block evicts a victim and
+//! **back-invalidates** every cached copy of it (§2.2/§5). The paper's
+//! argument for keeping the coherent region small is precisely to keep this
+//! filter effective — the `coherence` bench sweeps working-set size against
+//! filter capacity to show the back-invalidation cliff.
+
+use crate::config::BlockId;
+use std::collections::HashMap;
+
+/// Result of touching a block in the filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterOutcome {
+    /// Block already tracked.
+    Present,
+    /// Block inserted without eviction.
+    Inserted,
+    /// Block inserted; the victim must be back-invalidated everywhere.
+    Evicted(BlockId),
+}
+
+/// An LRU inclusive snoop filter.
+#[derive(Debug)]
+pub struct SnoopFilter {
+    capacity: usize,
+    /// block → LRU stamp (monotone counter).
+    entries: HashMap<BlockId, u64>,
+    clock: u64,
+    back_invalidations: u64,
+}
+
+impl SnoopFilter {
+    /// A filter holding at most `capacity` blocks.
+    ///
+    /// # Panics
+    /// Panics on zero capacity.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "snoop filter needs capacity");
+        SnoopFilter {
+            capacity,
+            entries: HashMap::with_capacity(capacity),
+            clock: 0,
+            back_invalidations: 0,
+        }
+    }
+
+    /// Capacity in blocks.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Blocks currently tracked.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the filter is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether `block` is tracked.
+    pub fn contains(&self, block: BlockId) -> bool {
+        self.entries.contains_key(&block)
+    }
+
+    /// Touch `block` (it is being cached somewhere). May evict a victim —
+    /// the caller must then invalidate the victim's sharers via the
+    /// directory.
+    pub fn touch(&mut self, block: BlockId) -> FilterOutcome {
+        self.clock += 1;
+        if let Some(stamp) = self.entries.get_mut(&block) {
+            *stamp = self.clock;
+            return FilterOutcome::Present;
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.insert(block, self.clock);
+            return FilterOutcome::Inserted;
+        }
+        // Evict the least-recently-touched entry; ties broken by block id
+        // for determinism.
+        let victim = *self
+            .entries
+            .iter()
+            .min_by_key(|(b, stamp)| (**stamp, b.0))
+            .map(|(b, _)| b)
+            .expect("filter non-empty at capacity");
+        self.entries.remove(&victim);
+        self.entries.insert(block, self.clock);
+        self.back_invalidations += 1;
+        FilterOutcome::Evicted(victim)
+    }
+
+    /// Remove a block (freed, or its last copy invalidated).
+    pub fn remove(&mut self, block: BlockId) {
+        self.entries.remove(&block);
+    }
+
+    /// Total evictions (each one is a back-invalidation event).
+    pub fn back_invalidation_count(&self) -> u64 {
+        self.back_invalidations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_evicts_lru() {
+        let mut f = SnoopFilter::new(2);
+        assert_eq!(f.touch(BlockId(1)), FilterOutcome::Inserted);
+        assert_eq!(f.touch(BlockId(2)), FilterOutcome::Inserted);
+        // Refresh 1, so 2 is LRU.
+        assert_eq!(f.touch(BlockId(1)), FilterOutcome::Present);
+        assert_eq!(f.touch(BlockId(3)), FilterOutcome::Evicted(BlockId(2)));
+        assert!(f.contains(BlockId(1)));
+        assert!(f.contains(BlockId(3)));
+        assert!(!f.contains(BlockId(2)));
+        assert_eq!(f.back_invalidation_count(), 1);
+    }
+
+    #[test]
+    fn within_capacity_never_evicts() {
+        let mut f = SnoopFilter::new(100);
+        for i in 0..100 {
+            assert_ne!(
+                std::mem::discriminant(&f.touch(BlockId(i))),
+                std::mem::discriminant(&FilterOutcome::Evicted(BlockId(0)))
+            );
+        }
+        assert_eq!(f.back_invalidation_count(), 0);
+        assert_eq!(f.len(), 100);
+    }
+
+    #[test]
+    fn thrashing_working_set_causes_storms() {
+        let mut f = SnoopFilter::new(4);
+        // Cycle through 8 blocks repeatedly: every touch evicts.
+        for round in 0..10 {
+            for i in 0..8u64 {
+                f.touch(BlockId(i));
+                let _ = round;
+            }
+        }
+        // First 4 touches fill; everything after evicts.
+        assert_eq!(f.back_invalidation_count(), 80 - 4);
+    }
+
+    #[test]
+    fn remove_frees_space() {
+        let mut f = SnoopFilter::new(1);
+        f.touch(BlockId(1));
+        f.remove(BlockId(1));
+        assert_eq!(f.touch(BlockId(2)), FilterOutcome::Inserted);
+        assert_eq!(f.back_invalidation_count(), 0);
+    }
+}

@@ -1,0 +1,271 @@
+//! Reader-writer locks on coherent memory.
+//!
+//! §5 points at "NUMA-aware reader-writer locks" (Calciu et al.) as the
+//! kind of coordination that keeps coherence traffic down. Two designs are
+//! provided so the benefit is measurable:
+//!
+//! * [`CentralRwLock`] — one shared reader counter. Every reader
+//!   acquisition ping-pongs the counter's block between nodes.
+//! * [`NumaRwLock`] — one reader counter **per node**, each in its own
+//!   coherence block. Readers touch only their node's counter (cache hits
+//!   after the first access); only writers sweep all counters.
+
+use crate::config::NodeId;
+use crate::region::{CoherenceCost, CoherentRegion, OutOfRegion};
+
+/// A naive reader-writer lock: one writer word, one shared reader count.
+#[derive(Debug, Clone, Copy)]
+pub struct CentralRwLock {
+    writer_addr: u64,
+    readers_addr: u64,
+}
+
+impl CentralRwLock {
+    /// Words at `base` and `base + stride`.
+    pub fn new(base: u64, stride: u64) -> Self {
+        CentralRwLock {
+            writer_addr: base,
+            readers_addr: base + stride,
+        }
+    }
+
+    /// Try to enter the read side. Fails when a writer holds the lock.
+    pub fn read_acquire(
+        &self,
+        region: &mut CoherentRegion,
+        node: NodeId,
+    ) -> Result<(bool, CoherenceCost), OutOfRegion> {
+        let (_, mut cost) = region.fetch_add(node, self.readers_addr, 1)?;
+        let (w, c2) = region.load(node, self.writer_addr)?;
+        cost.absorb(c2);
+        if w != 0 {
+            // Back off.
+            let (_, c3) = region.fetch_add(node, self.readers_addr, u64::MAX)?;
+            cost.absorb(c3);
+            return Ok((false, cost));
+        }
+        Ok((true, cost))
+    }
+
+    /// Leave the read side.
+    pub fn read_release(
+        &self,
+        region: &mut CoherentRegion,
+        node: NodeId,
+    ) -> Result<CoherenceCost, OutOfRegion> {
+        let (_, cost) = region.fetch_add(node, self.readers_addr, u64::MAX)?;
+        Ok(cost)
+    }
+
+    /// Try to take the write side: claims the writer word, then succeeds
+    /// only when no readers are present.
+    pub fn write_acquire(
+        &self,
+        region: &mut CoherentRegion,
+        node: NodeId,
+    ) -> Result<(bool, CoherenceCost), OutOfRegion> {
+        let (ok, mut cost) = region.cas(node, self.writer_addr, 0, node as u64 + 1)?;
+        if !ok {
+            return Ok((false, cost));
+        }
+        let (readers, c2) = region.load(node, self.readers_addr)?;
+        cost.absorb(c2);
+        Ok((readers == 0, cost))
+    }
+
+    /// Poll for remaining readers after a claimed write acquisition.
+    pub fn write_poll(
+        &self,
+        region: &mut CoherentRegion,
+        node: NodeId,
+    ) -> Result<(bool, CoherenceCost), OutOfRegion> {
+        let (readers, cost) = region.load(node, self.readers_addr)?;
+        Ok((readers == 0, cost))
+    }
+
+    /// Release the write side.
+    pub fn write_release(
+        &self,
+        region: &mut CoherentRegion,
+        node: NodeId,
+    ) -> Result<CoherenceCost, OutOfRegion> {
+        region.store(node, self.writer_addr, 0)
+    }
+}
+
+/// The NUMA-aware design: per-node reader counters in distinct blocks.
+#[derive(Debug, Clone)]
+pub struct NumaRwLock {
+    writer_addr: u64,
+    reader_addrs: Vec<u64>,
+}
+
+impl NumaRwLock {
+    /// Writer word at `base`; per-node counters one `stride` apart (use at
+    /// least the region granularity so they never share a block).
+    pub fn new(base: u64, stride: u64, nodes: u32) -> Self {
+        NumaRwLock {
+            writer_addr: base,
+            reader_addrs: (0..nodes).map(|n| base + stride * (n as u64 + 1)).collect(),
+        }
+    }
+
+    /// Try to enter the read side (touches only this node's counter plus
+    /// the writer word).
+    pub fn read_acquire(
+        &self,
+        region: &mut CoherentRegion,
+        node: NodeId,
+    ) -> Result<(bool, CoherenceCost), OutOfRegion> {
+        let mine = self.reader_addrs[node as usize];
+        let (_, mut cost) = region.fetch_add(node, mine, 1)?;
+        let (w, c2) = region.load(node, self.writer_addr)?;
+        cost.absorb(c2);
+        if w != 0 {
+            let (_, c3) = region.fetch_add(node, mine, u64::MAX)?;
+            cost.absorb(c3);
+            return Ok((false, cost));
+        }
+        Ok((true, cost))
+    }
+
+    /// Leave the read side.
+    pub fn read_release(
+        &self,
+        region: &mut CoherentRegion,
+        node: NodeId,
+    ) -> Result<CoherenceCost, OutOfRegion> {
+        let (_, cost) = region.fetch_add(node, self.reader_addrs[node as usize], u64::MAX)?;
+        Ok(cost)
+    }
+
+    /// Try to take the write side: claim the writer word, then sweep every
+    /// node's counter.
+    pub fn write_acquire(
+        &self,
+        region: &mut CoherentRegion,
+        node: NodeId,
+    ) -> Result<(bool, CoherenceCost), OutOfRegion> {
+        let (ok, mut cost) = region.cas(node, self.writer_addr, 0, node as u64 + 1)?;
+        if !ok {
+            return Ok((false, cost));
+        }
+        let (clear, c2) = self.write_poll(region, node)?;
+        cost.absorb(c2);
+        Ok((clear, cost))
+    }
+
+    /// Re-sweep the reader counters.
+    pub fn write_poll(
+        &self,
+        region: &mut CoherentRegion,
+        node: NodeId,
+    ) -> Result<(bool, CoherenceCost), OutOfRegion> {
+        let mut cost = CoherenceCost::default();
+        let mut clear = true;
+        for &addr in &self.reader_addrs {
+            let (count, c) = region.load(node, addr)?;
+            cost.absorb(c);
+            if count != 0 {
+                clear = false;
+            }
+        }
+        Ok((clear, cost))
+    }
+
+    /// Release the write side.
+    pub fn write_release(
+        &self,
+        region: &mut CoherentRegion,
+        node: NodeId,
+    ) -> Result<CoherenceCost, OutOfRegion> {
+        region.store(node, self.writer_addr, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CoherenceConfig;
+    use lmp_sim::units::MIB;
+
+    fn region() -> CoherentRegion {
+        CoherentRegion::new(CoherenceConfig::default_lmp(), MIB)
+    }
+
+    #[test]
+    fn readers_share_writers_exclude_central() {
+        let mut r = region();
+        let l = CentralRwLock::new(0, 16);
+        assert!(l.read_acquire(&mut r, 0).unwrap().0);
+        assert!(l.read_acquire(&mut r, 1).unwrap().0, "readers share");
+        let (granted, _) = l.write_acquire(&mut r, 2).unwrap();
+        assert!(!granted, "readers still present");
+        l.read_release(&mut r, 0).unwrap();
+        l.read_release(&mut r, 1).unwrap();
+        assert!(l.write_poll(&mut r, 2).unwrap().0, "now clear");
+        l.write_release(&mut r, 2).unwrap();
+        assert!(l.read_acquire(&mut r, 0).unwrap().0);
+    }
+
+    #[test]
+    fn readers_share_writers_exclude_numa() {
+        let mut r = region();
+        let l = NumaRwLock::new(0, 16, 4);
+        assert!(l.read_acquire(&mut r, 0).unwrap().0);
+        assert!(l.read_acquire(&mut r, 3).unwrap().0);
+        let (granted, _) = l.write_acquire(&mut r, 1).unwrap();
+        assert!(!granted);
+        l.read_release(&mut r, 0).unwrap();
+        l.read_release(&mut r, 3).unwrap();
+        assert!(l.write_poll(&mut r, 1).unwrap().0);
+        l.write_release(&mut r, 1).unwrap();
+    }
+
+    #[test]
+    fn writer_blocks_new_readers() {
+        let mut r = region();
+        let l = NumaRwLock::new(0, 16, 2);
+        let (granted, _) = l.write_acquire(&mut r, 0).unwrap();
+        assert!(granted, "no readers yet");
+        let (read_ok, _) = l.read_acquire(&mut r, 1).unwrap();
+        assert!(!read_ok, "writer holds the lock");
+        l.write_release(&mut r, 0).unwrap();
+        assert!(l.read_acquire(&mut r, 1).unwrap().0);
+    }
+
+    #[test]
+    fn second_writer_loses_cas() {
+        let mut r = region();
+        let l = CentralRwLock::new(0, 16);
+        assert!(l.write_acquire(&mut r, 0).unwrap().0);
+        assert!(!l.write_acquire(&mut r, 1).unwrap().0);
+    }
+
+    #[test]
+    fn numa_readers_generate_less_traffic_than_central() {
+        // 4 nodes each acquire/release in round-robin many times.
+        let mut r_central = region();
+        let mut r_numa = region();
+        let central = CentralRwLock::new(0, 16);
+        let numa = NumaRwLock::new(1024, 16, 4);
+        let mut central_msgs = 0;
+        let mut numa_msgs = 0;
+        for round in 0..200 {
+            let node = round % 4;
+            let (ok, c) = central.read_acquire(&mut r_central, node).unwrap();
+            assert!(ok);
+            central_msgs += c.messages;
+            central_msgs += central.read_release(&mut r_central, node).unwrap().messages;
+
+            let (ok, c) = numa.read_acquire(&mut r_numa, node).unwrap();
+            assert!(ok);
+            numa_msgs += c.messages;
+            numa_msgs += numa.read_release(&mut r_numa, node).unwrap().messages;
+        }
+        assert!(
+            numa_msgs * 2 < central_msgs,
+            "numa {numa_msgs} should be well under central {central_msgs}"
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests for the coherence machinery.
+
+use lmp_coherence::{CoherenceConfig, CoherentRegion, DirState, SpinLock};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn small_region(filter_capacity: usize) -> CoherentRegion {
+    let mut cfg = CoherenceConfig::default_lmp();
+    cfg.filter_capacity = filter_capacity;
+    CoherentRegion::new(cfg, 64 * 1024)
+}
+
+proptest! {
+    /// Sequential consistency of the word store: a load always returns the
+    /// most recently stored value, regardless of which nodes performed the
+    /// operations and how much protocol traffic they generated.
+    #[test]
+    fn region_is_sequentially_consistent(
+        ops in proptest::collection::vec((0u32..4, 0u64..64, any::<u64>(), any::<bool>()), 1..300),
+    ) {
+        let mut r = small_region(8); // tiny filter: lots of back-invalidation
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for (node, slot, value, is_store) in ops {
+            let addr = slot * 8;
+            if is_store {
+                r.store(node, addr, value).unwrap();
+                model.insert(addr, value);
+            } else {
+                let (got, _) = r.load(node, addr).unwrap();
+                prop_assert_eq!(got, model.get(&addr).copied().unwrap_or(0));
+            }
+        }
+    }
+
+    /// The inclusive-filter invariant: the directory never tracks more
+    /// blocks than the snoop filter can hold.
+    #[test]
+    fn directory_bounded_by_filter(
+        capacity in 1usize..32,
+        ops in proptest::collection::vec((0u32..4, 0u64..256, any::<bool>()), 1..300),
+    ) {
+        let mut r = small_region(capacity);
+        for (node, slot, is_store) in ops {
+            let addr = slot * 8;
+            if is_store {
+                r.store(node, addr, 1).unwrap();
+            } else {
+                r.load(node, addr).unwrap();
+            }
+            prop_assert!(
+                r.directory().tracked_blocks() <= capacity,
+                "directory {} exceeds filter {capacity}",
+                r.directory().tracked_blocks()
+            );
+        }
+    }
+
+    /// CAS arbitration: driving a spinlock with arbitrary interleavings of
+    /// try_acquire/release never admits two holders.
+    #[test]
+    fn spinlock_never_double_grants(
+        schedule in proptest::collection::vec(0u32..4, 1..200),
+    ) {
+        let mut r = small_region(1024);
+        let lock = SpinLock::new(0);
+        let mut holder: Option<u32> = None;
+        for node in schedule {
+            match holder {
+                Some(h) if h == node => {
+                    lock.release(&mut r, node).unwrap();
+                    holder = None;
+                }
+                Some(_) => {
+                    let (ok, _) = lock.try_acquire(&mut r, node).unwrap();
+                    prop_assert!(!ok, "lock granted while held");
+                }
+                None => {
+                    let (ok, _) = lock.try_acquire(&mut r, node).unwrap();
+                    prop_assert!(ok, "free lock refused");
+                    holder = Some(node);
+                }
+            }
+        }
+    }
+
+    /// fetch_add is atomic and exact: N increments from arbitrary nodes sum
+    /// precisely.
+    #[test]
+    fn fetch_add_is_exact(nodes in proptest::collection::vec(0u32..8, 1..200)) {
+        let mut r = small_region(64);
+        for (i, node) in nodes.iter().enumerate() {
+            let (prev, _) = r.fetch_add(*node, 0, 1).unwrap();
+            prop_assert_eq!(prev, i as u64);
+        }
+        let (total, _) = r.load(0, 0).unwrap();
+        prop_assert_eq!(total, nodes.len() as u64);
+    }
+
+    /// After any operation sequence, every directory entry is well-formed:
+    /// Shared sets are non-empty and Modified blocks read back the latest
+    /// value written.
+    #[test]
+    fn directory_states_well_formed(
+        ops in proptest::collection::vec((0u32..4, 0u64..32, any::<bool>()), 1..200),
+    ) {
+        let mut r = small_region(1024);
+        let cfg = r.config().clone();
+        let mut touched = std::collections::HashSet::new();
+        for (node, slot, is_store) in ops {
+            let addr = slot * 8;
+            touched.insert(cfg.block_of(addr));
+            if is_store {
+                r.store(node, addr, 7).unwrap();
+            } else {
+                r.load(node, addr).unwrap();
+            }
+        }
+        for b in touched {
+            match r.directory().state(b) {
+                DirState::Shared(s) => prop_assert!(!s.is_empty(), "empty sharer set"),
+                DirState::Invalid | DirState::Modified(_) => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # lmp-compute — near-memory computing on logical pools
+//!
+//! §4.4's third benefit: in an LMP, every byte of pooled memory sits next
+//! to a server's processors, so computation can ship to the data instead of
+//! data shipping to the computation. This crate provides:
+//!
+//! * [`scan`] — the multi-core closed-loop streaming scan that models the
+//!   paper's vector-aggregation microbenchmark.
+//! * [`placement::DistVector`] — buffers striped across servers (data
+//!   placement, the first incast remedy).
+//! * [`ship`] — pull-vs-ship distributed reductions with exact byte
+//!   accounting, plus materialized-value computation for correctness tests.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod placement;
+pub mod scan;
+pub mod ship;
+pub mod task;
+
+pub use placement::DistVector;
+pub use scan::{scan_ranges, scan_segment, ScanOutcome, ScanParams, DEFAULT_CHUNK};
+pub use ship::{reduce_timed, reduce_value, run_task, ReduceOp, ReduceOutcome, Strategy};
+pub use task::{Partial, Task};

@@ -1,0 +1,362 @@
+//! Compute shipping (§4.4 "Near-memory Computing").
+//!
+//! Two strategies for reducing over a distributed vector:
+//!
+//! * **Pull** — the requesting server scans every stripe itself; remote
+//!   stripes cross the fabric (this is what a physical pool always does,
+//!   since the pool has no processors).
+//! * **Ship** — each holding server scans its own stripe at local DRAM
+//!   speed, in parallel, and only the 8-byte partial results cross the
+//!   fabric. "The end result is an even larger performance improvement"
+//!   (§4.4) — the `nearmem` bench quantifies it.
+
+use crate::placement::DistVector;
+use crate::scan::{scan_segment, ScanOutcome, ScanParams};
+use lmp_core::prelude::*;
+use lmp_fabric::{Fabric, NodeId};
+use lmp_sim::prelude::*;
+
+/// Reduction operators over u64 little-endian elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Wrapping sum of all elements.
+    Sum,
+    /// Minimum element (u64::MAX when empty).
+    Min,
+    /// Maximum element (0 when empty).
+    Max,
+}
+
+impl ReduceOp {
+    /// Identity element.
+    pub fn identity(self) -> u64 {
+        match self {
+            ReduceOp::Sum => 0,
+            ReduceOp::Min => u64::MAX,
+            ReduceOp::Max => 0,
+        }
+    }
+
+    /// Combine two partial results.
+    pub fn combine(self, a: u64, b: u64) -> u64 {
+        match self {
+            ReduceOp::Sum => a.wrapping_add(b),
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+        }
+    }
+
+    /// Fold a byte slice as little-endian u64 elements (the tail shorter
+    /// than 8 bytes is ignored, matching an element-aligned vector).
+    pub fn fold_bytes(self, bytes: &[u8]) -> u64 {
+        let mut acc = self.identity();
+        for w in bytes.chunks_exact(8) {
+            let v = u64::from_le_bytes(w.try_into().expect("chunks_exact(8)"));
+            acc = self.combine(acc, v);
+        }
+        acc
+    }
+}
+
+/// Execution strategy for a distributed reduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// The requester pulls all stripes and reduces them itself.
+    Pull,
+    /// The reduction ships to each stripe's holder; partials return.
+    Ship,
+}
+
+/// Timing outcome of a distributed reduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReduceOutcome {
+    /// When the final result is available at the requester.
+    pub complete: SimTime,
+    /// Bytes that crossed the fabric (data + shipped results).
+    pub fabric_bytes: u64,
+    /// Bytes scanned at local speed by their holder.
+    pub local_bytes: u64,
+}
+
+impl ReduceOutcome {
+    /// Effective scan bandwidth for `total` vector bytes from `start`.
+    pub fn bandwidth(&self, total: u64, start: SimTime) -> Bandwidth {
+        Bandwidth::measured(total, self.complete.saturating_duration_since(start))
+    }
+}
+
+/// Time a distributed reduction with the given strategy.
+///
+/// `params` applies per participating server.
+pub fn reduce_timed(
+    pool: &mut LogicalPool,
+    fabric: &mut Fabric,
+    start: SimTime,
+    requester: NodeId,
+    vector: &DistVector,
+    strategy: Strategy,
+    params: ScanParams,
+) -> Result<ReduceOutcome, PoolError> {
+    let mut outcome = ReduceOutcome {
+        complete: start,
+        fabric_bytes: 0,
+        local_bytes: 0,
+    };
+    match strategy {
+        Strategy::Pull => {
+            for (_, seg, len) in &vector.stripes {
+                let s: ScanOutcome =
+                    scan_segment(pool, fabric, start, requester, *seg, 0, *len, params)?;
+                outcome.complete = outcome.complete.max(s.complete);
+                outcome.fabric_bytes += s.remote_bytes;
+                outcome.local_bytes += s.local_bytes;
+            }
+        }
+        Strategy::Ship => {
+            for (holder, seg, len) in &vector.stripes {
+                // The holder scans its stripe locally, in parallel with the
+                // other holders.
+                let s = scan_segment(pool, fabric, start, *holder, *seg, 0, *len, params)?;
+                outcome.local_bytes += s.local_bytes;
+                debug_assert_eq!(s.remote_bytes, 0, "shipped scan must be local");
+                // The 8-byte partial travels back to the requester.
+                let done = if *holder == requester {
+                    s.complete
+                } else {
+                    outcome.fabric_bytes += 8;
+                    fabric.write(s.complete, *holder, requester, 8).complete
+                };
+                outcome.complete = outcome.complete.max(done);
+            }
+        }
+    }
+    Ok(outcome)
+}
+
+/// Run an arbitrary shippable [`Task`](crate::task::Task) over a
+/// distributed vector: timing via the scan engine, the result from
+/// materialized stripe contents. With [`Strategy::Ship`] only each task's
+/// fixed-size partial crosses the fabric.
+pub fn run_task(
+    pool: &mut LogicalPool,
+    fabric: &mut Fabric,
+    start: SimTime,
+    requester: NodeId,
+    vector: &DistVector,
+    task: crate::task::Task,
+    strategy: Strategy,
+    params: ScanParams,
+) -> Result<(crate::task::Partial, ReduceOutcome), PoolError> {
+    let mut outcome = ReduceOutcome {
+        complete: start,
+        fabric_bytes: 0,
+        local_bytes: 0,
+    };
+    let mut acc = task.identity();
+    let mut element_base = 0u64;
+    for (holder, seg, len) in &vector.stripes {
+        let scanner = match strategy {
+            Strategy::Pull => requester,
+            Strategy::Ship => *holder,
+        };
+        let s = scan_segment(pool, fabric, start, scanner, *seg, 0, *len, params)?;
+        outcome.local_bytes += s.local_bytes;
+        let bytes = pool.read_bytes(LogicalAddr::new(*seg, 0), *len)?;
+        let partial = task.execute(&bytes, element_base);
+        element_base += len / 8;
+        let done = match strategy {
+            Strategy::Pull => {
+                outcome.fabric_bytes += s.remote_bytes;
+                s.complete
+            }
+            Strategy::Ship if *holder != requester => {
+                let pb = task.partial_bytes();
+                outcome.fabric_bytes += pb;
+                fabric.write(s.complete, *holder, requester, pb).complete
+            }
+            Strategy::Ship => s.complete,
+        };
+        outcome.complete = outcome.complete.max(done);
+        acc = task.combine(acc, partial);
+    }
+    Ok((acc, outcome))
+}
+
+/// Compute the actual reduction value from materialized stripe contents
+/// (correctness path, no timing).
+pub fn reduce_value(
+    pool: &LogicalPool,
+    vector: &DistVector,
+    op: ReduceOp,
+) -> Result<u64, PoolError> {
+    let mut acc = op.identity();
+    for (_, seg, len) in &vector.stripes {
+        let bytes = pool.read_bytes(LogicalAddr::new(*seg, 0), *len)?;
+        acc = op.combine(acc, op.fold_bytes(&bytes));
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmp_fabric::LinkProfile;
+    use lmp_mem::{DramProfile, FRAME_BYTES};
+
+    fn setup(shared_frames: u64) -> (LogicalPool, Fabric) {
+        let cfg = PoolConfig {
+            servers: 4,
+            capacity_per_server: (shared_frames + 2) * FRAME_BYTES,
+            shared_per_server: shared_frames * FRAME_BYTES,
+            dram: DramProfile::xeon_gold_5120(),
+            tlb_capacity: 64,
+        };
+        (LogicalPool::new(cfg), Fabric::new(LinkProfile::link1(), 4))
+    }
+
+    #[test]
+    fn op_folding() {
+        let mut bytes = Vec::new();
+        for v in [3u64, 9, 1] {
+            bytes.extend(v.to_le_bytes());
+        }
+        assert_eq!(ReduceOp::Sum.fold_bytes(&bytes), 13);
+        assert_eq!(ReduceOp::Min.fold_bytes(&bytes), 1);
+        assert_eq!(ReduceOp::Max.fold_bytes(&bytes), 9);
+        assert_eq!(ReduceOp::Sum.fold_bytes(&[]), 0);
+    }
+
+    #[test]
+    fn value_matches_reference_for_both_strategies() {
+        let (mut p, _) = setup(16);
+        let servers: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let v = DistVector::stripe_even(&mut p, 4 * FRAME_BYTES, &servers).unwrap();
+        // Fill each stripe with known values.
+        let mut reference = 0u64;
+        for (i, (_, seg, _)) in v.stripes.iter().enumerate() {
+            let vals: Vec<u64> = (0..100).map(|k| (i as u64 + 1) * 1000 + k).collect();
+            let mut bytes = Vec::new();
+            for x in &vals {
+                bytes.extend(x.to_le_bytes());
+                reference = reference.wrapping_add(*x);
+            }
+            p.write_bytes(LogicalAddr::new(*seg, 0), &bytes).unwrap();
+            // Rest of the stripe is zero, contributing nothing to Sum.
+        }
+        assert_eq!(reduce_value(&p, &v, ReduceOp::Sum).unwrap(), reference);
+    }
+
+    #[test]
+    fn shipping_beats_pulling_on_distributed_data() {
+        let (mut p, mut f) = setup(64);
+        let servers: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let len = 64 * FRAME_BYTES;
+        let v = DistVector::stripe_even(&mut p, len, &servers).unwrap();
+
+        let pull = reduce_timed(
+            &mut p, &mut f, SimTime::ZERO, NodeId(0), &v, Strategy::Pull, ScanParams::default(),
+        )
+        .unwrap();
+        let (mut p2, mut f2) = setup(64);
+        let v2 = DistVector::stripe_even(&mut p2, len, &servers).unwrap();
+        let ship = reduce_timed(
+            &mut p2, &mut f2, SimTime::ZERO, NodeId(0), &v2, Strategy::Ship, ScanParams::default(),
+        )
+        .unwrap();
+
+        assert!(
+            ship.complete < pull.complete,
+            "shipping {} should beat pulling {}",
+            ship.complete,
+            pull.complete
+        );
+        // Shipping moves only partial results; pulling moves 3/4 of data.
+        assert!(ship.fabric_bytes <= 3 * 8);
+        assert_eq!(pull.fabric_bytes, len * 3 / 4);
+    }
+
+    #[test]
+    fn ship_on_single_local_stripe_equals_pull() {
+        let (mut p, mut f) = setup(16);
+        let v = DistVector::stripe_even(&mut p, 4 * FRAME_BYTES, &[NodeId(0)]).unwrap();
+        let pull = reduce_timed(
+            &mut p, &mut f, SimTime::ZERO, NodeId(0), &v, Strategy::Pull, ScanParams { cores: 4, chunk: MIB, ..ScanParams::default() },
+        )
+        .unwrap();
+        let (mut p2, mut f2) = setup(16);
+        let v2 = DistVector::stripe_even(&mut p2, 4 * FRAME_BYTES, &[NodeId(0)]).unwrap();
+        let ship = reduce_timed(
+            &mut p2, &mut f2, SimTime::ZERO, NodeId(0), &v2, Strategy::Ship, ScanParams { cores: 4, chunk: MIB, ..ScanParams::default() },
+        )
+        .unwrap();
+        assert_eq!(pull.complete, ship.complete);
+        assert_eq!(ship.fabric_bytes, 0);
+    }
+
+    #[test]
+    fn run_task_agrees_across_strategies_and_ships_small_partials() {
+        use crate::task::{Partial, Task};
+        let (mut p, mut f) = setup(16);
+        let servers: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let v = DistVector::stripe_even(&mut p, 4 * FRAME_BYTES, &servers).unwrap();
+        // Put a needle in stripe 2 and some counted values everywhere.
+        for (i, (_, seg, _)) in v.stripes.iter().enumerate() {
+            let vals = pack(&[i as u64, 100 + i as u64]);
+            p.write_bytes(LogicalAddr::new(*seg, 0), &vals).unwrap();
+        }
+        let needle_stripe_elems = FRAME_BYTES / 8;
+        for task in [
+            Task::CountGreater(99),
+            Task::FindFirst(102),
+            Task::Reduce(ReduceOp::Max),
+        ] {
+            let (pull_val, pull) = run_task(
+                &mut p, &mut f, SimTime::ZERO, NodeId(0), &v, task, Strategy::Pull,
+                ScanParams::with_cores(4),
+            )
+            .unwrap();
+            let (ship_val, ship) = run_task(
+                &mut p, &mut f, SimTime::ZERO, NodeId(0), &v, task, Strategy::Ship,
+                ScanParams::with_cores(4),
+            )
+            .unwrap();
+            assert_eq!(pull_val, ship_val, "{task:?}");
+            assert!(ship.fabric_bytes < pull.fabric_bytes, "{task:?}");
+        }
+        // Spot-check values.
+        let (found, _) = run_task(
+            &mut p, &mut f, SimTime::ZERO, NodeId(0), &v, Task::FindFirst(102),
+            Strategy::Ship, ScanParams::with_cores(4),
+        )
+        .unwrap();
+        assert_eq!(found, Partial::Found(Some(2 * needle_stripe_elems + 1)));
+        let (count, _) = run_task(
+            &mut p, &mut f, SimTime::ZERO, NodeId(0), &v, Task::CountGreater(99),
+            Strategy::Ship, ScanParams::with_cores(4),
+        )
+        .unwrap();
+        assert_eq!(count, Partial::Scalar(4));
+    }
+
+    fn pack(vals: &[u64]) -> Vec<u8> {
+        vals.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    #[test]
+    fn shipped_scan_bandwidth_scales_with_servers() {
+        // Aggregate shipped bandwidth approaches servers × local DRAM.
+        let (mut p, mut f) = setup(64);
+        let servers: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let len = 128 * FRAME_BYTES;
+        let v = DistVector::stripe_even(&mut p, len, &servers).unwrap();
+        let ship = reduce_timed(
+            &mut p, &mut f, SimTime::ZERO, NodeId(0), &v, Strategy::Ship, ScanParams::default(),
+        )
+        .unwrap();
+        let bw = ship.bandwidth(len, SimTime::ZERO);
+        assert!(
+            bw.as_gbps() > 300.0,
+            "aggregate near-memory bandwidth only {bw}"
+        );
+    }
+}

@@ -1,0 +1,218 @@
+//! Shippable computations.
+//!
+//! Compute shipping (§4.4) needs a *description* of work that can travel
+//! to the server holding the data. [`Task`] is that description: a small,
+//! serializable operator over a byte range of u64 elements. Each task has
+//! a well-defined result combiner, so per-stripe partials merge on the
+//! requester exactly like the distributed sum of §4.4.
+//!
+//! The operators cover the aggregation-style kernels the paper's
+//! motivation names (analytics over large in-pool datasets): reductions,
+//! predicate counting/selection, and histogram building.
+
+use crate::ship::ReduceOp;
+
+/// A computation shippable to a data holder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Task {
+    /// Fold all elements with a [`ReduceOp`].
+    Reduce(ReduceOp),
+    /// Count elements strictly greater than the threshold.
+    CountGreater(u64),
+    /// Count elements equal to the value.
+    CountEqual(u64),
+    /// Index (within the scanned range, in elements) of the first element
+    /// equal to the value, if any.
+    FindFirst(u64),
+    /// Histogram of the top `bits` bits of each element (≤ 8 bits, so the
+    /// result fits the fixed-size partial).
+    HistogramTopBits(u8),
+}
+
+/// A task's partial result from one stripe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Partial {
+    /// Scalar accumulator (reductions, counts).
+    Scalar(u64),
+    /// First-match index, offset by the stripe's element base.
+    Found(Option<u64>),
+    /// Bucketed counts.
+    Histogram(Vec<u64>),
+}
+
+impl Task {
+    /// Size in bytes of this task's partial when shipped back to the
+    /// requester (what crosses the fabric instead of the data).
+    pub fn partial_bytes(&self) -> u64 {
+        match self {
+            Task::Reduce(_) | Task::CountGreater(_) | Task::CountEqual(_) => 8,
+            Task::FindFirst(_) => 9, // option tag + index
+            Task::HistogramTopBits(bits) => 8 * (1u64 << bits),
+        }
+    }
+
+    /// Execute over a byte slice of little-endian u64 elements, where the
+    /// slice's first element has global element index `element_base`.
+    pub fn execute(&self, bytes: &[u8], element_base: u64) -> Partial {
+        match *self {
+            Task::Reduce(op) => Partial::Scalar(op.fold_bytes(bytes)),
+            Task::CountGreater(t) => Partial::Scalar(
+                elements(bytes).filter(|&v| v > t).count() as u64,
+            ),
+            Task::CountEqual(t) => {
+                Partial::Scalar(elements(bytes).filter(|&v| v == t).count() as u64)
+            }
+            Task::FindFirst(t) => Partial::Found(
+                elements(bytes)
+                    .position(|v| v == t)
+                    .map(|i| element_base + i as u64),
+            ),
+            Task::HistogramTopBits(bits) => {
+                assert!(bits <= 8, "histogram too wide to ship");
+                let mut buckets = vec![0u64; 1 << bits];
+                for v in elements(bytes) {
+                    buckets[(v >> (64 - bits as u32)) as usize] += 1;
+                }
+                Partial::Histogram(buckets)
+            }
+        }
+    }
+
+    /// Combine two partials of this task.
+    ///
+    /// # Panics
+    /// Panics when the partial variants do not match the task (a protocol
+    /// bug, not a data condition).
+    pub fn combine(&self, a: Partial, b: Partial) -> Partial {
+        match (self, a, b) {
+            (Task::Reduce(op), Partial::Scalar(x), Partial::Scalar(y)) => {
+                Partial::Scalar(op.combine(x, y))
+            }
+            (Task::CountGreater(_) | Task::CountEqual(_), Partial::Scalar(x), Partial::Scalar(y)) => {
+                Partial::Scalar(x + y)
+            }
+            (Task::FindFirst(_), Partial::Found(x), Partial::Found(y)) => {
+                // Earliest global index wins.
+                Partial::Found(match (x, y) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                })
+            }
+            (Task::HistogramTopBits(_), Partial::Histogram(mut x), Partial::Histogram(y)) => {
+                assert_eq!(x.len(), y.len(), "histogram width mismatch");
+                for (a, b) in x.iter_mut().zip(y) {
+                    *a += b;
+                }
+                Partial::Histogram(x)
+            }
+            (task, a, b) => panic!("partial mismatch for {task:?}: {a:?} / {b:?}"),
+        }
+    }
+
+    /// The identity partial for this task.
+    pub fn identity(&self) -> Partial {
+        match *self {
+            Task::Reduce(op) => Partial::Scalar(op.identity()),
+            Task::CountGreater(_) | Task::CountEqual(_) => Partial::Scalar(0),
+            Task::FindFirst(_) => Partial::Found(None),
+            Task::HistogramTopBits(bits) => Partial::Histogram(vec![0; 1 << bits]),
+        }
+    }
+}
+
+fn elements(bytes: &[u8]) -> impl Iterator<Item = u64> + '_ {
+    bytes
+        .chunks_exact(8)
+        .map(|w| u64::from_le_bytes(w.try_into().expect("chunks_exact(8)")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pack(vals: &[u64]) -> Vec<u8> {
+        vals.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    #[test]
+    fn reduce_tasks() {
+        let data = pack(&[5, 1, 9]);
+        assert_eq!(
+            Task::Reduce(ReduceOp::Sum).execute(&data, 0),
+            Partial::Scalar(15)
+        );
+        assert_eq!(
+            Task::Reduce(ReduceOp::Max).execute(&data, 0),
+            Partial::Scalar(9)
+        );
+    }
+
+    #[test]
+    fn counting_tasks() {
+        let data = pack(&[5, 1, 9, 5]);
+        assert_eq!(Task::CountGreater(4).execute(&data, 0), Partial::Scalar(3));
+        assert_eq!(Task::CountEqual(5).execute(&data, 0), Partial::Scalar(2));
+    }
+
+    #[test]
+    fn find_first_respects_element_base() {
+        let data = pack(&[7, 8, 9]);
+        assert_eq!(
+            Task::FindFirst(9).execute(&data, 100),
+            Partial::Found(Some(102))
+        );
+        assert_eq!(Task::FindFirst(99).execute(&data, 100), Partial::Found(None));
+    }
+
+    #[test]
+    fn find_first_combines_to_earliest() {
+        let t = Task::FindFirst(1);
+        assert_eq!(
+            t.combine(Partial::Found(Some(50)), Partial::Found(Some(10))),
+            Partial::Found(Some(10))
+        );
+        assert_eq!(
+            t.combine(Partial::Found(None), Partial::Found(Some(3))),
+            Partial::Found(Some(3))
+        );
+    }
+
+    #[test]
+    fn histogram_buckets_and_combines() {
+        let t = Task::HistogramTopBits(1); // bucket by the top bit
+        let low = pack(&[1, 2, 3]);
+        let high = pack(&[u64::MAX, 1 << 63]);
+        let a = t.execute(&low, 0);
+        let b = t.execute(&high, 3);
+        assert_eq!(a, Partial::Histogram(vec![3, 0]));
+        assert_eq!(b, Partial::Histogram(vec![0, 2]));
+        assert_eq!(t.combine(a, b), Partial::Histogram(vec![3, 2]));
+    }
+
+    #[test]
+    fn partial_sizes() {
+        assert_eq!(Task::Reduce(ReduceOp::Sum).partial_bytes(), 8);
+        assert_eq!(Task::HistogramTopBits(4).partial_bytes(), 128);
+    }
+
+    #[test]
+    fn identities_are_neutral() {
+        for t in [
+            Task::Reduce(ReduceOp::Sum),
+            Task::Reduce(ReduceOp::Min),
+            Task::CountGreater(5),
+            Task::FindFirst(2),
+            Task::HistogramTopBits(2),
+        ] {
+            let data = pack(&[1, 2, 1 << 62]);
+            let x = t.execute(&data, 0);
+            assert_eq!(t.combine(t.identity(), x.clone()), x);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "partial mismatch")]
+    fn mismatched_partials_panic() {
+        Task::Reduce(ReduceOp::Sum).combine(Partial::Scalar(1), Partial::Found(None));
+    }
+}

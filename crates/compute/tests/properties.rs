@@ -1,0 +1,141 @@
+//! Property tests for scans, placement, and shippable tasks.
+
+use lmp_compute::{
+    reduce_value, run_task, scan_ranges, DistVector, Partial, ReduceOp, ScanParams, Strategy,
+    Task,
+};
+use lmp_core::prelude::*;
+use lmp_fabric::{Fabric, LinkProfile, NodeId};
+use lmp_mem::{DramProfile, FRAME_BYTES};
+use lmp_sim::prelude::*;
+use proptest::prelude::*;
+
+fn setup(shared_frames: u64) -> (LogicalPool, Fabric) {
+    let cfg = PoolConfig {
+        servers: 4,
+        capacity_per_server: (shared_frames + 2) * FRAME_BYTES,
+        shared_per_server: shared_frames * FRAME_BYTES,
+        dram: DramProfile::xeon_gold_5120(),
+        tlb_capacity: 64,
+    };
+    (LogicalPool::new(cfg), Fabric::new(LinkProfile::link1(), 4))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Ranged scans account every byte exactly once, for arbitrary stripe
+    /// layouts, core counts, and chunk sizes.
+    #[test]
+    fn scan_accounts_every_byte(
+        stripe_frames in proptest::collection::vec(1u64..4, 1..4),
+        cores in 1u32..16,
+        chunk_kb in 1u64..4096,
+    ) {
+        let (mut p, mut f) = setup(16);
+        let mut ranges = Vec::new();
+        let mut total = 0;
+        for (i, frames) in stripe_frames.iter().enumerate() {
+            let len = frames * FRAME_BYTES;
+            let seg = p.alloc(len, Placement::On(NodeId(i as u32))).unwrap();
+            ranges.push((seg, 0, len));
+            total += len;
+        }
+        let params = ScanParams {
+            cores,
+            chunk: chunk_kb * 1024,
+            ..ScanParams::default()
+        };
+        let out = scan_ranges(&mut p, &mut f, SimTime::ZERO, NodeId(0), &ranges, params).unwrap();
+        prop_assert_eq!(out.local_bytes + out.remote_bytes, total);
+        prop_assert_eq!(out.local_bytes, stripe_frames[0] * FRAME_BYTES);
+    }
+
+    /// Task results are strategy-independent and match a straightforward
+    /// reference computation, for arbitrary vector contents.
+    #[test]
+    fn tasks_match_reference(
+        values in proptest::collection::vec(any::<u64>(), 8..64),
+        threshold in any::<u64>(),
+    ) {
+        let (mut p, mut f) = setup(8);
+        let servers: Vec<NodeId> = (0..4).map(NodeId).collect();
+        // One frame per stripe; values land in stripe 0's prefix.
+        let v = DistVector::stripe_even(&mut p, 4 * FRAME_BYTES, &servers).unwrap();
+        let bytes: Vec<u8> = values.iter().flat_map(|x| x.to_le_bytes()).collect();
+        p.write_bytes(LogicalAddr::new(v.stripes[0].1, 0), &bytes).unwrap();
+
+        // Reference over the full (zero-padded) vector.
+        let elems_total = v.len() / 8;
+        let mut all = values.clone();
+        all.resize(elems_total as usize, 0);
+
+        for (task, expect) in [
+            (
+                Task::Reduce(ReduceOp::Sum),
+                Partial::Scalar(all.iter().fold(0u64, |a, &b| a.wrapping_add(b))),
+            ),
+            (
+                Task::Reduce(ReduceOp::Max),
+                Partial::Scalar(all.iter().copied().max().unwrap()),
+            ),
+            (
+                Task::CountGreater(threshold),
+                Partial::Scalar(all.iter().filter(|&&x| x > threshold).count() as u64),
+            ),
+            (
+                Task::FindFirst(values[0]),
+                Partial::Found(all.iter().position(|&x| x == values[0]).map(|i| i as u64)),
+            ),
+        ] {
+            for strategy in [Strategy::Pull, Strategy::Ship] {
+                let (got, _) = run_task(
+                    &mut p, &mut f, SimTime::ZERO, NodeId(0), &v, task, strategy,
+                    ScanParams::with_cores(2),
+                )
+                .unwrap();
+                prop_assert_eq!(&got, &expect, "{:?} via {:?}", task, strategy);
+            }
+        }
+    }
+
+    /// reduce_value matches a flat fold regardless of striping.
+    #[test]
+    fn reduce_value_is_striping_invariant(
+        values in proptest::collection::vec(any::<u64>(), 4..32),
+        nstripes in 1usize..4,
+    ) {
+        let (mut p, _) = setup(8);
+        let servers: Vec<NodeId> = (0..nstripes as u32).map(NodeId).collect();
+        let v = DistVector::stripe_even(&mut p, nstripes as u64 * FRAME_BYTES, &servers).unwrap();
+        // Spread the values across stripes in order.
+        let per = values.len() / nstripes + 1;
+        let mut expect = 0u64;
+        for (i, chunk) in values.chunks(per).enumerate() {
+            let bytes: Vec<u8> = chunk.iter().flat_map(|x| x.to_le_bytes()).collect();
+            p.write_bytes(LogicalAddr::new(v.stripes[i].1, 0), &bytes).unwrap();
+            expect = chunk.iter().fold(expect, |a, &b| a.wrapping_add(b));
+        }
+        prop_assert_eq!(reduce_value(&p, &v, ReduceOp::Sum).unwrap(), expect);
+    }
+
+    /// Shipping never moves more fabric bytes than pulling, for any layout.
+    #[test]
+    fn shipping_never_moves_more_data(requester in 0u32..4) {
+        let (mut p, mut f) = setup(8);
+        let servers: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let v = DistVector::stripe_even(&mut p, 8 * FRAME_BYTES, &servers).unwrap();
+        let (_, pull) = run_task(
+            &mut p, &mut f, SimTime::ZERO, NodeId(requester), &v,
+            Task::Reduce(ReduceOp::Sum), Strategy::Pull, ScanParams::with_cores(4),
+        )
+        .unwrap();
+        let (_, ship) = run_task(
+            &mut p, &mut f, SimTime::ZERO, NodeId(requester), &v,
+            Task::Reduce(ReduceOp::Sum), Strategy::Ship, ScanParams::with_cores(4),
+        )
+        .unwrap();
+        prop_assert!(ship.fabric_bytes <= pull.fabric_bytes);
+        prop_assert!(ship.fabric_bytes <= 3 * 8, "three remote partials max");
+    }
+}

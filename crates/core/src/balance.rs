@@ -1,0 +1,307 @@
+//! The locality balancer (§5 "Locality balancing" policy).
+//!
+//! Periodically inspects access-bit telemetry and migrates segments toward
+//! their dominant accessor — the LMP analogue of NUMA balancing, but driven
+//! by performance counters rather than page faults (which the paper deems
+//! too slow). Hysteresis prevents ping-ponging; a per-round migration cap
+//! bounds the bandwidth spent on balancing.
+
+use crate::addr::SegmentId;
+use crate::migrate::{migrate_segment, MigrationReport};
+use crate::pool::LogicalPool;
+use lmp_fabric::{Fabric, NodeId};
+use lmp_sim::prelude::*;
+use std::collections::HashMap;
+
+/// Balancer tuning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BalancerConfig {
+    /// Ignore segments with fewer remote accesses than this in the last
+    /// epoch window.
+    pub min_remote_accesses: u64,
+    /// The dominant remote accessor must out-access the current holder by
+    /// this factor before a migration is planned.
+    pub hysteresis: f64,
+    /// Maximum migrations executed per round.
+    pub max_migrations_per_round: usize,
+}
+
+impl Default for BalancerConfig {
+    fn default() -> Self {
+        BalancerConfig {
+            min_remote_accesses: 16,
+            hysteresis: 2.0,
+            max_migrations_per_round: 4,
+        }
+    }
+}
+
+/// One planned migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationPlan {
+    /// Segment to move.
+    pub segment: SegmentId,
+    /// Target server (the dominant accessor).
+    pub to: NodeId,
+    /// Remote-access count motivating the move.
+    pub score: u64,
+}
+
+/// Summary of one balancer round.
+#[derive(Debug, Clone, Default)]
+pub struct BalanceRound {
+    /// Plans considered (after filtering), best first.
+    pub planned: Vec<MigrationPlan>,
+    /// Migrations actually executed.
+    pub executed: Vec<MigrationReport>,
+    /// Plans skipped (usually destination capacity).
+    pub skipped: usize,
+}
+
+/// The balancing daemon. Owns only policy state; the pool is passed in.
+#[derive(Debug)]
+pub struct LocalityBalancer {
+    config: BalancerConfig,
+    rounds: u64,
+    total_migrations: Counter,
+    total_bytes: Counter,
+}
+
+impl LocalityBalancer {
+    /// A balancer with the given tuning.
+    pub fn new(config: BalancerConfig) -> Self {
+        LocalityBalancer {
+            config,
+            rounds: 0,
+            total_migrations: Counter::new(),
+            total_bytes: Counter::new(),
+        }
+    }
+
+    /// Inspect hotness counters and produce a migration plan (no side
+    /// effects on the pool other than reading telemetry).
+    pub fn plan(&self, pool: &LogicalPool) -> Vec<MigrationPlan> {
+        let mut plans = Vec::new();
+        for s in 0..pool.servers() {
+            let holder = NodeId(s);
+            let node = pool.node(holder);
+            if node.is_failed() {
+                continue;
+            }
+            // Aggregate per-segment, per-accessor counts over the segment's
+            // frames.
+            let local = pool.local_map(holder);
+            let mut segs: Vec<SegmentId> = Vec::new();
+            for seg in pool.global_map().segments_on(holder) {
+                if local.holds(seg) {
+                    segs.push(seg);
+                }
+            }
+            for seg in segs {
+                let mut per_accessor: HashMap<u32, u64> = HashMap::new();
+                for f in local.frames_of(seg) {
+                    // Sum decayed counts per accessor for this frame.
+                    for acc in 0..pool.servers() {
+                        let c = node.hotness().count(*f, acc);
+                        if c > 0 {
+                            *per_accessor.entry(acc).or_insert(0) += c;
+                        }
+                    }
+                }
+                let holder_count = per_accessor.get(&holder.0).copied().unwrap_or(0);
+                let best_remote = per_accessor
+                    .iter()
+                    .filter(|(a, _)| **a != holder.0)
+                    .max_by_key(|(a, c)| (**c, std::cmp::Reverse(**a)));
+                if let Some((&acc, &count)) = best_remote {
+                    if count >= self.config.min_remote_accesses
+                        && count as f64 >= holder_count as f64 * self.config.hysteresis
+                    {
+                        plans.push(MigrationPlan {
+                            segment: seg,
+                            to: NodeId(acc),
+                            score: count,
+                        });
+                    }
+                }
+            }
+        }
+        plans.sort_by(|a, b| b.score.cmp(&a.score).then(a.segment.cmp(&b.segment)));
+        plans.truncate(self.config.max_migrations_per_round);
+        plans
+    }
+
+    /// Run one balancing round: plan, execute, and advance the hotness
+    /// epoch on every server.
+    pub fn run_round(
+        &mut self,
+        pool: &mut LogicalPool,
+        fabric: &mut Fabric,
+        now: SimTime,
+    ) -> BalanceRound {
+        let planned = self.plan(pool);
+        let mut round = BalanceRound {
+            planned: planned.clone(),
+            ..Default::default()
+        };
+        for p in planned {
+            match migrate_segment(pool, fabric, now, p.segment, p.to) {
+                Ok(report) => {
+                    self.total_migrations.inc();
+                    self.total_bytes.add(report.bytes);
+                    round.executed.push(report);
+                }
+                Err(_) => round.skipped += 1,
+            }
+        }
+        for s in 0..pool.servers() {
+            pool.node_mut(NodeId(s)).hotness_mut().tick_epoch();
+        }
+        self.rounds += 1;
+        round
+    }
+
+    /// Rounds run so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+    /// Total migrations executed.
+    pub fn migration_count(&self) -> u64 {
+        self.total_migrations.get()
+    }
+    /// Total bytes moved by balancing.
+    pub fn bytes_moved(&self) -> u64 {
+        self.total_bytes.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::LogicalAddr;
+    use crate::pool::{Placement, PoolConfig};
+    use lmp_fabric::{LinkProfile, MemOp};
+    use lmp_mem::{DramProfile, FRAME_BYTES};
+
+    fn setup() -> (LogicalPool, Fabric) {
+        let cfg = PoolConfig {
+            servers: 3,
+            capacity_per_server: 16 * FRAME_BYTES,
+            shared_per_server: 12 * FRAME_BYTES,
+            dram: DramProfile::xeon_gold_5120(),
+            tlb_capacity: 16,
+        };
+        (LogicalPool::new(cfg), Fabric::new(LinkProfile::link1(), 3))
+    }
+
+    fn hammer(
+        pool: &mut LogicalPool,
+        fabric: &mut Fabric,
+        who: NodeId,
+        seg: SegmentId,
+        times: usize,
+    ) {
+        for _ in 0..times {
+            pool.access(
+                fabric,
+                SimTime::ZERO,
+                who,
+                LogicalAddr::new(seg, 0),
+                64,
+                MemOp::Read,
+            )
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn hot_remote_segment_migrates_to_its_user() {
+        let (mut p, mut f) = setup();
+        let seg = p.alloc(FRAME_BYTES, Placement::On(NodeId(0))).unwrap();
+        hammer(&mut p, &mut f, NodeId(2), seg, 50);
+        let mut bal = LocalityBalancer::new(BalancerConfig::default());
+        let round = bal.run_round(&mut p, &mut f, SimTime::ZERO);
+        assert_eq!(round.executed.len(), 1);
+        assert_eq!(p.holder_of(seg), Some(NodeId(2)));
+        assert_eq!(bal.migration_count(), 1);
+    }
+
+    #[test]
+    fn cold_segments_stay_put() {
+        let (mut p, mut f) = setup();
+        let seg = p.alloc(FRAME_BYTES, Placement::On(NodeId(0))).unwrap();
+        hammer(&mut p, &mut f, NodeId(2), seg, 5); // below min_remote_accesses
+        let mut bal = LocalityBalancer::new(BalancerConfig::default());
+        let round = bal.run_round(&mut p, &mut f, SimTime::ZERO);
+        assert!(round.executed.is_empty());
+        assert_eq!(p.holder_of(seg), Some(NodeId(0)));
+    }
+
+    #[test]
+    fn hysteresis_protects_local_users() {
+        let (mut p, mut f) = setup();
+        let seg = p.alloc(FRAME_BYTES, Placement::On(NodeId(0))).unwrap();
+        // Holder uses it heavily; a remote server uses it a bit more, but
+        // not 2x more.
+        hammer(&mut p, &mut f, NodeId(0), seg, 40);
+        hammer(&mut p, &mut f, NodeId(1), seg, 60);
+        let bal = LocalityBalancer::new(BalancerConfig::default());
+        assert!(bal.plan(&p).is_empty(), "hysteresis should block this");
+        // But a 2x-dominant remote user wins.
+        hammer(&mut p, &mut f, NodeId(1), seg, 30);
+        assert_eq!(bal.plan(&p).len(), 1);
+    }
+
+    #[test]
+    fn migration_cap_respected() {
+        let (mut p, mut f) = setup();
+        let mut segs = Vec::new();
+        for _ in 0..6 {
+            segs.push(p.alloc(FRAME_BYTES, Placement::On(NodeId(0))).unwrap());
+        }
+        for &s in &segs {
+            hammer(&mut p, &mut f, NodeId(1), s, 30);
+        }
+        let mut bal = LocalityBalancer::new(BalancerConfig {
+            max_migrations_per_round: 2,
+            ..Default::default()
+        });
+        let round = bal.run_round(&mut p, &mut f, SimTime::ZERO);
+        assert_eq!(round.executed.len(), 2);
+    }
+
+    #[test]
+    fn epoch_decay_forgets_old_phases() {
+        let (mut p, mut f) = setup();
+        let seg = p.alloc(FRAME_BYTES, Placement::On(NodeId(0))).unwrap();
+        hammer(&mut p, &mut f, NodeId(2), seg, 50);
+        let mut bal = LocalityBalancer::new(BalancerConfig {
+            // Cap 0: plan but never execute, so hotness decays in place.
+            max_migrations_per_round: 0,
+            ..Default::default()
+        });
+        for _ in 0..4 {
+            bal.run_round(&mut p, &mut f, SimTime::ZERO);
+        }
+        // 50 halved 4 times → 3 < min_remote_accesses.
+        let bal2 = LocalityBalancer::new(BalancerConfig::default());
+        assert!(bal2.plan(&p).is_empty(), "stale heat should have decayed");
+    }
+
+    #[test]
+    fn balancer_converges_no_oscillation() {
+        let (mut p, mut f) = setup();
+        let seg = p.alloc(FRAME_BYTES, Placement::On(NodeId(0))).unwrap();
+        hammer(&mut p, &mut f, NodeId(1), seg, 50);
+        let mut bal = LocalityBalancer::new(BalancerConfig::default());
+        bal.run_round(&mut p, &mut f, SimTime::ZERO);
+        assert_eq!(p.holder_of(seg), Some(NodeId(1)));
+        // Keep using it from its new home: no further migrations.
+        for _ in 0..5 {
+            hammer(&mut p, &mut f, NodeId(1), seg, 50);
+            let round = bal.run_round(&mut p, &mut f, SimTime::ZERO);
+            assert!(round.executed.is_empty(), "oscillation detected");
+        }
+        assert_eq!(bal.migration_count(), 1);
+    }
+}

@@ -1,0 +1,489 @@
+//! Failure domains (§5 "Failure domains").
+//!
+//! In an LMP a server crash takes down part of the pool. The paper points
+//! at the standard remedies — "failure masking through replication or
+//! erasure coding, or failure reporting to application through exceptions"
+//! — and this module implements all three:
+//!
+//! * **Exceptions** — unprotected segments on a crashed server surface as
+//!   [`PoolError::SegmentLost`] on access (implemented in the pool itself).
+//! * **Mirroring** — a full replica on a different server; crash recovery
+//!   promotes the replica in place, preserving the logical address.
+//! * **XOR erasure coding** — k same-sized segments on k distinct servers
+//!   plus one parity segment on yet another; any single server loss is
+//!   reconstructed from the k survivors. Storage overhead 1/k instead of
+//!   1x for mirroring, at higher write and recovery cost.
+
+use crate::addr::{LogicalAddr, SegmentId};
+use crate::pool::{LogicalPool, Placement, PoolError};
+use lmp_fabric::{Fabric, NodeId};
+use lmp_mem::FRAME_BYTES;
+use lmp_sim::prelude::*;
+use std::collections::HashMap;
+
+/// Identifier of a parity group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroupId(pub u64);
+
+#[derive(Debug, Clone)]
+struct ParityGroup {
+    members: Vec<SegmentId>,
+    parity: SegmentId,
+    len: u64,
+}
+
+/// Bytes written for one protected write (amplification accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WriteAmplification {
+    /// Bytes written to the primary segment.
+    pub primary_bytes: u64,
+    /// Extra bytes written for protection (replica or parity updates).
+    pub extra_bytes: u64,
+}
+
+/// Outcome of crash recovery.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Segments restored by promoting their mirror.
+    pub promoted: Vec<SegmentId>,
+    /// Segments rebuilt from parity.
+    pub reconstructed: Vec<SegmentId>,
+    /// Protection re-established (new mirrors/parity) for these segments.
+    pub reprotected: Vec<SegmentId>,
+    /// Segments with no surviving protection — the application gets
+    /// memory exceptions for these.
+    pub lost: Vec<SegmentId>,
+    /// Bytes moved during recovery.
+    pub bytes_transferred: u64,
+    /// When recovery finished.
+    pub complete: SimTime,
+}
+
+/// Tracks which segments are protected and how; drives recovery.
+#[derive(Debug, Default)]
+pub struct ProtectionManager {
+    /// primary → replica.
+    mirrors: HashMap<SegmentId, SegmentId>,
+    /// replica → primary.
+    replica_of: HashMap<SegmentId, SegmentId>,
+    groups: HashMap<GroupId, ParityGroup>,
+    member_group: HashMap<SegmentId, GroupId>,
+    next_group: u64,
+}
+
+impl ProtectionManager {
+    /// An empty manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether `seg` has any protection.
+    pub fn is_protected(&self, seg: SegmentId) -> bool {
+        self.mirrors.contains_key(&seg) || self.member_group.contains_key(&seg)
+    }
+
+    /// The replica of `seg`, if mirrored.
+    pub fn replica(&self, seg: SegmentId) -> Option<SegmentId> {
+        self.mirrors.get(&seg).copied()
+    }
+
+    /// The parity group of `seg`, if erasure-coded.
+    pub fn group_of(&self, seg: SegmentId) -> Option<GroupId> {
+        self.member_group.get(&seg).copied()
+    }
+
+    /// Mirror `seg` onto a different server. Returns the replica segment.
+    pub fn mirror(
+        &mut self,
+        pool: &mut LogicalPool,
+        fabric: &mut Fabric,
+        now: SimTime,
+        seg: SegmentId,
+    ) -> Result<SegmentId, PoolError> {
+        assert!(!self.is_protected(seg), "segment {seg} already protected");
+        let len = pool
+            .segment_len(seg)
+            .ok_or(PoolError::UnknownSegment(seg))?;
+        let home = pool.holder_of(seg).ok_or(PoolError::UnknownSegment(seg))?;
+        let target = pick_other_server(pool, len, &[home]).ok_or(PoolError::Capacity {
+            requested_frames: len.div_ceil(FRAME_BYTES),
+        })?;
+        let replica = pool.alloc(len, Placement::On(target))?;
+        // Copy contents and charge the fabric.
+        let data = pool.read_bytes(LogicalAddr::new(seg, 0), len)?;
+        pool.write_bytes(LogicalAddr::new(replica, 0), &data)?;
+        let _ = fabric.write(now, home, target, len);
+        self.mirrors.insert(seg, replica);
+        self.replica_of.insert(replica, seg);
+        Ok(replica)
+    }
+
+    /// Erasure-code `members` (same length, pairwise-distinct servers) with
+    /// one XOR parity segment on yet another server.
+    pub fn protect_parity(
+        &mut self,
+        pool: &mut LogicalPool,
+        fabric: &mut Fabric,
+        now: SimTime,
+        members: &[SegmentId],
+    ) -> Result<GroupId, PoolError> {
+        assert!(members.len() >= 2, "parity needs at least two members");
+        let len = pool
+            .segment_len(members[0])
+            .ok_or(PoolError::UnknownSegment(members[0]))?;
+        let mut homes = Vec::new();
+        for &m in members {
+            assert!(!self.is_protected(m), "segment {m} already protected");
+            let l = pool.segment_len(m).ok_or(PoolError::UnknownSegment(m))?;
+            assert_eq!(l, len, "parity members must have equal length");
+            let h = pool.holder_of(m).ok_or(PoolError::UnknownSegment(m))?;
+            assert!(
+                !homes.contains(&h),
+                "parity members must live on distinct servers"
+            );
+            homes.push(h);
+        }
+        let target = pick_other_server(pool, len, &homes).ok_or(PoolError::Capacity {
+            requested_frames: len.div_ceil(FRAME_BYTES),
+        })?;
+        let parity = pool.alloc(len, Placement::On(target))?;
+        let mut acc = vec![0u8; len as usize];
+        for (&m, &h) in members.iter().zip(&homes) {
+            let data = pool.read_bytes(LogicalAddr::new(m, 0), len)?;
+            xor_into(&mut acc, &data);
+            let _ = fabric.read(now, target, h, len);
+        }
+        pool.write_bytes(LogicalAddr::new(parity, 0), &acc)?;
+        let gid = GroupId(self.next_group);
+        self.next_group += 1;
+        self.groups.insert(
+            gid,
+            ParityGroup {
+                members: members.to_vec(),
+                parity,
+                len,
+            },
+        );
+        for &m in members {
+            self.member_group.insert(m, gid);
+        }
+        self.member_group.insert(parity, gid);
+        Ok(gid)
+    }
+
+    /// Protected write: keeps replicas and parity in sync.
+    pub fn write(
+        &mut self,
+        pool: &mut LogicalPool,
+        addr: LogicalAddr,
+        data: &[u8],
+    ) -> Result<WriteAmplification, PoolError> {
+        let mut amp = WriteAmplification {
+            primary_bytes: data.len() as u64,
+            extra_bytes: 0,
+        };
+        // Parity delta must be computed against the old contents.
+        if let Some(gid) = self.member_group.get(&addr.segment).copied() {
+            let group = self.groups.get(&gid).expect("group exists").clone();
+            assert_ne!(
+                group.parity, addr.segment,
+                "direct writes to a parity segment are not allowed"
+            );
+            let old = pool.read_bytes(addr, data.len() as u64)?;
+            let mut delta: Vec<u8> = old.iter().zip(data).map(|(o, n)| o ^ n).collect();
+            let paddr = LogicalAddr::new(group.parity, addr.offset);
+            let pold = pool.read_bytes(paddr, data.len() as u64)?;
+            xor_into(&mut delta, &pold);
+            pool.write_bytes(paddr, &delta)?;
+            amp.extra_bytes += data.len() as u64;
+        }
+        pool.write_bytes(addr, data)?;
+        if let Some(&replica) = self.mirrors.get(&addr.segment) {
+            pool.write_bytes(LogicalAddr::new(replica, addr.offset), data)?;
+            amp.extra_bytes += data.len() as u64;
+        }
+        Ok(amp)
+    }
+
+    /// Recover from the crash of `server`. Call after
+    /// [`LogicalPool::crash_server`]; handles every affected segment.
+    pub fn recover(
+        &mut self,
+        pool: &mut LogicalPool,
+        fabric: &mut Fabric,
+        now: SimTime,
+        _server: NodeId,
+        affected: &[SegmentId],
+    ) -> RecoveryReport {
+        let mut report = RecoveryReport {
+            complete: now,
+            ..Default::default()
+        };
+        for &seg in affected {
+            if let Some(replica) = self.mirrors.remove(&seg) {
+                // Promote the replica: its frames become the segment's.
+                self.replica_of.remove(&replica);
+                let new_home = pool.holder_of(replica).expect("replica is live");
+                pool.promote_replica(seg, replica);
+                report.promoted.push(seg);
+                // Re-mirror for continued protection, if room exists.
+                if self.mirror(pool, fabric, now, seg).is_ok() {
+                    report.reprotected.push(seg);
+                    report.bytes_transferred += pool.segment_len(seg).unwrap_or(0);
+                }
+                let _ = new_home;
+            } else if let Some(primary) = self.replica_of.remove(&seg) {
+                // A replica died; the primary is fine. Re-mirror it.
+                self.mirrors.remove(&primary);
+                pool.drop_segment_bookkeeping(seg);
+                if self.mirror(pool, fabric, now, primary).is_ok() {
+                    report.reprotected.push(primary);
+                    report.bytes_transferred += pool.segment_len(primary).unwrap_or(0);
+                }
+            } else if let Some(gid) = self.member_group.get(&seg).copied() {
+                let group = self.groups.get(&gid).expect("group exists").clone();
+                match self.reconstruct(pool, fabric, now, &group, seg) {
+                    Ok((bytes, done)) => {
+                        report.bytes_transferred += bytes;
+                        report.complete = report.complete.max(done);
+                        if seg == group.parity {
+                            report.reprotected.push(seg);
+                        } else {
+                            report.reconstructed.push(seg);
+                        }
+                    }
+                    Err(_) => {
+                        // Second failure in the group or no capacity.
+                        self.dissolve_group(gid);
+                        report.lost.push(seg);
+                    }
+                }
+            } else {
+                report.lost.push(seg);
+            }
+        }
+        report.lost.sort_unstable();
+        report
+    }
+
+    fn reconstruct(
+        &mut self,
+        pool: &mut LogicalPool,
+        fabric: &mut Fabric,
+        now: SimTime,
+        group: &ParityGroup,
+        victim: SegmentId,
+    ) -> Result<(u64, SimTime), PoolError> {
+        let len = group.len;
+        // Survivors: every other group segment (members + parity).
+        let mut survivors = Vec::new();
+        for &s in group.members.iter().chain(std::iter::once(&group.parity)) {
+            if s == victim {
+                continue;
+            }
+            let home = pool.holder_of(s).ok_or(PoolError::UnknownSegment(s))?;
+            if pool.node(home).is_failed() {
+                return Err(PoolError::SegmentLost(s));
+            }
+            survivors.push((s, home));
+        }
+        // Prefer a server hosting no group segment (restores full fault
+        // independence); fall back to any live server with room — degraded
+        // placement beats data loss.
+        let exclude: Vec<NodeId> = survivors.iter().map(|(_, h)| *h).collect();
+        let target = pick_other_server(pool, len, &exclude)
+            .or_else(|| pick_other_server(pool, len, &[]))
+            .ok_or(PoolError::Capacity {
+                requested_frames: len.div_ceil(FRAME_BYTES),
+            })?;
+        // XOR the survivors into the replacement.
+        let mut acc = vec![0u8; len as usize];
+        let mut done = now;
+        for (s, h) in &survivors {
+            let data = pool.read_bytes(LogicalAddr::new(*s, 0), len)?;
+            xor_into(&mut acc, &data);
+            if *h != target {
+                let fc = fabric.read(now, target, *h, len);
+                done = done.max(fc.complete);
+            }
+        }
+        pool.rehome_segment(victim, target, &acc)?;
+        Ok((len * survivors.len() as u64, done))
+    }
+
+    fn dissolve_group(&mut self, gid: GroupId) {
+        if let Some(g) = self.groups.remove(&gid) {
+            for m in g.members {
+                self.member_group.remove(&m);
+            }
+            self.member_group.remove(&g.parity);
+        }
+    }
+}
+
+fn pick_other_server(pool: &LogicalPool, len: u64, exclude: &[NodeId]) -> Option<NodeId> {
+    let frames = len.div_ceil(FRAME_BYTES);
+    (0..pool.servers())
+        .map(NodeId)
+        .filter(|n| !exclude.contains(n) && !pool.node(*n).is_failed())
+        .filter(|n| pool.free_shared_frames(*n) >= frames)
+        .max_by_key(|n| (pool.free_shared_frames(*n), std::cmp::Reverse(n.0)))
+}
+
+fn xor_into(acc: &mut [u8], data: &[u8]) {
+    assert_eq!(acc.len(), data.len());
+    for (a, d) in acc.iter_mut().zip(data) {
+        *a ^= d;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::PoolConfig;
+    use lmp_fabric::LinkProfile;
+    use lmp_mem::DramProfile;
+
+    fn setup(servers: u32) -> (LogicalPool, Fabric, ProtectionManager) {
+        let cfg = PoolConfig {
+            servers,
+            capacity_per_server: 16 * FRAME_BYTES,
+            shared_per_server: 12 * FRAME_BYTES,
+            dram: DramProfile::xeon_gold_5120(),
+            tlb_capacity: 16,
+        };
+        (
+            LogicalPool::new(cfg),
+            Fabric::new(LinkProfile::link1(), servers),
+            ProtectionManager::new(),
+        )
+    }
+
+    #[test]
+    fn mirror_promotion_preserves_data_and_address() {
+        let (mut p, mut f, mut pm) = setup(3);
+        let seg = p.alloc(FRAME_BYTES, Placement::On(NodeId(0))).unwrap();
+        let addr = LogicalAddr::new(seg, 123);
+        pm.mirror(&mut p, &mut f, SimTime::ZERO, seg).unwrap();
+        pm.write(&mut p, addr, b"replicated!").unwrap();
+
+        let affected = p.crash_server(NodeId(0));
+        let report = pm.recover(&mut p, &mut f, SimTime::ZERO, NodeId(0), &affected);
+        assert_eq!(report.promoted, vec![seg]);
+        assert!(report.lost.is_empty());
+        // Same logical address, same bytes, new server.
+        assert_eq!(p.read_bytes(addr, 11).unwrap(), b"replicated!");
+        assert_ne!(p.holder_of(seg), Some(NodeId(0)));
+    }
+
+    #[test]
+    fn mirror_reprotects_after_promotion() {
+        let (mut p, mut f, mut pm) = setup(3);
+        let seg = p.alloc(FRAME_BYTES, Placement::On(NodeId(0))).unwrap();
+        pm.mirror(&mut p, &mut f, SimTime::ZERO, seg).unwrap();
+        let affected = p.crash_server(NodeId(0));
+        let report = pm.recover(&mut p, &mut f, SimTime::ZERO, NodeId(0), &affected);
+        assert_eq!(report.reprotected, vec![seg]);
+        assert!(pm.replica(seg).is_some(), "protection re-established");
+    }
+
+    #[test]
+    fn replica_crash_reprotects_primary() {
+        let (mut p, mut f, mut pm) = setup(3);
+        let seg = p.alloc(FRAME_BYTES, Placement::On(NodeId(0))).unwrap();
+        let replica = pm.mirror(&mut p, &mut f, SimTime::ZERO, seg).unwrap();
+        let replica_home = p.holder_of(replica).unwrap();
+        let affected = p.crash_server(replica_home);
+        let report = pm.recover(&mut p, &mut f, SimTime::ZERO, replica_home, &affected);
+        assert_eq!(report.reprotected, vec![seg]);
+        let new_replica = pm.replica(seg).unwrap();
+        assert_ne!(new_replica, replica);
+        assert!(report.lost.is_empty());
+    }
+
+    #[test]
+    fn parity_reconstruction_recovers_exact_bytes() {
+        let (mut p, mut f, mut pm) = setup(4);
+        let a = p.alloc(FRAME_BYTES, Placement::On(NodeId(0))).unwrap();
+        let b = p.alloc(FRAME_BYTES, Placement::On(NodeId(1))).unwrap();
+        pm.protect_parity(&mut p, &mut f, SimTime::ZERO, &[a, b])
+            .unwrap();
+        pm.write(&mut p, LogicalAddr::new(a, 0), b"alpha-data").unwrap();
+        pm.write(&mut p, LogicalAddr::new(b, 0), b"bravo-data").unwrap();
+
+        let affected = p.crash_server(NodeId(0));
+        let report = pm.recover(&mut p, &mut f, SimTime::ZERO, NodeId(0), &affected);
+        assert_eq!(report.reconstructed, vec![a]);
+        assert!(report.lost.is_empty());
+        assert_eq!(p.read_bytes(LogicalAddr::new(a, 0), 10).unwrap(), b"alpha-data");
+        assert_ne!(p.holder_of(a), Some(NodeId(0)));
+        assert!(report.bytes_transferred >= 2 * FRAME_BYTES);
+    }
+
+    #[test]
+    fn parity_segment_crash_recomputes_parity() {
+        let (mut p, mut f, mut pm) = setup(4);
+        let a = p.alloc(FRAME_BYTES, Placement::On(NodeId(0))).unwrap();
+        let b = p.alloc(FRAME_BYTES, Placement::On(NodeId(1))).unwrap();
+        let gid = pm
+            .protect_parity(&mut p, &mut f, SimTime::ZERO, &[a, b])
+            .unwrap();
+        let parity = pm.groups[&gid].parity;
+        let parity_home = p.holder_of(parity).unwrap();
+        let affected = p.crash_server(parity_home);
+        let report = pm.recover(&mut p, &mut f, SimTime::ZERO, parity_home, &affected);
+        assert_eq!(report.reprotected, vec![parity]);
+        // Group still protects: crash a member next and recover it.
+        pm.write(&mut p, LogicalAddr::new(b, 5), b"post-repair").unwrap();
+        let affected = p.crash_server(NodeId(1));
+        let report = pm.recover(&mut p, &mut f, SimTime::ZERO, NodeId(1), &affected);
+        assert_eq!(report.reconstructed, vec![b]);
+        assert_eq!(
+            p.read_bytes(LogicalAddr::new(b, 5), 11).unwrap(),
+            b"post-repair"
+        );
+    }
+
+    #[test]
+    fn unprotected_segments_are_lost() {
+        let (mut p, mut f, mut pm) = setup(3);
+        let seg = p.alloc(FRAME_BYTES, Placement::On(NodeId(1))).unwrap();
+        let affected = p.crash_server(NodeId(1));
+        let report = pm.recover(&mut p, &mut f, SimTime::ZERO, NodeId(1), &affected);
+        assert_eq!(report.lost, vec![seg]);
+        assert!(matches!(
+            p.read_bytes(LogicalAddr::new(seg, 0), 1),
+            Err(PoolError::SegmentLost(_))
+        ));
+    }
+
+    #[test]
+    fn write_amplification_accounting() {
+        let (mut p, mut f, mut pm) = setup(4);
+        let plain = p.alloc(FRAME_BYTES, Placement::On(NodeId(0))).unwrap();
+        let amp = pm.write(&mut p, LogicalAddr::new(plain, 0), b"xxxx").unwrap();
+        assert_eq!(amp.extra_bytes, 0);
+
+        let mirrored = p.alloc(FRAME_BYTES, Placement::On(NodeId(1))).unwrap();
+        pm.mirror(&mut p, &mut f, SimTime::ZERO, mirrored).unwrap();
+        let amp = pm
+            .write(&mut p, LogicalAddr::new(mirrored, 0), b"xxxx")
+            .unwrap();
+        assert_eq!(amp.extra_bytes, 4, "mirror doubles writes");
+    }
+
+    #[test]
+    fn parity_write_updates_parity_incrementally() {
+        let (mut p, mut f, mut pm) = setup(4);
+        let a = p.alloc(FRAME_BYTES, Placement::On(NodeId(0))).unwrap();
+        let b = p.alloc(FRAME_BYTES, Placement::On(NodeId(1))).unwrap();
+        pm.protect_parity(&mut p, &mut f, SimTime::ZERO, &[a, b])
+            .unwrap();
+        // Overwrite a twice; parity must track the latest value.
+        pm.write(&mut p, LogicalAddr::new(a, 0), b"v1").unwrap();
+        pm.write(&mut p, LogicalAddr::new(a, 0), b"v2").unwrap();
+        let affected = p.crash_server(NodeId(0));
+        pm.recover(&mut p, &mut f, SimTime::ZERO, NodeId(0), &affected);
+        assert_eq!(p.read_bytes(LogicalAddr::new(a, 0), 2).unwrap(), b"v2");
+    }
+}

@@ -1,0 +1,67 @@
+//! # lmp-core — Logical Memory Pools
+//!
+//! The paper's contribution: a rack-wide memory pool **carved out of the
+//! local DRAM of every server** instead of a separate memory box.
+//!
+//! * [`pool::LogicalPool`] — allocation, placement, and timed access over a
+//!   global logical address space; local resolution runs at DRAM speed.
+//! * [`addr`] / [`translate`] — `(segment, offset)` logical addresses and
+//!   the two-level translation scheme (coarse replicated map → server,
+//!   fine local map → frame) with per-server translation caches.
+//! * [`migrate`] — pointer-safe buffer migration via epoch-bumped
+//!   translations.
+//! * [`balance`] — the locality-balancing daemon driven by access-bit
+//!   telemetry.
+//! * [`sizing`] — the periodic global optimizer for private/shared splits.
+//! * [`failure`] — crash masking by mirroring or XOR erasure coding, and
+//!   memory exceptions for unprotected segments.
+//!
+//! ```
+//! use lmp_core::prelude::*;
+//! use lmp_fabric::{Fabric, LinkProfile, MemOp, NodeId};
+//! use lmp_sim::prelude::*;
+//!
+//! // 4 servers, 24 GiB each, fully poolable (the paper's §4.1 Logical setup).
+//! let mut pool = LogicalPool::new(PoolConfig::paper_logical());
+//! let mut fabric = Fabric::new(LinkProfile::link1(), 4);
+//!
+//! // Allocate an 8 GiB buffer near server 0 and stream it.
+//! let seg = pool.alloc(8 * GIB, Placement::LocalFirst(NodeId(0))).unwrap();
+//! let access = pool
+//!     .access(&mut fabric, SimTime::ZERO, NodeId(0),
+//!             LogicalAddr::new(seg, 0), 64 * MIB, MemOp::Read)
+//!     .unwrap();
+//! assert_eq!(access.remote_bytes, 0, "locally resolved");
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod addr;
+pub mod balance;
+pub mod failure;
+pub mod migrate;
+pub mod pool;
+pub mod runtime;
+pub mod share;
+pub mod sizing;
+pub mod translate;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::addr::{frame_chunks, LogicalAddr, SegmentId};
+    pub use crate::balance::{BalanceRound, BalancerConfig, LocalityBalancer, MigrationPlan};
+    pub use crate::failure::{GroupId, ProtectionManager, RecoveryReport, WriteAmplification};
+    pub use crate::migrate::{migrate_segment, MigrationReport};
+    pub use crate::pool::{LogicalPool, Placement, PoolAccess, PoolConfig, PoolError};
+    pub use crate::runtime::{
+        RackRuntime, RuntimeConfig, RuntimeError, ServerRuntime, VirtAddr,
+    };
+    pub use crate::share::{ShareError, SharingRegistry};
+    pub use crate::sizing::{
+        apply as apply_sizing, apply_best_effort, solve as solve_sizing, AppDemand, SizingPlan,
+    };
+    pub use crate::translate::{GlobalMap, LocalMap, SegmentLoc, TranslationCache};
+}
+
+pub use prelude::*;

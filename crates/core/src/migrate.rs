@@ -1,0 +1,231 @@
+//! Buffer migration (§5 "Locality balancing" mechanism).
+//!
+//! Migration moves a segment's frames to another server **without changing
+//! its logical address**: the coarse map entry is updated and its epoch
+//! bumped; translation caches that still point at the old server fault on
+//! the holder's fine map and re-resolve. Data is pulled by the destination
+//! over the fabric, so migrations contend with foreground traffic —
+//! the cost the balancer must weigh.
+
+use crate::addr::SegmentId;
+use crate::pool::{LogicalPool, PoolError};
+use lmp_fabric::{Fabric, NodeId};
+use lmp_mem::{RegionKind, FRAME_BYTES};
+use lmp_sim::prelude::*;
+
+/// Outcome of one migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationReport {
+    /// The migrated segment.
+    pub segment: SegmentId,
+    /// Previous holder.
+    pub from: NodeId,
+    /// New holder.
+    pub to: NodeId,
+    /// Bytes copied across the fabric.
+    pub bytes: u64,
+    /// When the copy (and map switch) completed.
+    pub complete: SimTime,
+    /// The segment's new epoch.
+    pub new_epoch: u64,
+}
+
+/// Migrate `seg` to server `dst`. No-op (zero-byte report) when `dst`
+/// already holds it.
+///
+/// The copy is destination-pull: `dst` reads every frame from the source
+/// over the fabric, then the maps switch atomically (the simulator's
+/// single-threaded step; real hardware would use a short write-block
+/// window). Old translations are invalidated lazily via the epoch bump.
+pub fn migrate_segment(
+    pool: &mut LogicalPool,
+    fabric: &mut Fabric,
+    now: SimTime,
+    seg: SegmentId,
+    dst: NodeId,
+) -> Result<MigrationReport, PoolError> {
+    let loc = pool
+        .global_map()
+        .peek(seg)
+        .ok_or(PoolError::UnknownSegment(seg))?;
+    let src = loc.server;
+    if src == dst {
+        return Ok(MigrationReport {
+            segment: seg,
+            from: src,
+            to: dst,
+            bytes: 0,
+            complete: now,
+            new_epoch: loc.epoch,
+        });
+    }
+    if pool.node(src).is_failed() {
+        return Err(PoolError::SegmentLost(seg));
+    }
+    if pool.node(dst).is_failed() {
+        return Err(PoolError::ServerDown(dst));
+    }
+    let src_frames = pool.local_map(src).frames_of(seg).to_vec();
+    let n = src_frames.len() as u64;
+    // Reserve destination frames first; all-or-nothing.
+    let dst_frames = pool
+        .node_raw(dst)
+        .alloc_many(RegionKind::Shared, n)
+        .map_err(|_| PoolError::Capacity {
+            requested_frames: n,
+        })?;
+
+    // Pull every frame across the fabric (timing) and copy contents
+    // (correctness).
+    let mut complete = now;
+    {
+        let (src_node, dst_node) = pool.two_nodes(src, dst);
+        for (sf, df) in src_frames.iter().zip(dst_frames.iter()) {
+            let data = src_node.read_frame(*sf);
+            dst_node.write_frame(*df, &data);
+            let fc = fabric.read(now, dst, src, FRAME_BYTES);
+            // Source DRAM read + destination DRAM write also occupy time.
+            let sd = src_node.access(now, FRAME_BYTES, dst.0, false, Some(*sf));
+            let dd = dst_node.access(fc.complete, FRAME_BYTES, dst.0, true, Some(*df));
+            complete = complete.max(fc.complete).max(sd.complete).max(dd.complete);
+        }
+    }
+
+    // Switch the maps: install at destination, free at source, bump epoch.
+    pool.local_mut(dst).insert(seg, dst_frames);
+    if let Some(frames) = pool.local_mut(src).remove(seg) {
+        for f in frames {
+            pool.node_raw(src)
+                .free(f)
+                .expect("migrated frames were allocated");
+        }
+    }
+    let new_loc = pool.global_mut().relocate(seg, dst);
+    Ok(MigrationReport {
+        segment: seg,
+        from: src,
+        to: dst,
+        bytes: n * FRAME_BYTES,
+        complete,
+        new_epoch: new_loc.epoch,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::LogicalAddr;
+    use crate::pool::{Placement, PoolConfig};
+    use lmp_fabric::{LinkProfile, MemOp};
+    use lmp_mem::DramProfile;
+
+    fn setup() -> (LogicalPool, Fabric) {
+        let cfg = PoolConfig {
+            servers: 3,
+            capacity_per_server: 16 * FRAME_BYTES,
+            shared_per_server: 8 * FRAME_BYTES,
+            dram: DramProfile::xeon_gold_5120(),
+            tlb_capacity: 16,
+        };
+        (LogicalPool::new(cfg), Fabric::new(LinkProfile::link1(), 3))
+    }
+
+    #[test]
+    fn data_survives_migration_at_same_address() {
+        let (mut p, mut f) = setup();
+        let seg = p.alloc(2 * FRAME_BYTES, Placement::On(NodeId(0))).unwrap();
+        let addr = LogicalAddr::new(seg, FRAME_BYTES - 3);
+        p.write_bytes(addr, b"pointer-stable").unwrap();
+
+        let r = migrate_segment(&mut p, &mut f, SimTime::ZERO, seg, NodeId(2)).unwrap();
+        assert_eq!(r.from, NodeId(0));
+        assert_eq!(r.to, NodeId(2));
+        assert_eq!(r.bytes, 2 * FRAME_BYTES);
+        assert_eq!(r.new_epoch, 1);
+        assert_eq!(p.holder_of(seg), Some(NodeId(2)));
+        // Same logical address still reads the same bytes.
+        assert_eq!(p.read_bytes(addr, 14).unwrap(), b"pointer-stable");
+        // Source frames were returned.
+        assert_eq!(p.free_shared_frames(NodeId(0)), 8);
+    }
+
+    #[test]
+    fn migration_to_self_is_noop() {
+        let (mut p, mut f) = setup();
+        let seg = p.alloc(FRAME_BYTES, Placement::On(NodeId(1))).unwrap();
+        let r = migrate_segment(&mut p, &mut f, SimTime::ZERO, seg, NodeId(1)).unwrap();
+        assert_eq!(r.bytes, 0);
+        assert_eq!(r.new_epoch, 0);
+    }
+
+    #[test]
+    fn migration_takes_fabric_time() {
+        let (mut p, mut f) = setup();
+        let seg = p.alloc(4 * FRAME_BYTES, Placement::On(NodeId(0))).unwrap();
+        let r = migrate_segment(&mut p, &mut f, SimTime::ZERO, seg, NodeId(1)).unwrap();
+        // 8 MiB at 21 GB/s is ~400us minimum.
+        assert!(
+            r.complete.as_nanos() > 300_000,
+            "migration suspiciously fast: {}",
+            r.complete
+        );
+    }
+
+    #[test]
+    fn stale_translations_fault_and_recover() {
+        let (mut p, mut f) = setup();
+        let seg = p.alloc(FRAME_BYTES, Placement::On(NodeId(0))).unwrap();
+        let addr = LogicalAddr::new(seg, 0);
+        // Server 1 caches the translation.
+        p.access(&mut f, SimTime::ZERO, NodeId(1), addr, 64, MemOp::Read)
+            .unwrap();
+        migrate_segment(&mut p, &mut f, SimTime::ZERO, seg, NodeId(2)).unwrap();
+        // Next access faults once, then succeeds against the new holder.
+        let a = p
+            .access(&mut f, SimTime::ZERO, NodeId(1), addr, 64, MemOp::Read)
+            .unwrap();
+        assert_eq!(a.faults, 1);
+        let b = p
+            .access(&mut f, SimTime::ZERO, NodeId(1), addr, 64, MemOp::Read)
+            .unwrap();
+        assert_eq!(b.faults, 0);
+        assert_eq!(p.tlb(NodeId(1)).unwrap().stale_count(), 1);
+    }
+
+    #[test]
+    fn migration_making_access_local() {
+        let (mut p, mut f) = setup();
+        let seg = p.alloc(FRAME_BYTES, Placement::On(NodeId(0))).unwrap();
+        let addr = LogicalAddr::new(seg, 0);
+        let before = p
+            .access(&mut f, SimTime::ZERO, NodeId(1), addr, 64, MemOp::Read)
+            .unwrap();
+        assert!(before.remote_bytes > 0);
+        migrate_segment(&mut p, &mut f, SimTime::ZERO, seg, NodeId(1)).unwrap();
+        let after = p
+            .access(&mut f, SimTime::ZERO, NodeId(1), addr, 64, MemOp::Read)
+            .unwrap();
+        assert_eq!(after.remote_bytes, 0);
+        assert_eq!(after.local_bytes, 64);
+    }
+
+    #[test]
+    fn migration_fails_without_destination_room() {
+        let (mut p, mut f) = setup();
+        let seg = p.alloc(8 * FRAME_BYTES, Placement::On(NodeId(0))).unwrap();
+        p.alloc(8 * FRAME_BYTES, Placement::On(NodeId(1))).unwrap();
+        let r = migrate_segment(&mut p, &mut f, SimTime::ZERO, seg, NodeId(1));
+        assert!(matches!(r, Err(PoolError::Capacity { .. })));
+        // Source untouched.
+        assert_eq!(p.holder_of(seg), Some(NodeId(0)));
+    }
+
+    #[test]
+    fn migration_from_crashed_source_fails() {
+        let (mut p, mut f) = setup();
+        let seg = p.alloc(FRAME_BYTES, Placement::On(NodeId(0))).unwrap();
+        p.crash_server(NodeId(0));
+        let r = migrate_segment(&mut p, &mut f, SimTime::ZERO, seg, NodeId(1));
+        assert_eq!(r, Err(PoolError::SegmentLost(seg)));
+    }
+}

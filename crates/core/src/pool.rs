@@ -1,0 +1,823 @@
+//! The logical memory pool.
+//!
+//! [`LogicalPool`] is the paper's contribution (§3): every server donates
+//! its shared region to a rack-wide pool addressed by
+//! logical addresses ([`crate::addr::LogicalAddr`]). Accesses that resolve to the
+//! requesting server run at local DRAM speed — the defining performance
+//! property (§4.3) — while remote accesses cross the fabric. The
+//! private/shared split of every server can be resized at runtime (§4.5).
+
+use crate::addr::{frame_chunks, LogicalAddr, SegmentId};
+use crate::translate::{GlobalMap, LocalMap, SegmentLoc, TranslationCache};
+use lmp_fabric::{Fabric, MemOp, NodeId};
+use lmp_mem::{DramProfile, MemoryNode, RegionKind, FRAME_BYTES};
+use lmp_sim::prelude::*;
+use std::collections::HashMap;
+
+/// Construction parameters for a logical pool.
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Number of servers.
+    pub servers: u32,
+    /// DRAM capacity per server, bytes.
+    pub capacity_per_server: u64,
+    /// Initial shared-region budget per server, bytes.
+    pub shared_per_server: u64,
+    /// DRAM timing profile for every server.
+    pub dram: DramProfile,
+    /// Per-server translation-cache capacity (segments). Zero disables the
+    /// cache (the ablation baseline: every access hits the global map).
+    pub tlb_capacity: usize,
+}
+
+impl PoolConfig {
+    /// The paper's §4.1 logical configuration: 4 servers × 24 GB, fully
+    /// shared, testbed DRAM.
+    pub fn paper_logical() -> Self {
+        PoolConfig {
+            servers: 4,
+            capacity_per_server: 24 * GIB,
+            shared_per_server: 24 * GIB,
+            dram: DramProfile::xeon_gold_5120(),
+            tlb_capacity: 1024,
+        }
+    }
+}
+
+/// Placement policy for new segments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Exactly on this server (fails if it lacks room).
+    On(NodeId),
+    /// On this server if it has room, else wherever most room is.
+    LocalFirst(NodeId),
+    /// On the server with the most free shared frames.
+    MostFree,
+    /// Rotate across servers.
+    RoundRobin,
+}
+
+/// Errors surfaced by pool operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolError {
+    /// Not enough shared capacity anywhere (or on the requested server).
+    Capacity {
+        /// Frames requested.
+        requested_frames: u64,
+    },
+    /// The segment does not exist (never allocated, or freed).
+    UnknownSegment(SegmentId),
+    /// Access past the end of a segment.
+    OutOfBounds {
+        /// Offending segment.
+        segment: SegmentId,
+        /// Requested end offset.
+        end: u64,
+        /// Segment length.
+        len: u64,
+    },
+    /// The segment's holder has crashed and no protection covers it — the
+    /// paper's "failure reporting to application through exceptions".
+    SegmentLost(SegmentId),
+    /// Operation addressed a crashed server directly.
+    ServerDown(NodeId),
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::Capacity { requested_frames } => {
+                write!(f, "no room for {requested_frames} shared frames")
+            }
+            PoolError::UnknownSegment(s) => write!(f, "unknown segment {s}"),
+            PoolError::OutOfBounds { segment, end, len } => {
+                write!(f, "access to {end} past end of {segment} (len {len})")
+            }
+            PoolError::SegmentLost(s) => write!(f, "memory exception: {s} lost to a crash"),
+            PoolError::ServerDown(n) => write!(f, "server {n} is down"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// Timing outcome of one pool access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolAccess {
+    /// When the access completes at the requester.
+    pub complete: SimTime,
+    /// Bytes served from the requester's own memory.
+    pub local_bytes: u64,
+    /// Bytes that crossed the fabric.
+    pub remote_bytes: u64,
+    /// Translation faults taken (stale cache entries).
+    pub faults: u32,
+}
+
+/// The rack-wide logical memory pool.
+#[derive(Debug)]
+pub struct LogicalPool {
+    config: PoolConfig,
+    nodes: Vec<MemoryNode>,
+    global: GlobalMap,
+    locals: Vec<LocalMap>,
+    tlbs: Vec<Option<TranslationCache>>,
+    segment_len: HashMap<SegmentId, u64>,
+    next_segment: u64,
+    rr_cursor: u32,
+    local_accesses: Counter,
+    remote_accesses: Counter,
+}
+
+impl LogicalPool {
+    /// Build a pool per `config`.
+    ///
+    /// # Panics
+    /// Panics when `shared_per_server > capacity_per_server` or there are
+    /// zero servers.
+    pub fn new(config: PoolConfig) -> Self {
+        assert!(config.servers > 0, "pool needs servers");
+        let nodes = (0..config.servers)
+            .map(|i| {
+                MemoryNode::new(
+                    format!("server{i}"),
+                    config.capacity_per_server,
+                    config.shared_per_server,
+                    config.dram.clone(),
+                )
+            })
+            .collect();
+        let locals = (0..config.servers).map(|_| LocalMap::new()).collect();
+        let tlbs = (0..config.servers)
+            .map(|_| {
+                if config.tlb_capacity > 0 {
+                    Some(TranslationCache::new(config.tlb_capacity))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        LogicalPool {
+            config,
+            nodes,
+            global: GlobalMap::new(),
+            locals,
+            tlbs,
+            segment_len: HashMap::new(),
+            next_segment: 0,
+            rr_cursor: 0,
+            local_accesses: Counter::new(),
+            remote_accesses: Counter::new(),
+        }
+    }
+
+    /// Number of servers.
+    pub fn servers(&self) -> u32 {
+        self.config.servers
+    }
+
+    /// A server's memory node.
+    pub fn node(&self, id: NodeId) -> &MemoryNode {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Mutable access to a server's memory node.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut MemoryNode {
+        &mut self.nodes[id.0 as usize]
+    }
+
+    /// The coarse global map (telemetry and failure handling).
+    pub fn global_map(&self) -> &GlobalMap {
+        &self.global
+    }
+
+    /// A server's fine map (telemetry).
+    pub fn local_map(&self, id: NodeId) -> &LocalMap {
+        &self.locals[id.0 as usize]
+    }
+
+    /// A server's translation cache, if enabled.
+    pub fn tlb(&self, id: NodeId) -> Option<&TranslationCache> {
+        self.tlbs[id.0 as usize].as_ref()
+    }
+
+    /// Length of a segment in bytes.
+    pub fn segment_len(&self, seg: SegmentId) -> Option<u64> {
+        self.segment_len.get(&seg).copied()
+    }
+
+    /// Current holder of a segment.
+    pub fn holder_of(&self, seg: SegmentId) -> Option<NodeId> {
+        self.global.peek(seg).map(|l| l.server)
+    }
+
+    /// Free shared frames on a server (0 when crashed).
+    pub fn free_shared_frames(&self, id: NodeId) -> u64 {
+        let n = &self.nodes[id.0 as usize];
+        if n.is_failed() {
+            0
+        } else {
+            n.split().available(RegionKind::Shared)
+        }
+    }
+
+    /// Total pool capacity in bytes across live servers.
+    pub fn pool_capacity_bytes(&self) -> u64 {
+        self.nodes
+            .iter()
+            .filter(|n| !n.is_failed())
+            .map(|n| n.shared_bytes())
+            .sum()
+    }
+
+    /// Accesses that resolved locally / remotely (for the §4 benefit
+    /// accounting).
+    pub fn access_counts(&self) -> (u64, u64) {
+        (self.local_accesses.get(), self.remote_accesses.get())
+    }
+
+    fn pick_server(&mut self, frames: u64, placement: Placement) -> Option<NodeId> {
+        let has_room = |pool: &Self, id: u32| pool.free_shared_frames(NodeId(id)) >= frames;
+        match placement {
+            Placement::On(n) => has_room(self, n.0).then_some(n),
+            Placement::LocalFirst(n) => {
+                if has_room(self, n.0) {
+                    Some(n)
+                } else {
+                    self.pick_server(frames, Placement::MostFree)
+                }
+            }
+            Placement::MostFree => (0..self.config.servers)
+                .filter(|&i| has_room(self, i))
+                .max_by_key(|&i| (self.free_shared_frames(NodeId(i)), std::cmp::Reverse(i)))
+                .map(NodeId),
+            Placement::RoundRobin => {
+                for step in 0..self.config.servers {
+                    let i = (self.rr_cursor + step) % self.config.servers;
+                    if has_room(self, i) {
+                        self.rr_cursor = (i + 1) % self.config.servers;
+                        return Some(NodeId(i));
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Allocate a pool buffer of `len` bytes. Returns its segment id; the
+    /// segment's logical addresses are stable for its lifetime, across any
+    /// number of migrations.
+    pub fn alloc(&mut self, len: u64, placement: Placement) -> Result<SegmentId, PoolError> {
+        assert!(len > 0, "zero-length allocation");
+        let frames = len.div_ceil(FRAME_BYTES);
+        let server = self
+            .pick_server(frames, placement)
+            .ok_or(PoolError::Capacity {
+                requested_frames: frames,
+            })?;
+        let frame_ids = self.nodes[server.0 as usize]
+            .alloc_many(RegionKind::Shared, frames)
+            .map_err(|_| PoolError::Capacity {
+                requested_frames: frames,
+            })?;
+        let seg = SegmentId(self.next_segment);
+        self.next_segment += 1;
+        self.global.insert(seg, server);
+        self.locals[server.0 as usize].insert(seg, frame_ids);
+        self.segment_len.insert(seg, len);
+        Ok(seg)
+    }
+
+    /// Free a pool buffer.
+    pub fn free(&mut self, seg: SegmentId) -> Result<(), PoolError> {
+        let loc = self.global.remove(seg).ok_or(PoolError::UnknownSegment(seg))?;
+        self.segment_len.remove(&seg);
+        if let Some(frames) = self.locals[loc.server.0 as usize].remove(seg) {
+            if !self.nodes[loc.server.0 as usize].is_failed() {
+                for f in frames {
+                    self.nodes[loc.server.0 as usize]
+                        .free(f)
+                        .expect("local map frame must be allocated");
+                }
+            }
+        }
+        for tlb in self.tlbs.iter_mut().flatten() {
+            tlb.invalidate(seg);
+        }
+        Ok(())
+    }
+
+    /// Resolve `seg` for `requester`, using its translation cache when
+    /// enabled. Returns the location and the number of stale-entry faults
+    /// taken (0 or 1).
+    pub fn translate(
+        &mut self,
+        requester: NodeId,
+        seg: SegmentId,
+    ) -> Result<(SegmentLoc, u32), PoolError> {
+        let tlb = &mut self.tlbs[requester.0 as usize];
+        if let Some(tlb) = tlb {
+            if let Some(loc) = tlb.lookup(seg) {
+                // Fast path: verify against the holder's fine map.
+                if self.locals[loc.server.0 as usize].holds(seg) {
+                    return Ok((loc, 0));
+                }
+                tlb.note_stale(seg);
+                let loc = self
+                    .global
+                    .lookup(seg)
+                    .ok_or(PoolError::UnknownSegment(seg))?;
+                tlb.refill(seg, loc);
+                return Ok((loc, 1));
+            }
+            let loc = self
+                .global
+                .lookup(seg)
+                .ok_or(PoolError::UnknownSegment(seg))?;
+            tlb.refill(seg, loc);
+            Ok((loc, 0))
+        } else {
+            let loc = self
+                .global
+                .lookup(seg)
+                .ok_or(PoolError::UnknownSegment(seg))?;
+            Ok((loc, 0))
+        }
+    }
+
+    fn check_bounds(&self, addr: LogicalAddr, len: u64) -> Result<(), PoolError> {
+        let seg_len = self
+            .segment_len
+            .get(&addr.segment)
+            .copied()
+            .ok_or(PoolError::UnknownSegment(addr.segment))?;
+        if addr.offset + len > seg_len {
+            return Err(PoolError::OutOfBounds {
+                segment: addr.segment,
+                end: addr.offset + len,
+                len: seg_len,
+            });
+        }
+        Ok(())
+    }
+
+    /// Timed access: `requester` reads or writes `len` bytes at `addr`.
+    ///
+    /// Local resolution uses the requester's DRAM only; remote resolution
+    /// pays the fabric plus the holder's DRAM. Multi-frame accesses issue
+    /// all chunks at `now` (hardware pipelines independent cache-line
+    /// streams) and complete when the last chunk does.
+    pub fn access(
+        &mut self,
+        fabric: &mut Fabric,
+        now: SimTime,
+        requester: NodeId,
+        addr: LogicalAddr,
+        len: u64,
+        op: MemOp,
+    ) -> Result<PoolAccess, PoolError> {
+        self.check_bounds(addr, len)?;
+        if self.nodes[requester.0 as usize].is_failed() {
+            return Err(PoolError::ServerDown(requester));
+        }
+        let (loc, faults) = self.translate(requester, addr.segment)?;
+        let holder = loc.server;
+        if self.nodes[holder.0 as usize].is_failed() {
+            return Err(PoolError::SegmentLost(addr.segment));
+        }
+        let mut complete = now;
+        let mut local_bytes = 0;
+        let mut remote_bytes = 0;
+        for (frame_idx, _, chunk) in frame_chunks(addr, len) {
+            let frame = self.locals[holder.0 as usize]
+                .resolve(addr.segment, frame_idx)
+                .expect("fine map covers live segment");
+            if holder == requester {
+                self.local_accesses.inc();
+                local_bytes += chunk;
+                let c = self.nodes[holder.0 as usize].access(
+                    now,
+                    chunk,
+                    requester.0,
+                    true,
+                    Some(frame),
+                );
+                complete = complete.max(c.complete);
+            } else {
+                self.remote_accesses.inc();
+                remote_bytes += chunk;
+                let d =
+                    self.nodes[holder.0 as usize].access(now, chunk, requester.0, false, Some(frame));
+                let f = match op {
+                    MemOp::Read => fabric.read(now, requester, holder, chunk),
+                    MemOp::Write => fabric.write(now, requester, holder, chunk),
+                };
+                complete = complete.max(d.complete).max(f.complete);
+            }
+        }
+        Ok(PoolAccess {
+            complete,
+            local_bytes,
+            remote_bytes,
+            faults,
+        })
+    }
+
+    /// Materialized write of `data` at `addr` (correctness path; no timing).
+    pub fn write_bytes(&mut self, addr: LogicalAddr, data: &[u8]) -> Result<(), PoolError> {
+        self.check_bounds(addr, data.len() as u64)?;
+        let loc = self
+            .global
+            .peek(addr.segment)
+            .ok_or(PoolError::UnknownSegment(addr.segment))?;
+        if self.nodes[loc.server.0 as usize].is_failed() {
+            return Err(PoolError::SegmentLost(addr.segment));
+        }
+        let mut cursor = 0usize;
+        for (frame_idx, within, chunk) in frame_chunks(addr, data.len() as u64) {
+            let frame = self.locals[loc.server.0 as usize]
+                .resolve(addr.segment, frame_idx)
+                .expect("fine map covers live segment");
+            self.nodes[loc.server.0 as usize].write_bytes(
+                frame,
+                within,
+                &data[cursor..cursor + chunk as usize],
+            );
+            cursor += chunk as usize;
+        }
+        Ok(())
+    }
+
+    /// Materialized read of `len` bytes at `addr`.
+    pub fn read_bytes(&self, addr: LogicalAddr, len: u64) -> Result<Vec<u8>, PoolError> {
+        self.check_bounds(addr, len)?;
+        let loc = self
+            .global
+            .peek(addr.segment)
+            .ok_or(PoolError::UnknownSegment(addr.segment))?;
+        if self.nodes[loc.server.0 as usize].is_failed() {
+            return Err(PoolError::SegmentLost(addr.segment));
+        }
+        let mut out = Vec::with_capacity(len as usize);
+        for (frame_idx, within, chunk) in frame_chunks(addr, len) {
+            let frame = self.locals[loc.server.0 as usize]
+                .resolve(addr.segment, frame_idx)
+                .expect("fine map covers live segment");
+            out.extend(self.nodes[loc.server.0 as usize].read_bytes(
+                frame,
+                within,
+                chunk as usize,
+            ));
+        }
+        Ok(out)
+    }
+
+    /// Resize a server's shared budget (bytes, rounded down to frames) —
+    /// the §4.5 flexibility knob.
+    pub fn resize_shared(&mut self, server: NodeId, shared_bytes: u64) -> Result<(), PoolError> {
+        if self.nodes[server.0 as usize].is_failed() {
+            return Err(PoolError::ServerDown(server));
+        }
+        self.nodes[server.0 as usize]
+            .split_mut()
+            .resize_shared(shared_bytes / FRAME_BYTES)
+            .map_err(|_| PoolError::Capacity {
+                requested_frames: shared_bytes / FRAME_BYTES,
+            })
+    }
+
+    /// Crash a server. Its pool shard vanishes; segments homed there become
+    /// lost (until a protection layer restores them). Returns the affected
+    /// segments.
+    pub fn crash_server(&mut self, server: NodeId) -> Vec<SegmentId> {
+        self.nodes[server.0 as usize].crash();
+        self.global.segments_on(server)
+    }
+
+    /// Restart a crashed server with empty memory.
+    pub fn restart_server(&mut self, server: NodeId) {
+        self.nodes[server.0 as usize].restart();
+        self.locals[server.0 as usize] = LocalMap::new();
+    }
+
+    // ----- crate-internal hooks for migration & failure handling -----
+
+    /// Failure handling: `replica`'s frames become `seg`'s (same length),
+    /// and the replica id disappears. Used to promote a mirror after its
+    /// primary's server crashed.
+    pub(crate) fn promote_replica(&mut self, seg: SegmentId, replica: SegmentId) {
+        let rloc = self.global.peek(replica).expect("replica exists");
+        let frames = self.locals[rloc.server.0 as usize]
+            .remove(replica)
+            .expect("replica has frames");
+        let rlen = self
+            .segment_len
+            .remove(&replica)
+            .expect("replica has a length");
+        // Forget the segment's stale presence on its crashed home.
+        if let Some(old) = self.global.peek(seg) {
+            self.locals[old.server.0 as usize].remove(seg);
+        }
+        self.locals[rloc.server.0 as usize].insert(seg, frames);
+        self.global.remove(replica);
+        self.global.relocate(seg, rloc.server);
+        self.segment_len.insert(seg, rlen);
+        for tlb in self.tlbs.iter_mut().flatten() {
+            tlb.invalidate(seg);
+            tlb.invalidate(replica);
+        }
+    }
+
+    /// Failure handling: forget a segment whose frames died with a crashed
+    /// server (no freeing possible).
+    pub(crate) fn drop_segment_bookkeeping(&mut self, seg: SegmentId) {
+        if let Some(loc) = self.global.remove(seg) {
+            self.locals[loc.server.0 as usize].remove(seg);
+        }
+        self.segment_len.remove(&seg);
+        for tlb in self.tlbs.iter_mut().flatten() {
+            tlb.invalidate(seg);
+        }
+    }
+
+    /// Failure handling: give `seg` fresh frames on `target` filled with
+    /// `data` (reconstruction output), preserving its logical address.
+    pub(crate) fn rehome_segment(
+        &mut self,
+        seg: SegmentId,
+        target: NodeId,
+        data: &[u8],
+    ) -> Result<(), PoolError> {
+        let len = self
+            .segment_len
+            .get(&seg)
+            .copied()
+            .ok_or(PoolError::UnknownSegment(seg))?;
+        assert_eq!(data.len() as u64, len, "reconstruction length mismatch");
+        let frames = len.div_ceil(FRAME_BYTES);
+        let frame_ids = self.nodes[target.0 as usize]
+            .alloc_many(RegionKind::Shared, frames)
+            .map_err(|_| PoolError::Capacity {
+                requested_frames: frames,
+            })?;
+        if let Some(old) = self.global.peek(seg) {
+            self.locals[old.server.0 as usize].remove(seg);
+        }
+        // Fill the new frames.
+        let node = &mut self.nodes[target.0 as usize];
+        let mut cursor = 0usize;
+        for f in &frame_ids {
+            let chunk = (FRAME_BYTES as usize).min(data.len() - cursor);
+            node.write_bytes(*f, 0, &data[cursor..cursor + chunk]);
+            cursor += chunk;
+        }
+        self.locals[target.0 as usize].insert(seg, frame_ids);
+        self.global.relocate(seg, target);
+        for tlb in self.tlbs.iter_mut().flatten() {
+            tlb.invalidate(seg);
+        }
+        Ok(())
+    }
+
+    pub(crate) fn global_mut(&mut self) -> &mut GlobalMap {
+        &mut self.global
+    }
+
+    pub(crate) fn local_mut(&mut self, id: NodeId) -> &mut LocalMap {
+        &mut self.locals[id.0 as usize]
+    }
+
+    pub(crate) fn node_raw(&mut self, id: NodeId) -> &mut MemoryNode {
+        &mut self.nodes[id.0 as usize]
+    }
+
+    pub(crate) fn two_nodes(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+    ) -> (&mut MemoryNode, &mut MemoryNode) {
+        assert_ne!(a, b);
+        let (ai, bi) = (a.0 as usize, b.0 as usize);
+        if ai < bi {
+            let (lo, hi) = self.nodes.split_at_mut(bi);
+            (&mut lo[ai], &mut hi[0])
+        } else {
+            let (lo, hi) = self.nodes.split_at_mut(ai);
+            (&mut hi[0], &mut lo[bi])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmp_fabric::LinkProfile;
+
+    fn small_pool() -> (LogicalPool, Fabric) {
+        let cfg = PoolConfig {
+            servers: 4,
+            capacity_per_server: 32 * FRAME_BYTES,
+            shared_per_server: 16 * FRAME_BYTES,
+            dram: DramProfile::xeon_gold_5120(),
+            tlb_capacity: 64,
+        };
+        let fabric = Fabric::new(LinkProfile::link1(), 4);
+        (LogicalPool::new(cfg), fabric)
+    }
+
+    #[test]
+    fn alloc_places_on_requested_server() {
+        let (mut p, _) = small_pool();
+        let seg = p.alloc(FRAME_BYTES, Placement::On(NodeId(2))).unwrap();
+        assert_eq!(p.holder_of(seg), Some(NodeId(2)));
+        assert_eq!(p.segment_len(seg), Some(FRAME_BYTES));
+        assert_eq!(p.node(NodeId(2)).split().shared_used(), 1);
+    }
+
+    #[test]
+    fn alloc_most_free_balances() {
+        let (mut p, _) = small_pool();
+        let a = p.alloc(4 * FRAME_BYTES, Placement::MostFree).unwrap();
+        let b = p.alloc(4 * FRAME_BYTES, Placement::MostFree).unwrap();
+        assert_ne!(p.holder_of(a), p.holder_of(b));
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let (mut p, _) = small_pool();
+        let homes: Vec<_> = (0..4)
+            .map(|_| {
+                let s = p.alloc(FRAME_BYTES, Placement::RoundRobin).unwrap();
+                p.holder_of(s).unwrap()
+            })
+            .collect();
+        assert_eq!(homes, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn local_first_overflows() {
+        let (mut p, _) = small_pool();
+        // Fill server 0's 16 shared frames.
+        p.alloc(16 * FRAME_BYTES, Placement::On(NodeId(0))).unwrap();
+        let seg = p
+            .alloc(FRAME_BYTES, Placement::LocalFirst(NodeId(0)))
+            .unwrap();
+        assert_ne!(p.holder_of(seg), Some(NodeId(0)));
+    }
+
+    #[test]
+    fn capacity_error_when_full() {
+        let (mut p, _) = small_pool();
+        for _ in 0..4 {
+            p.alloc(16 * FRAME_BYTES, Placement::MostFree).unwrap();
+        }
+        assert!(matches!(
+            p.alloc(FRAME_BYTES, Placement::MostFree),
+            Err(PoolError::Capacity { .. })
+        ));
+    }
+
+    #[test]
+    fn free_returns_frames() {
+        let (mut p, _) = small_pool();
+        let seg = p.alloc(8 * FRAME_BYTES, Placement::On(NodeId(1))).unwrap();
+        assert_eq!(p.free_shared_frames(NodeId(1)), 8);
+        p.free(seg).unwrap();
+        assert_eq!(p.free_shared_frames(NodeId(1)), 16);
+        assert!(matches!(p.free(seg), Err(PoolError::UnknownSegment(_))));
+    }
+
+    #[test]
+    fn local_access_is_fast_and_counted() {
+        let (mut p, mut f) = small_pool();
+        let seg = p.alloc(FRAME_BYTES, Placement::On(NodeId(0))).unwrap();
+        let a = p
+            .access(
+                &mut f,
+                SimTime::ZERO,
+                NodeId(0),
+                LogicalAddr::new(seg, 0),
+                64,
+                MemOp::Read,
+            )
+            .unwrap();
+        assert_eq!(a.local_bytes, 64);
+        assert_eq!(a.remote_bytes, 0);
+        // Local DRAM latency only.
+        assert!(a.complete.as_nanos() < 200, "local access too slow: {a:?}");
+        assert_eq!(p.access_counts(), (1, 0));
+    }
+
+    #[test]
+    fn remote_access_pays_fabric() {
+        let (mut p, mut f) = small_pool();
+        let seg = p.alloc(FRAME_BYTES, Placement::On(NodeId(1))).unwrap();
+        let a = p
+            .access(
+                &mut f,
+                SimTime::ZERO,
+                NodeId(0),
+                LogicalAddr::new(seg, 0),
+                64,
+                MemOp::Read,
+            )
+            .unwrap();
+        assert_eq!(a.remote_bytes, 64);
+        assert!(a.complete.as_nanos() >= 261, "missing Link1 latency: {a:?}");
+        assert_eq!(p.access_counts(), (0, 1));
+    }
+
+    #[test]
+    fn multi_frame_access_spans() {
+        let (mut p, mut f) = small_pool();
+        let seg = p.alloc(3 * FRAME_BYTES, Placement::On(NodeId(0))).unwrap();
+        let a = p
+            .access(
+                &mut f,
+                SimTime::ZERO,
+                NodeId(0),
+                LogicalAddr::new(seg, FRAME_BYTES - 100),
+                200,
+                MemOp::Read,
+            )
+            .unwrap();
+        assert_eq!(a.local_bytes, 200);
+        assert_eq!(p.access_counts(), (2, 0), "two frames touched");
+    }
+
+    #[test]
+    fn bounds_checked() {
+        let (mut p, mut f) = small_pool();
+        let seg = p.alloc(100, Placement::On(NodeId(0))).unwrap();
+        let r = p.access(
+            &mut f,
+            SimTime::ZERO,
+            NodeId(0),
+            LogicalAddr::new(seg, 90),
+            11,
+            MemOp::Read,
+        );
+        assert!(matches!(r, Err(PoolError::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn materialized_round_trip() {
+        let (mut p, _) = small_pool();
+        let seg = p.alloc(2 * FRAME_BYTES, Placement::On(NodeId(3))).unwrap();
+        let addr = LogicalAddr::new(seg, FRAME_BYTES - 2);
+        p.write_bytes(addr, b"boundary-crossing payload").unwrap();
+        assert_eq!(
+            p.read_bytes(addr, 25).unwrap(),
+            b"boundary-crossing payload"
+        );
+    }
+
+    #[test]
+    fn crash_makes_segments_lost() {
+        let (mut p, mut f) = small_pool();
+        let seg = p.alloc(FRAME_BYTES, Placement::On(NodeId(2))).unwrap();
+        let affected = p.crash_server(NodeId(2));
+        assert_eq!(affected, vec![seg]);
+        let r = p.access(
+            &mut f,
+            SimTime::ZERO,
+            NodeId(0),
+            LogicalAddr::new(seg, 0),
+            64,
+            MemOp::Read,
+        );
+        assert_eq!(r, Err(PoolError::SegmentLost(seg)));
+        assert_eq!(p.free_shared_frames(NodeId(2)), 0);
+        assert_eq!(p.pool_capacity_bytes(), 3 * 16 * FRAME_BYTES);
+    }
+
+    #[test]
+    fn resize_shared_enables_larger_allocations() {
+        let (mut p, _) = small_pool();
+        assert!(p.alloc(20 * FRAME_BYTES, Placement::On(NodeId(0))).is_err());
+        p.resize_shared(NodeId(0), 32 * FRAME_BYTES).unwrap();
+        assert!(p.alloc(20 * FRAME_BYTES, Placement::On(NodeId(0))).is_ok());
+    }
+
+    #[test]
+    fn tlb_serves_repeat_translations() {
+        let (mut p, mut f) = small_pool();
+        let seg = p.alloc(FRAME_BYTES, Placement::On(NodeId(1))).unwrap();
+        for _ in 0..10 {
+            p.access(
+                &mut f,
+                SimTime::ZERO,
+                NodeId(0),
+                LogicalAddr::new(seg, 0),
+                64,
+                MemOp::Read,
+            )
+            .unwrap();
+        }
+        let tlb = p.tlb(NodeId(0)).unwrap();
+        assert_eq!(tlb.miss_count(), 1);
+        assert_eq!(tlb.hit_count(), 9);
+        // Global map consulted exactly once by this requester.
+        assert_eq!(p.global_map().lookup_count(), 1);
+    }
+}

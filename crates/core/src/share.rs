@@ -1,0 +1,241 @@
+//! Shared pool buffers (§3.1 capability 3, §5 migration constraint).
+//!
+//! "The memory pool serves as shared memory for servers" — and §5's
+//! migration challenge exists precisely because "as buffers can be shared,
+//! different servers may have pointers to the buffer being migrated".
+//! [`SharingRegistry`] tracks which servers hold references to each
+//! segment: buffers are published once, attached by any number of servers,
+//! and freed exactly when the last reference detaches. Migration never
+//! invalidates references — that is the two-level translation's job.
+
+use crate::addr::SegmentId;
+use crate::pool::{LogicalPool, PoolError};
+use lmp_fabric::NodeId;
+use std::collections::{BTreeSet, HashMap};
+
+/// Errors from sharing operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShareError {
+    /// The segment was never published (or already fully released).
+    NotPublished(SegmentId),
+    /// The server does not hold a reference.
+    NotAttached(SegmentId, NodeId),
+    /// The server already holds a reference (attach is not recursive).
+    AlreadyAttached(SegmentId, NodeId),
+}
+
+impl std::fmt::Display for ShareError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShareError::NotPublished(s) => write!(f, "{s} is not published"),
+            ShareError::NotAttached(s, n) => write!(f, "{n} is not attached to {s}"),
+            ShareError::AlreadyAttached(s, n) => write!(f, "{n} already attached to {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ShareError {}
+
+/// Reference-counted sharing state for pool buffers.
+#[derive(Debug, Default)]
+pub struct SharingRegistry {
+    holders: HashMap<SegmentId, BTreeSet<u32>>,
+}
+
+impl SharingRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publish a buffer with `owner` as the first reference holder.
+    ///
+    /// # Panics
+    /// Panics when the segment is already published — double publication
+    /// is a caller bug, not a runtime condition.
+    pub fn publish(&mut self, seg: SegmentId, owner: NodeId) {
+        let prev = self.holders.insert(seg, BTreeSet::from([owner.0]));
+        assert!(prev.is_none(), "{seg} published twice");
+    }
+
+    /// Attach another server to a published buffer.
+    pub fn attach(&mut self, seg: SegmentId, server: NodeId) -> Result<(), ShareError> {
+        let holders = self
+            .holders
+            .get_mut(&seg)
+            .ok_or(ShareError::NotPublished(seg))?;
+        if !holders.insert(server.0) {
+            return Err(ShareError::AlreadyAttached(seg, server));
+        }
+        Ok(())
+    }
+
+    /// Detach a server. When the last reference goes, the segment is freed
+    /// from the pool. Returns `true` when this detach freed the buffer.
+    pub fn detach(
+        &mut self,
+        pool: &mut LogicalPool,
+        seg: SegmentId,
+        server: NodeId,
+    ) -> Result<bool, ShareError> {
+        let holders = self
+            .holders
+            .get_mut(&seg)
+            .ok_or(ShareError::NotPublished(seg))?;
+        if !holders.remove(&server.0) {
+            return Err(ShareError::NotAttached(seg, server));
+        }
+        if holders.is_empty() {
+            self.holders.remove(&seg);
+            match pool.free(seg) {
+                Ok(()) => {}
+                // A crash may already have torn the segment down; the
+                // reference bookkeeping still completes.
+                Err(PoolError::UnknownSegment(_)) => {}
+                Err(e) => panic!("free of fully-released {seg} failed: {e}"),
+            }
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Servers currently holding references, in id order.
+    pub fn holders(&self, seg: SegmentId) -> Vec<NodeId> {
+        self.holders
+            .get(&seg)
+            .map(|h| h.iter().map(|&n| NodeId(n)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Reference count (0 when unpublished).
+    pub fn refcount(&self, seg: SegmentId) -> usize {
+        self.holders.get(&seg).map(BTreeSet::len).unwrap_or(0)
+    }
+
+    /// Published segments a crashed server referenced (its references are
+    /// dropped; buffers it solely held are freed). Returns the segments
+    /// that were freed.
+    pub fn drop_server(&mut self, pool: &mut LogicalPool, server: NodeId) -> Vec<SegmentId> {
+        let segs: Vec<SegmentId> = self
+            .holders
+            .iter()
+            .filter(|(_, h)| h.contains(&server.0))
+            .map(|(s, _)| *s)
+            .collect();
+        let mut freed = Vec::new();
+        for seg in segs {
+            if self.detach(pool, seg, server).expect("holder verified") {
+                freed.push(seg);
+            }
+        }
+        freed.sort_unstable();
+        freed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::LogicalAddr;
+    use crate::migrate::migrate_segment;
+    use crate::pool::{Placement, PoolConfig};
+    use lmp_fabric::{Fabric, LinkProfile};
+    use lmp_mem::{DramProfile, FRAME_BYTES};
+    use lmp_sim::prelude::*;
+
+    fn setup() -> (LogicalPool, Fabric) {
+        let cfg = PoolConfig {
+            servers: 3,
+            capacity_per_server: 16 * FRAME_BYTES,
+            shared_per_server: 12 * FRAME_BYTES,
+            dram: DramProfile::xeon_gold_5120(),
+            tlb_capacity: 16,
+        };
+        (LogicalPool::new(cfg), Fabric::new(LinkProfile::link1(), 3))
+    }
+
+    #[test]
+    fn publish_attach_detach_lifecycle() {
+        let (mut p, _) = setup();
+        let mut reg = SharingRegistry::new();
+        let seg = p.alloc(FRAME_BYTES, Placement::On(NodeId(0))).unwrap();
+        reg.publish(seg, NodeId(0));
+        reg.attach(seg, NodeId(1)).unwrap();
+        reg.attach(seg, NodeId(2)).unwrap();
+        assert_eq!(reg.refcount(seg), 3);
+        assert_eq!(reg.holders(seg), vec![NodeId(0), NodeId(1), NodeId(2)]);
+
+        assert!(!reg.detach(&mut p, seg, NodeId(0)).unwrap());
+        assert!(!reg.detach(&mut p, seg, NodeId(1)).unwrap());
+        assert!(p.segment_len(seg).is_some(), "still referenced");
+        assert!(reg.detach(&mut p, seg, NodeId(2)).unwrap(), "last ref frees");
+        assert!(p.segment_len(seg).is_none());
+        assert_eq!(reg.refcount(seg), 0);
+    }
+
+    #[test]
+    fn double_attach_and_foreign_detach_rejected() {
+        let (mut p, _) = setup();
+        let mut reg = SharingRegistry::new();
+        let seg = p.alloc(FRAME_BYTES, Placement::On(NodeId(0))).unwrap();
+        reg.publish(seg, NodeId(0));
+        assert_eq!(
+            reg.attach(seg, NodeId(0)),
+            Err(ShareError::AlreadyAttached(seg, NodeId(0)))
+        );
+        assert_eq!(
+            reg.detach(&mut p, seg, NodeId(2)),
+            Err(ShareError::NotAttached(seg, NodeId(2)))
+        );
+        assert_eq!(
+            reg.attach(SegmentId(99), NodeId(1)),
+            Err(ShareError::NotPublished(SegmentId(99)))
+        );
+    }
+
+    #[test]
+    fn references_survive_migration() {
+        let (mut p, mut f) = setup();
+        let mut reg = SharingRegistry::new();
+        let seg = p.alloc(FRAME_BYTES, Placement::On(NodeId(0))).unwrap();
+        reg.publish(seg, NodeId(0));
+        reg.attach(seg, NodeId(1)).unwrap();
+        p.write_bytes(LogicalAddr::new(seg, 0), b"shared").unwrap();
+
+        migrate_segment(&mut p, &mut f, SimTime::ZERO, seg, NodeId(2)).unwrap();
+        // Both holders still see the data; the registry is untouched.
+        assert_eq!(reg.refcount(seg), 2);
+        assert_eq!(p.read_bytes(LogicalAddr::new(seg, 0), 6).unwrap(), b"shared");
+        // And release still frees.
+        reg.detach(&mut p, seg, NodeId(0)).unwrap();
+        assert!(reg.detach(&mut p, seg, NodeId(1)).unwrap());
+        assert_eq!(p.free_shared_frames(NodeId(2)), 12);
+    }
+
+    #[test]
+    fn drop_server_releases_its_references() {
+        let (mut p, _) = setup();
+        let mut reg = SharingRegistry::new();
+        let solo = p.alloc(FRAME_BYTES, Placement::On(NodeId(0))).unwrap();
+        let shared = p.alloc(FRAME_BYTES, Placement::On(NodeId(0))).unwrap();
+        reg.publish(solo, NodeId(1));
+        reg.publish(shared, NodeId(1));
+        reg.attach(shared, NodeId(2)).unwrap();
+
+        let freed = reg.drop_server(&mut p, NodeId(1));
+        assert_eq!(freed, vec![solo], "solely-held buffer freed");
+        assert_eq!(reg.refcount(shared), 1, "shared buffer survives");
+    }
+
+    #[test]
+    fn detach_tolerates_crashed_segments() {
+        let (mut p, _) = setup();
+        let mut reg = SharingRegistry::new();
+        let seg = p.alloc(FRAME_BYTES, Placement::On(NodeId(1))).unwrap();
+        reg.publish(seg, NodeId(0));
+        p.crash_server(NodeId(1));
+        p.drop_segment_bookkeeping(seg);
+        // Last detach of a torn-down segment completes without panicking.
+        assert!(reg.detach(&mut p, seg, NodeId(0)).unwrap());
+    }
+}

@@ -1,0 +1,298 @@
+//! Shared-region sizing (§5 "Sizing the shared regions").
+//!
+//! The paper frames sizing as "a global optimization problem that is solved
+//! periodically. The objective is to maximize the number of local accesses
+//! while prioritizing high-value applications." This module implements that
+//! optimizer as a deterministic greedy solver: demands are placed in
+//! priority order, local-first, overflowing to the servers with the most
+//! head-room; the resulting per-server shared budgets are then applied to
+//! the pool.
+
+use crate::pool::{LogicalPool, PoolError};
+use lmp_fabric::NodeId;
+use lmp_mem::FRAME_BYTES;
+
+/// One application's memory demand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppDemand {
+    /// The server the application runs on (where "local" is).
+    pub server: NodeId,
+    /// Working-set size in bytes.
+    pub bytes: u64,
+    /// Higher = placed earlier (the paper's "high-value applications").
+    pub priority: u32,
+}
+
+/// Where one demand's frames ended up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacementResult {
+    /// Index into the input demand slice.
+    pub demand: usize,
+    /// (server, frames) assignments, local share first.
+    pub shares: Vec<(NodeId, u64)>,
+    /// Frames placed on the demand's own server.
+    pub local_frames: u64,
+    /// Frames that could not be placed anywhere (pool too small).
+    pub unplaced_frames: u64,
+}
+
+/// The solver's output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SizingPlan {
+    /// Shared budget per server, in frames.
+    pub shared_frames: Vec<u64>,
+    /// Per-demand placement, in input order.
+    pub placements: Vec<PlacementResult>,
+    /// Fraction of placed frames that are local to their application,
+    /// weighted by priority.
+    pub weighted_local_fraction: f64,
+    /// Whether every demand was fully placed.
+    pub feasible: bool,
+}
+
+/// Solve the sizing problem.
+///
+/// * `capacity_frames[s]` — total frames on server `s`.
+/// * `private_floor_frames[s]` — frames that must remain private on `s`
+///   (OS, process state); the shared budget can never eat into these.
+/// * `demands` — application working sets with priorities.
+///
+/// # Panics
+/// Panics when the two capacity slices disagree in length or a floor
+/// exceeds its capacity.
+pub fn solve(
+    capacity_frames: &[u64],
+    private_floor_frames: &[u64],
+    demands: &[AppDemand],
+) -> SizingPlan {
+    assert_eq!(capacity_frames.len(), private_floor_frames.len());
+    for (c, f) in capacity_frames.iter().zip(private_floor_frames) {
+        assert!(f <= c, "private floor {f} exceeds capacity {c}");
+    }
+    let servers = capacity_frames.len();
+    // Free poolable frames per server.
+    let mut room: Vec<u64> = capacity_frames
+        .iter()
+        .zip(private_floor_frames)
+        .map(|(c, f)| c - f)
+        .collect();
+    let mut placed_on = vec![0u64; servers];
+
+    // Priority order, stable by input index for determinism.
+    let mut order: Vec<usize> = (0..demands.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(demands[i].priority), i));
+
+    let mut placements: Vec<PlacementResult> = (0..demands.len())
+        .map(|i| PlacementResult {
+            demand: i,
+            shares: Vec::new(),
+            local_frames: 0,
+            unplaced_frames: 0,
+        })
+        .collect();
+
+    for &i in &order {
+        let d = demands[i];
+        let home = d.server.0 as usize;
+        assert!(home < servers, "demand on unknown server {}", d.server);
+        let mut need = d.bytes.div_ceil(FRAME_BYTES);
+        // Local first.
+        let take = need.min(room[home]);
+        if take > 0 {
+            room[home] -= take;
+            placed_on[home] += take;
+            placements[i].shares.push((d.server, take));
+            placements[i].local_frames = take;
+            need -= take;
+        }
+        // Overflow to the most-free other servers.
+        while need > 0 {
+            let best = (0..servers)
+                .filter(|&s| s != home && room[s] > 0)
+                .max_by_key(|&s| (room[s], std::cmp::Reverse(s)));
+            match best {
+                Some(s) => {
+                    let take = need.min(room[s]);
+                    room[s] -= take;
+                    placed_on[s] += take;
+                    placements[i].shares.push((NodeId(s as u32), take));
+                    need -= take;
+                }
+                None => {
+                    placements[i].unplaced_frames = need;
+                    break;
+                }
+            }
+        }
+    }
+
+    let mut weighted_local = 0f64;
+    let mut weighted_total = 0f64;
+    let mut feasible = true;
+    for (i, p) in placements.iter().enumerate() {
+        let w = demands[i].priority.max(1) as f64;
+        let placed: u64 = p.shares.iter().map(|(_, n)| n).sum();
+        weighted_local += w * p.local_frames as f64;
+        weighted_total += w * (placed + p.unplaced_frames) as f64;
+        if p.unplaced_frames > 0 {
+            feasible = false;
+        }
+    }
+    SizingPlan {
+        shared_frames: placed_on,
+        placements,
+        weighted_local_fraction: if weighted_total > 0.0 {
+            weighted_local / weighted_total
+        } else {
+            1.0
+        },
+        feasible,
+    }
+}
+
+/// Apply a plan's budgets to the pool (only growing or shrinking budgets;
+/// existing allocations may block a shrink, which is reported as an error).
+pub fn apply(pool: &mut LogicalPool, plan: &SizingPlan) -> Result<(), PoolError> {
+    for (s, &frames) in plan.shared_frames.iter().enumerate() {
+        pool.resize_shared(NodeId(s as u32), frames * FRAME_BYTES)?;
+    }
+    Ok(())
+}
+
+/// Best-effort application for the periodic background task: each server's
+/// budget moves toward the plan but never below what is currently
+/// allocated (live spill shrinks on a later run, after migration frees
+/// frames). Returns how many servers were resized.
+pub fn apply_best_effort(pool: &mut LogicalPool, plan: &SizingPlan) -> usize {
+    let mut applied = 0;
+    for (s, &frames) in plan.shared_frames.iter().enumerate() {
+        let server = NodeId(s as u32);
+        if pool.node(server).is_failed() {
+            continue;
+        }
+        let target = frames.max(pool.node(server).split().shared_used());
+        if pool.resize_shared(server, target * FRAME_BYTES).is_ok() {
+            applied += 1;
+        }
+    }
+    applied
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn everything_fits_locally() {
+        let plan = solve(
+            &[16, 16],
+            &[4, 4],
+            &[
+                AppDemand {
+                    server: NodeId(0),
+                    bytes: 8 * FRAME_BYTES,
+                    priority: 1,
+                },
+                AppDemand {
+                    server: NodeId(1),
+                    bytes: 8 * FRAME_BYTES,
+                    priority: 1,
+                },
+            ],
+        );
+        assert!(plan.feasible);
+        assert_eq!(plan.weighted_local_fraction, 1.0);
+        assert_eq!(plan.shared_frames, vec![8, 8]);
+    }
+
+    #[test]
+    fn overflow_spills_to_most_free() {
+        let plan = solve(
+            &[16, 16, 16],
+            &[4, 4, 4],
+            &[AppDemand {
+                server: NodeId(0),
+                bytes: 20 * FRAME_BYTES,
+                priority: 1,
+            }],
+        );
+        assert!(plan.feasible);
+        let p = &plan.placements[0];
+        assert_eq!(p.local_frames, 12);
+        assert_eq!(p.shares.len(), 2);
+        assert!(plan.weighted_local_fraction < 1.0);
+    }
+
+    #[test]
+    fn priority_wins_local_memory() {
+        // Two apps on server 0 both want all 12 poolable local frames.
+        let demands = [
+            AppDemand {
+                server: NodeId(0),
+                bytes: 12 * FRAME_BYTES,
+                priority: 1,
+            },
+            AppDemand {
+                server: NodeId(0),
+                bytes: 12 * FRAME_BYTES,
+                priority: 9,
+            },
+        ];
+        let plan = solve(&[16, 16], &[4, 4], &demands);
+        assert_eq!(plan.placements[1].local_frames, 12, "high priority local");
+        assert_eq!(plan.placements[0].local_frames, 0, "low priority spilled");
+    }
+
+    #[test]
+    fn infeasible_when_pool_too_small() {
+        let plan = solve(
+            &[8, 8],
+            &[4, 4],
+            &[AppDemand {
+                server: NodeId(0),
+                bytes: 100 * FRAME_BYTES,
+                priority: 1,
+            }],
+        );
+        assert!(!plan.feasible);
+        assert!(plan.placements[0].unplaced_frames > 0);
+    }
+
+    #[test]
+    fn private_floor_never_consumed() {
+        let plan = solve(
+            &[10, 10],
+            &[10, 0],
+            &[AppDemand {
+                server: NodeId(0),
+                bytes: 5 * FRAME_BYTES,
+                priority: 1,
+            }],
+        );
+        // Server 0 is fully private: demand spills entirely to server 1.
+        assert_eq!(plan.shared_frames[0], 0);
+        assert_eq!(plan.shared_frames[1], 5);
+        assert_eq!(plan.placements[0].local_frames, 0);
+    }
+
+    #[test]
+    fn deterministic_tie_breaks() {
+        let demands = [
+            AppDemand {
+                server: NodeId(0),
+                bytes: 4 * FRAME_BYTES,
+                priority: 5,
+            },
+            AppDemand {
+                server: NodeId(0),
+                bytes: 4 * FRAME_BYTES,
+                priority: 5,
+            },
+        ];
+        let a = solve(&[16, 16], &[0, 0], &demands);
+        let b = solve(&[16, 16], &[0, 0], &demands);
+        assert_eq!(a, b);
+        // Equal priority: input order wins.
+        assert_eq!(a.placements[0].local_frames, 4);
+    }
+}

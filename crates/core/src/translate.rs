@@ -1,0 +1,341 @@
+//! Two-level address translation (§5 "Address translation").
+//!
+//! The paper rejects a single global directory ("all servers need access to
+//! the directory when translating addresses, and this would incur slow
+//! remote accesses") in favour of two steps:
+//!
+//! 1. **Coarse map, globally replicated**: segment → server. Small (one
+//!    entry per buffer), changes only on migration, so every server keeps a
+//!    copy plus a per-core translation cache.
+//! 2. **Fine map, local to the holder**: (segment, frame index) → frame.
+//!    Only consulted on the server that owns the memory, where it is a
+//!    local lookup.
+//!
+//! Migration bumps the segment's **epoch**; stale cached translations are
+//! detected at the target server (its fine map no longer has the segment)
+//! and re-resolved — this is what makes migration pointer-safe.
+
+use crate::addr::SegmentId;
+use lmp_fabric::NodeId;
+use lmp_mem::FrameId;
+use lmp_sim::prelude::*;
+use std::collections::HashMap;
+
+/// Where a segment currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentLoc {
+    /// Holding server.
+    pub server: NodeId,
+    /// Bumped on every migration; stale translations carry an old epoch.
+    pub epoch: u64,
+}
+
+/// The coarse, globally replicated map: segment → server.
+#[derive(Debug, Default)]
+pub struct GlobalMap {
+    entries: HashMap<SegmentId, SegmentLoc>,
+    lookups: Counter,
+}
+
+impl GlobalMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current location of a segment.
+    pub fn lookup(&mut self, seg: SegmentId) -> Option<SegmentLoc> {
+        self.lookups.inc();
+        self.entries.get(&seg).copied()
+    }
+
+    /// Peek without counting (for assertions/telemetry).
+    pub fn peek(&self, seg: SegmentId) -> Option<SegmentLoc> {
+        self.entries.get(&seg).copied()
+    }
+
+    /// Install a new segment at `server`.
+    pub fn insert(&mut self, seg: SegmentId, server: NodeId) {
+        self.entries.insert(seg, SegmentLoc { server, epoch: 0 });
+    }
+
+    /// Move a segment to `server`, bumping its epoch. Returns the new
+    /// location.
+    ///
+    /// # Panics
+    /// Panics on unknown segments — migration of nothing is a bug.
+    pub fn relocate(&mut self, seg: SegmentId, server: NodeId) -> SegmentLoc {
+        let e = self
+            .entries
+            .get_mut(&seg)
+            .unwrap_or_else(|| panic!("relocate of unknown {seg}"));
+        e.server = server;
+        e.epoch += 1;
+        *e
+    }
+
+    /// Remove a segment (freed or lost).
+    pub fn remove(&mut self, seg: SegmentId) -> Option<SegmentLoc> {
+        self.entries.remove(&seg)
+    }
+
+    /// Number of live segments.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Segments currently mapped to `server` (for crash handling).
+    pub fn segments_on(&self, server: NodeId) -> Vec<SegmentId> {
+        let mut v: Vec<SegmentId> = self
+            .entries
+            .iter()
+            .filter(|(_, loc)| loc.server == server)
+            .map(|(s, _)| *s)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Total lookups served (each one is a shared-structure access the
+    /// translation cache exists to avoid).
+    pub fn lookup_count(&self) -> u64 {
+        self.lookups.get()
+    }
+}
+
+/// The fine, per-server map: segment → its frames on this server.
+#[derive(Debug, Default)]
+pub struct LocalMap {
+    frames: HashMap<SegmentId, Vec<FrameId>>,
+}
+
+impl LocalMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install a segment's frames.
+    pub fn insert(&mut self, seg: SegmentId, frames: Vec<FrameId>) {
+        self.frames.insert(seg, frames);
+    }
+
+    /// The frame backing `frame_index` of `seg`, if this server holds it.
+    pub fn resolve(&self, seg: SegmentId, frame_index: u64) -> Option<FrameId> {
+        self.frames
+            .get(&seg)
+            .and_then(|f| f.get(frame_index as usize))
+            .copied()
+    }
+
+    /// Whether this server holds `seg`.
+    pub fn holds(&self, seg: SegmentId) -> bool {
+        self.frames.contains_key(&seg)
+    }
+
+    /// All frames of `seg` (empty if absent).
+    pub fn frames_of(&self, seg: SegmentId) -> &[FrameId] {
+        self.frames.get(&seg).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Remove a segment, returning its frames for freeing.
+    pub fn remove(&mut self, seg: SegmentId) -> Option<Vec<FrameId>> {
+        self.frames.remove(&seg)
+    }
+
+    /// Number of segments held.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+}
+
+/// A per-server translation cache (TLB analogue) over the coarse map.
+///
+/// Entries may go stale after migration; consumers detect staleness when
+/// the target server's fine map misses, then call
+/// [`TranslationCache::refill`]. LRU eviction, deterministic tie-break.
+#[derive(Debug)]
+pub struct TranslationCache {
+    capacity: usize,
+    entries: HashMap<SegmentId, (SegmentLoc, u64)>,
+    clock: u64,
+    hits: Counter,
+    misses: Counter,
+    stale: Counter,
+}
+
+impl TranslationCache {
+    /// A cache holding up to `capacity` segment translations.
+    ///
+    /// # Panics
+    /// Panics on zero capacity.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "translation cache needs capacity");
+        TranslationCache {
+            capacity,
+            entries: HashMap::new(),
+            clock: 0,
+            hits: Counter::new(),
+            misses: Counter::new(),
+            stale: Counter::new(),
+        }
+    }
+
+    /// Cached location of `seg`, if present (possibly stale).
+    pub fn lookup(&mut self, seg: SegmentId) -> Option<SegmentLoc> {
+        self.clock += 1;
+        match self.entries.get_mut(&seg) {
+            Some((loc, stamp)) => {
+                *stamp = self.clock;
+                self.hits.inc();
+                Some(*loc)
+            }
+            None => {
+                self.misses.inc();
+                None
+            }
+        }
+    }
+
+    /// Install/update a translation (after a global-map lookup).
+    pub fn refill(&mut self, seg: SegmentId, loc: SegmentLoc) {
+        self.clock += 1;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&seg) {
+            let victim = *self
+                .entries
+                .iter()
+                .min_by_key(|(s, (_, stamp))| (*stamp, s.0))
+                .map(|(s, _)| s)
+                .expect("cache at capacity is non-empty");
+            self.entries.remove(&victim);
+        }
+        self.entries.insert(seg, (loc, self.clock));
+    }
+
+    /// Record that a cached translation turned out stale (migration raced).
+    pub fn note_stale(&mut self, seg: SegmentId) {
+        self.stale.inc();
+        self.entries.remove(&seg);
+    }
+
+    /// Drop a translation (segment freed).
+    pub fn invalidate(&mut self, seg: SegmentId) {
+        self.entries.remove(&seg);
+    }
+
+    /// Cache hits.
+    pub fn hit_count(&self) -> u64 {
+        self.hits.get()
+    }
+    /// Cache misses.
+    pub fn miss_count(&self) -> u64 {
+        self.misses.get()
+    }
+    /// Stale-entry faults.
+    pub fn stale_count(&self) -> u64 {
+        self.stale.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_map_lifecycle() {
+        let mut g = GlobalMap::new();
+        g.insert(SegmentId(1), NodeId(0));
+        assert_eq!(
+            g.lookup(SegmentId(1)),
+            Some(SegmentLoc {
+                server: NodeId(0),
+                epoch: 0
+            })
+        );
+        let loc = g.relocate(SegmentId(1), NodeId(2));
+        assert_eq!(loc.server, NodeId(2));
+        assert_eq!(loc.epoch, 1);
+        g.remove(SegmentId(1));
+        assert_eq!(g.lookup(SegmentId(1)), None);
+        assert_eq!(g.lookup_count(), 2);
+    }
+
+    #[test]
+    fn segments_on_filters_by_server() {
+        let mut g = GlobalMap::new();
+        g.insert(SegmentId(1), NodeId(0));
+        g.insert(SegmentId(2), NodeId(1));
+        g.insert(SegmentId(3), NodeId(0));
+        assert_eq!(g.segments_on(NodeId(0)), vec![SegmentId(1), SegmentId(3)]);
+    }
+
+    #[test]
+    fn local_map_resolution() {
+        let mut l = LocalMap::new();
+        l.insert(SegmentId(5), vec![FrameId(10), FrameId(11)]);
+        assert_eq!(l.resolve(SegmentId(5), 0), Some(FrameId(10)));
+        assert_eq!(l.resolve(SegmentId(5), 1), Some(FrameId(11)));
+        assert_eq!(l.resolve(SegmentId(5), 2), None);
+        assert_eq!(l.resolve(SegmentId(6), 0), None);
+        assert!(l.holds(SegmentId(5)));
+        assert_eq!(l.remove(SegmentId(5)), Some(vec![FrameId(10), FrameId(11)]));
+        assert!(!l.holds(SegmentId(5)));
+    }
+
+    #[test]
+    fn tlb_hit_miss_accounting() {
+        let mut t = TranslationCache::new(2);
+        assert_eq!(t.lookup(SegmentId(1)), None);
+        t.refill(
+            SegmentId(1),
+            SegmentLoc {
+                server: NodeId(3),
+                epoch: 0,
+            },
+        );
+        assert!(t.lookup(SegmentId(1)).is_some());
+        assert_eq!(t.hit_count(), 1);
+        assert_eq!(t.miss_count(), 1);
+    }
+
+    #[test]
+    fn tlb_evicts_lru() {
+        let mut t = TranslationCache::new(2);
+        let loc = |n| SegmentLoc {
+            server: NodeId(n),
+            epoch: 0,
+        };
+        t.refill(SegmentId(1), loc(1));
+        t.refill(SegmentId(2), loc(2));
+        t.lookup(SegmentId(1)); // refresh 1; 2 becomes LRU
+        t.refill(SegmentId(3), loc(3));
+        assert!(t.lookup(SegmentId(2)).is_none());
+        assert!(t.lookup(SegmentId(1)).is_some());
+        assert!(t.lookup(SegmentId(3)).is_some());
+    }
+
+    #[test]
+    fn stale_entries_are_dropped() {
+        let mut t = TranslationCache::new(4);
+        t.refill(
+            SegmentId(1),
+            SegmentLoc {
+                server: NodeId(0),
+                epoch: 0,
+            },
+        );
+        t.note_stale(SegmentId(1));
+        assert_eq!(t.stale_count(), 1);
+        assert!(t.lookup(SegmentId(1)).is_none());
+    }
+}

@@ -1,0 +1,362 @@
+//! The rack fabric: a single CXL switch in a star topology.
+//!
+//! Every node (server or pool appliance) attaches to the switch with one
+//! full-duplex link, modelled as two directed [`Link`]s (`up` toward the
+//! switch, `down` from it). A remote read occupies four wires — request flit
+//! on `up[requester]` and `down[holder]`, data payload on `up[holder]` and
+//! `down[requester]` — and experiences the profile's end-to-end loaded
+//! latency **once**, evaluated at the bottleneck utilization along the path
+//! (the profile's Table 2 endpoints are end-to-end measurements, so applying
+//! the curve per-hop would double count).
+//!
+//! Incast (the paper's §4.2 concern) is emergent: when many servers read
+//! from one holder, the holder's `up` wire serializes all payloads and the
+//! flows share its bandwidth.
+
+use crate::link::Link;
+use crate::profile::LinkProfile;
+use crate::types::{LinkId, NodeId, REQUEST_FLIT_BYTES};
+use lmp_sim::prelude::*;
+
+/// Completion report for one fabric operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FabricCompletion {
+    /// Instant the operation is fully complete at the requester.
+    pub complete: SimTime,
+    /// Loaded-latency component (end-to-end protocol latency).
+    pub latency: SimDuration,
+    /// Time spent queued behind other traffic (serialization backlog).
+    pub queued: SimDuration,
+}
+
+/// A star-topology fabric connecting `node_count` nodes through one switch.
+#[derive(Debug)]
+pub struct Fabric {
+    profile: LinkProfile,
+    /// Directed links: index `2n` is node n's up wire, `2n+1` its down wire.
+    links: Vec<Link>,
+    node_count: u32,
+    /// Extra per-hop switch latency (0 by default: the profile's endpoints
+    /// already include the switch, as in Table 2 / Pond).
+    switch_latency: SimDuration,
+    reads: Counter,
+    writes: Counter,
+    read_latency: Histogram,
+}
+
+impl Fabric {
+    /// Build a fabric of `node_count` nodes, all using `profile` links.
+    ///
+    /// # Panics
+    /// Panics when `node_count` is zero.
+    pub fn new(profile: LinkProfile, node_count: u32) -> Self {
+        assert!(node_count > 0, "fabric needs at least one node");
+        let links = (0..node_count * 2)
+            .map(|_| Link::new(profile.clone()))
+            .collect();
+        Fabric {
+            profile,
+            links,
+            node_count,
+            switch_latency: SimDuration::ZERO,
+            reads: Counter::new(),
+            writes: Counter::new(),
+            read_latency: Histogram::new(),
+        }
+    }
+
+    /// Add extra per-hop switch latency (for exploring deeper fabrics).
+    pub fn with_switch_latency(mut self, lat: SimDuration) -> Self {
+        self.switch_latency = lat;
+        self
+    }
+
+    /// Replace `node`'s links with `multiplier`× thicker ones — the paper's
+    /// "higher-capacity link or multiple links" provisioning for a physical
+    /// pool's switch↔pool connection.
+    ///
+    /// # Panics
+    /// Panics on an unknown node or non-positive multiplier.
+    pub fn provision_uplink(&mut self, node: NodeId, multiplier: f64) {
+        assert!(multiplier > 0.0, "link multiplier must be positive");
+        let p = LinkProfile::new(
+            format!("{}@{}x{multiplier:.0}", self.profile.name, node),
+            self.profile.curve,
+            self.profile.bandwidth.scale(multiplier),
+        );
+        let up = self.up_index(node);
+        let down = self.down_index(node);
+        self.links[up] = Link::new(p.clone());
+        self.links[down] = Link::new(p);
+    }
+
+    /// Number of attached nodes.
+    pub fn node_count(&self) -> u32 {
+        self.node_count
+    }
+
+    /// The default link profile.
+    pub fn profile(&self) -> &LinkProfile {
+        &self.profile
+    }
+
+    fn up_index(&self, node: NodeId) -> usize {
+        assert!(node.0 < self.node_count, "unknown node {node}");
+        node.0 as usize * 2
+    }
+
+    fn down_index(&self, node: NodeId) -> usize {
+        assert!(node.0 < self.node_count, "unknown node {node}");
+        node.0 as usize * 2 + 1
+    }
+
+    /// Id of `node`'s up (toward-switch) wire.
+    pub fn up(&self, node: NodeId) -> LinkId {
+        LinkId(self.up_index(node))
+    }
+
+    /// Id of `node`'s down (from-switch) wire.
+    pub fn down(&self, node: NodeId) -> LinkId {
+        LinkId(self.down_index(node))
+    }
+
+    /// Direct access to a link's telemetry.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.0]
+    }
+
+    /// Windowed utilization of a directed link.
+    pub fn link_utilization(&mut self, now: SimTime, id: LinkId) -> f64 {
+        self.links[id.0].utilization(now)
+    }
+
+    /// A remote read: `requester` loads `bytes` that reside on `holder`.
+    ///
+    /// # Panics
+    /// Panics if `requester == holder` — local accesses never touch the
+    /// fabric and must be served by the memory model instead.
+    pub fn read(
+        &mut self,
+        now: SimTime,
+        requester: NodeId,
+        holder: NodeId,
+        bytes: u64,
+    ) -> FabricCompletion {
+        assert!(
+            requester != holder,
+            "local access on the fabric: {requester}"
+        );
+        self.reads.inc();
+        // Bottleneck utilization along the data path, sampled pre-admission.
+        let u = self.path_utilization(now, requester, holder);
+        let latency = self.profile.curve.at(u) + self.switch_latency * 2;
+
+        // Request flits.
+        let r_up = self.up_index(requester);
+        let h_down = self.down_index(holder);
+        let q1 = self.links[r_up].transfer_wire(now, REQUEST_FLIT_BYTES);
+        let q2 = self.links[h_down].transfer_wire(q1.1, REQUEST_FLIT_BYTES);
+        // Data payload.
+        let h_up = self.up_index(holder);
+        let r_down = self.down_index(requester);
+        let d1 = self.links[h_up].transfer_wire(q2.1, bytes);
+        let d2 = self.links[r_down].transfer_wire(d1.1, bytes);
+
+        let wire_time = self.profile.bandwidth.time_to_transfer(bytes);
+        let unqueued = now
+            + self
+                .profile
+                .bandwidth
+                .time_to_transfer(REQUEST_FLIT_BYTES)
+                * 2
+            + wire_time * 2;
+        let complete = d2.1 + latency;
+        let queued = d2.1.saturating_duration_since(unqueued);
+        self.read_latency.record_duration(complete.duration_since(now));
+        FabricCompletion {
+            complete,
+            latency,
+            queued,
+        }
+    }
+
+    /// A remote write: `requester` stores `bytes` to memory on `holder`.
+    /// Payload flows requester→holder; a completion flit returns.
+    ///
+    /// # Panics
+    /// Panics if `requester == holder`.
+    pub fn write(
+        &mut self,
+        now: SimTime,
+        requester: NodeId,
+        holder: NodeId,
+        bytes: u64,
+    ) -> FabricCompletion {
+        assert!(
+            requester != holder,
+            "local access on the fabric: {requester}"
+        );
+        self.writes.inc();
+        let u = self.path_utilization(now, requester, holder);
+        let latency = self.profile.curve.at(u) + self.switch_latency * 2;
+
+        let r_up = self.up_index(requester);
+        let h_down = self.down_index(holder);
+        let d1 = self.links[r_up].transfer_wire(now, bytes);
+        let d2 = self.links[h_down].transfer_wire(d1.1, bytes);
+        // Completion flit back to the requester.
+        let h_up = self.up_index(holder);
+        let r_down = self.down_index(requester);
+        let c1 = self.links[h_up].transfer_wire(d2.1, REQUEST_FLIT_BYTES);
+        let c2 = self.links[r_down].transfer_wire(c1.1, REQUEST_FLIT_BYTES);
+
+        let wire_time = self.profile.bandwidth.time_to_transfer(bytes);
+        let unqueued = now
+            + wire_time * 2
+            + self
+                .profile
+                .bandwidth
+                .time_to_transfer(REQUEST_FLIT_BYTES)
+                * 2;
+        let complete = c2.1 + latency;
+        let queued = c2.1.saturating_duration_since(unqueued);
+        FabricCompletion {
+            complete,
+            latency,
+            queued,
+        }
+    }
+
+    fn path_utilization(&mut self, now: SimTime, a: NodeId, b: NodeId) -> f64 {
+        let ids = [
+            self.up_index(a),
+            self.down_index(a),
+            self.up_index(b),
+            self.down_index(b),
+        ];
+        ids.into_iter()
+            .map(|i| self.links[i].utilization(now))
+            .fold(0.0, f64::max)
+    }
+
+    /// Total remote reads served.
+    pub fn read_count(&self) -> u64 {
+        self.reads.get()
+    }
+
+    /// Total remote writes served.
+    pub fn write_count(&self) -> u64 {
+        self.writes.get()
+    }
+
+    /// Distribution of end-to-end read completion times (ns).
+    pub fn read_latency_histogram(&self) -> &Histogram {
+        &self.read_latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn idle_read_latency_is_profile_min() {
+        let mut f = Fabric::new(LinkProfile::link0(), 4);
+        let c = f.read(t(0), NodeId(0), NodeId(1), 64);
+        assert_eq!(c.latency.as_nanos(), 163);
+        assert_eq!(c.queued, SimDuration::ZERO);
+        // Completion includes flit+payload serialization on four wires.
+        assert!(c.complete > t(163));
+    }
+
+    #[test]
+    #[should_panic(expected = "local access")]
+    fn local_read_panics() {
+        let mut f = Fabric::new(LinkProfile::link0(), 4);
+        f.read(t(0), NodeId(2), NodeId(2), 64);
+    }
+
+    #[test]
+    fn incast_shares_holder_uplink() {
+        let mut f = Fabric::new(LinkProfile::link1(), 5);
+        let holder = NodeId(4);
+        let chunk = 1_000_000u64;
+        // Three requesters hammer the same holder simultaneously.
+        let mut ends = Vec::new();
+        for round in 0..30 {
+            for r in 0..3 {
+                let c = f.read(t(round), NodeId(r), holder, chunk);
+                ends.push(c.complete);
+            }
+        }
+        let total_bytes = 30 * 3 * chunk;
+        let done = ends.iter().max().copied().unwrap();
+        let achieved = Bandwidth::measured(total_bytes, done.duration_since(t(0)));
+        // Aggregate is capped by the holder's single 21 GB/s uplink.
+        assert!(achieved.as_gbps() < 22.0, "achieved {achieved}");
+        assert!(achieved.as_gbps() > 15.0, "achieved {achieved}");
+    }
+
+    #[test]
+    fn provisioned_uplink_relieves_incast() {
+        let mut thin = Fabric::new(LinkProfile::link1(), 5);
+        let mut thick = Fabric::new(LinkProfile::link1(), 5);
+        thick.provision_uplink(NodeId(4), 4.0);
+        let chunk = 1_000_000u64;
+        let run = |f: &mut Fabric| {
+            let mut done = t(0);
+            for round in 0..30 {
+                for r in 0..4 {
+                    let c = f.read(t(round), NodeId(r), NodeId(4), chunk);
+                    done = done.max(c.complete);
+                }
+            }
+            done
+        };
+        let thin_done = run(&mut thin);
+        let thick_done = run(&mut thick);
+        assert!(
+            thick_done < thin_done,
+            "thick uplink should finish sooner: {thick_done} vs {thin_done}"
+        );
+    }
+
+    #[test]
+    fn loaded_latency_rises_under_contention() {
+        let mut f = Fabric::new(LinkProfile::link1(), 2);
+        let first = f.read(t(0), NodeId(0), NodeId(1), 64).latency;
+        let mut last = first;
+        let mut now = t(0);
+        for _ in 0..5_000 {
+            last = f.read(now, NodeId(0), NodeId(1), 256 * 1024).latency;
+            now = now + SimDuration::from_nanos(50);
+        }
+        assert!(last > first, "latency did not rise: {first} -> {last}");
+        assert!(last.as_nanos() <= 527);
+    }
+
+    #[test]
+    fn write_counts_and_read_counts() {
+        let mut f = Fabric::new(LinkProfile::link0(), 3);
+        f.read(t(0), NodeId(0), NodeId(1), 64);
+        f.write(t(0), NodeId(0), NodeId(2), 64);
+        f.write(t(0), NodeId(1), NodeId(2), 64);
+        assert_eq!(f.read_count(), 1);
+        assert_eq!(f.write_count(), 2);
+        assert_eq!(f.read_latency_histogram().count(), 1);
+    }
+
+    #[test]
+    fn disjoint_pairs_do_not_queue_on_each_other() {
+        let mut f = Fabric::new(LinkProfile::link0(), 4);
+        let a = f.read(t(0), NodeId(0), NodeId(1), 1_000_000);
+        let b = f.read(t(0), NodeId(2), NodeId(3), 1_000_000);
+        assert_eq!(a.queued, SimDuration::ZERO);
+        assert_eq!(b.queued, SimDuration::ZERO);
+        assert_eq!(a.complete, b.complete);
+    }
+}

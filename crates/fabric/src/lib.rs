@@ -1,0 +1,29 @@
+//! # lmp-fabric — CXL-like rack fabric model
+//!
+//! The paper assumes a CXL 3.0 fabric (Global Shared Fabric-Attached Memory
+//! with Port-Based Routing) that does not exist yet; like the paper, which
+//! emulates it with UPI links, we model it with parameterized links whose
+//! loaded-latency endpoints and bandwidths are taken from the paper's
+//! Table 1 and Table 2.
+//!
+//! * [`profile::LinkProfile`] — the `(min latency, max latency, bandwidth)`
+//!   envelope, with `Link0`/`Link1`/`Pond`/`FPGA` presets.
+//! * [`link::Link`] — one directed wire: FIFO serialization plus a
+//!   load-dependent latency component.
+//! * [`fabric::Fabric`] — a star topology through one switch, with
+//!   emergent incast and per-link telemetry.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod fabric;
+pub mod link;
+pub mod profile;
+pub mod topology;
+pub mod types;
+
+pub use fabric::{Fabric, FabricCompletion};
+pub use link::{Link, LinkTransfer};
+pub use profile::LinkProfile;
+pub use topology::{Hop, LeafSpineFabric, RackCompletion};
+pub use types::{LinkId, MemOp, NodeId, REQUEST_FLIT_BYTES};

@@ -1,0 +1,146 @@
+//! Link performance profiles.
+//!
+//! A [`LinkProfile`] bundles the three numbers that characterize a fabric
+//! link in the paper: unloaded latency, fully-loaded latency, and bandwidth.
+//! The presets are the paper's measured/quoted configurations:
+//!
+//! | preset | source | min lat | max lat | bandwidth |
+//! |---|---|---|---|---|
+//! | [`LinkProfile::link0`] | Table 2, default UPI | 163 ns | 418 ns | 34.5 GB/s |
+//! | [`LinkProfile::link1`] | Table 2, slowed UPI (0.7 GHz uncore) | 261 ns | 527 ns | 21.0 GB/s |
+//! | [`LinkProfile::pond`]  | Table 1, Pond CXL estimate | 280 ns | 700 ns | 31 GB/s |
+//! | [`LinkProfile::fpga`]  | Table 1, FPGA CXL prototype | 303 ns | 758 ns | 20 GB/s |
+//!
+//! Pond/FPGA report only unloaded latency; their max is extrapolated with the
+//! same ~2.5× loaded/unloaded ratio Table 2 exhibits.
+
+use lmp_sim::latency::LoadedLatencyCurve;
+use lmp_sim::time::SimDuration;
+use lmp_sim::units::Bandwidth;
+
+/// Performance envelope of one fabric link (or link class).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkProfile {
+    /// Human-readable name used in reports ("Link0", "Link1", …).
+    pub name: String,
+    /// Read latency as a function of utilization.
+    pub curve: LoadedLatencyCurve,
+    /// Peak one-direction bandwidth.
+    pub bandwidth: Bandwidth,
+}
+
+impl LinkProfile {
+    /// Build a custom profile.
+    pub fn new(name: impl Into<String>, curve: LoadedLatencyCurve, bandwidth: Bandwidth) -> Self {
+        LinkProfile {
+            name: name.into(),
+            curve,
+            bandwidth,
+        }
+    }
+
+    /// Table 2 "Link0": the default UPI link the paper treats as an *upper
+    /// bound* on future CXL fabric performance.
+    pub fn link0() -> Self {
+        Self::new(
+            "Link0",
+            LoadedLatencyCurve::from_nanos(163, 418),
+            Bandwidth::from_gbps(34.5),
+        )
+    }
+
+    /// Table 2 "Link1": UPI slowed by dropping the remote uncore to 0.7 GHz;
+    /// the paper's closer approximation of real CXL fabrics.
+    pub fn link1() -> Self {
+        Self::new(
+            "Link1",
+            LoadedLatencyCurve::from_nanos(261, 527),
+            Bandwidth::from_gbps(21.0),
+        )
+    }
+
+    /// Table 1 "CXL remote memory" per Pond: 280 ns latency (switch
+    /// estimate), 31 GB/s (PCIe5 ×8 max).
+    pub fn pond() -> Self {
+        Self::new(
+            "Pond",
+            LoadedLatencyCurve::from_nanos(280, 700),
+            Bandwidth::from_gbps(31.0),
+        )
+    }
+
+    /// Table 1 "CXL remote memory" per the FPGA prototype: 303 ns, 20 GB/s
+    /// (DDR4 behind PCIe5 ×16).
+    pub fn fpga() -> Self {
+        Self::new(
+            "FPGA",
+            LoadedLatencyCurve::from_nanos(303, 758),
+            Bandwidth::from_gbps(20.0),
+        )
+    }
+
+    /// Derive a profile scaled by a "slowdown of disaggregated memory
+    /// relative to local memory" factor, the parameterization the paper uses
+    /// when exploring fabrics that do not exist yet (§1): latency endpoints
+    /// are multiplied by `slowdown`, bandwidth divided by it.
+    ///
+    /// # Panics
+    /// Panics for non-positive `slowdown`.
+    pub fn slowed(&self, slowdown: f64) -> Self {
+        assert!(slowdown > 0.0, "slowdown must be positive: {slowdown}");
+        let min = self.curve.min().mul_f64(slowdown);
+        let max = self.curve.max().mul_f64(slowdown);
+        Self::new(
+            format!("{}x{:.1}", self.name, slowdown),
+            LoadedLatencyCurve::new(min, max),
+            self.bandwidth.scale(1.0 / slowdown),
+        )
+    }
+
+    /// Unloaded read latency.
+    pub fn min_latency(&self) -> SimDuration {
+        self.curve.min()
+    }
+
+    /// Fully loaded read latency.
+    pub fn max_latency(&self) -> SimDuration {
+        self.curve.max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_tables() {
+        let l0 = LinkProfile::link0();
+        assert_eq!(l0.min_latency().as_nanos(), 163);
+        assert_eq!(l0.max_latency().as_nanos(), 418);
+        assert!((l0.bandwidth.as_gbps() - 34.5).abs() < 1e-9);
+
+        let l1 = LinkProfile::link1();
+        assert_eq!(l1.min_latency().as_nanos(), 261);
+        assert_eq!(l1.max_latency().as_nanos(), 527);
+        assert!((l1.bandwidth.as_gbps() - 21.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table1_presets() {
+        assert_eq!(LinkProfile::pond().min_latency().as_nanos(), 280);
+        assert!((LinkProfile::fpga().bandwidth.as_gbps() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slowdown_scales_both_axes() {
+        let s = LinkProfile::link0().slowed(2.0);
+        assert_eq!(s.min_latency().as_nanos(), 326);
+        assert!((s.bandwidth.as_gbps() - 17.25).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "slowdown must be positive")]
+    fn zero_slowdown_rejected() {
+        let _ = LinkProfile::link0().slowed(0.0);
+    }
+}

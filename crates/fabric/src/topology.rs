@@ -1,0 +1,290 @@
+//! Rack-scale topology with Port-Based Routing.
+//!
+//! §2.2: "Global FAMs that use Port Based Routing (PBR) allow them to
+//! scale to a rack." A single switch runs out of ports; the scaled form is
+//! a two-level leaf–spine: every node attaches to a leaf switch, leaves
+//! attach to one spine. PBR is the static routing this topology needs — a
+//! destination node id resolves to a port at every hop, with no in-switch
+//! state per flow.
+//!
+//! Same-leaf traffic behaves like the single-switch [`Fabric`]
+//! (one switch hop); cross-leaf traffic additionally crosses both leaf
+//! uplinks and the spine (three switch hops) and contends on the leaf
+//! uplinks — the oversubscription knob `uplink_multiplier` decides how
+//! painful that is.
+
+use crate::link::Link;
+use crate::profile::LinkProfile;
+use crate::types::{NodeId, REQUEST_FLIT_BYTES};
+use lmp_sim::prelude::*;
+
+/// One hop of a PBR route (for tests and telemetry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Hop {
+    /// Leaf switch `leaf`, egress toward an attached node.
+    LeafDown(u32),
+    /// Leaf switch `leaf`, egress toward the spine.
+    LeafUp(u32),
+    /// The spine, egress toward leaf `leaf`.
+    SpineDown(u32),
+}
+
+/// Completion report for one operation on the leaf–spine fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RackCompletion {
+    /// Instant the operation is complete at the requester.
+    pub complete: SimTime,
+    /// End-to-end latency component.
+    pub latency: SimDuration,
+    /// Switch hops the data path crossed (1 same-leaf, 3 cross-leaf).
+    pub hops: u32,
+}
+
+/// A two-level leaf–spine fabric.
+#[derive(Debug)]
+pub struct LeafSpineFabric {
+    profile: LinkProfile,
+    leaves: u32,
+    per_leaf: u32,
+    /// Per-hop latency added beyond the first switch (the profile's curve
+    /// covers one-switch paths, as measured in Table 2).
+    extra_hop: SimDuration,
+    /// 2 wires per node: up (to its leaf), down (from it).
+    node_links: Vec<Link>,
+    /// 2 wires per leaf: up (to the spine), down (from it).
+    leaf_links: Vec<Link>,
+    reads: Counter,
+    cross_leaf_reads: Counter,
+}
+
+impl LeafSpineFabric {
+    /// A rack of `leaves × per_leaf` nodes. Leaf uplinks get
+    /// `uplink_multiplier`× the node link bandwidth (1.0 = fully
+    /// oversubscribed when a leaf is busy, `per_leaf as f64` = non-blocking).
+    ///
+    /// # Panics
+    /// Panics for zero sizes or a non-positive multiplier.
+    pub fn new(
+        profile: LinkProfile,
+        leaves: u32,
+        per_leaf: u32,
+        uplink_multiplier: f64,
+        extra_hop: SimDuration,
+    ) -> Self {
+        assert!(leaves > 0 && per_leaf > 0, "empty rack");
+        assert!(uplink_multiplier > 0.0, "uplink multiplier must be positive");
+        let node_links = (0..leaves * per_leaf * 2)
+            .map(|_| Link::new(profile.clone()))
+            .collect();
+        let up_profile = LinkProfile::new(
+            format!("{}-leafup", profile.name),
+            profile.curve,
+            profile.bandwidth.scale(uplink_multiplier),
+        );
+        let leaf_links = (0..leaves * 2).map(|_| Link::new(up_profile.clone())).collect();
+        LeafSpineFabric {
+            profile,
+            leaves,
+            per_leaf,
+            extra_hop,
+            node_links,
+            leaf_links,
+            reads: Counter::new(),
+            cross_leaf_reads: Counter::new(),
+        }
+    }
+
+    /// Total nodes in the rack.
+    pub fn node_count(&self) -> u32 {
+        self.leaves * self.per_leaf
+    }
+
+    /// The leaf a node attaches to.
+    pub fn leaf_of(&self, node: NodeId) -> u32 {
+        assert!(node.0 < self.node_count(), "unknown node {node}");
+        node.0 / self.per_leaf
+    }
+
+    /// The PBR route for the data path of a read from `holder` to
+    /// `requester` (static — derived from ids alone, the PBR property).
+    pub fn route(&self, requester: NodeId, holder: NodeId) -> Vec<Hop> {
+        let (rl, hl) = (self.leaf_of(requester), self.leaf_of(holder));
+        if rl == hl {
+            vec![Hop::LeafDown(rl)]
+        } else {
+            vec![Hop::LeafUp(hl), Hop::SpineDown(rl), Hop::LeafDown(rl)]
+        }
+    }
+
+    fn node_up(&self, n: NodeId) -> usize {
+        n.0 as usize * 2
+    }
+    fn node_down(&self, n: NodeId) -> usize {
+        n.0 as usize * 2 + 1
+    }
+    fn leaf_up(&self, l: u32) -> usize {
+        l as usize * 2
+    }
+    fn leaf_down(&self, l: u32) -> usize {
+        l as usize * 2 + 1
+    }
+
+    /// A remote read of `bytes` held by `holder`, issued by `requester`.
+    ///
+    /// # Panics
+    /// Panics for a same-node "remote" access.
+    pub fn read(
+        &mut self,
+        now: SimTime,
+        requester: NodeId,
+        holder: NodeId,
+        bytes: u64,
+    ) -> RackCompletion {
+        assert!(requester != holder, "local access on the fabric");
+        self.reads.inc();
+        let same_leaf = self.leaf_of(requester) == self.leaf_of(holder);
+        // Bottleneck utilization over the data path, pre-admission.
+        let mut u: f64 = 0.0;
+        let path_wires: Vec<usize> = if same_leaf {
+            vec![self.node_up(holder), self.node_down(requester)]
+        } else {
+            self.cross_leaf_reads.inc();
+            vec![self.node_up(holder), self.node_down(requester)]
+        };
+        for &w in &path_wires {
+            u = u.max(self.node_links[w].utilization(now));
+        }
+        let (hl, rl) = (self.leaf_of(holder), self.leaf_of(requester));
+        if !same_leaf {
+            let (lu, ld) = (self.leaf_up(hl), self.leaf_down(rl));
+            u = u.max(self.leaf_links[lu].utilization(now));
+            u = u.max(self.leaf_links[ld].utilization(now));
+        }
+        let hops = if same_leaf { 1 } else { 3 };
+        let latency = self.profile.curve.at(u) + self.extra_hop * (hops - 1) as u64;
+
+        // Request flit to the holder.
+        let (ru, hd, hu, rd) = (
+            self.node_up(requester),
+            self.node_down(holder),
+            self.node_up(holder),
+            self.node_down(requester),
+        );
+        let q1 = self.node_links[ru].transfer_wire(now, REQUEST_FLIT_BYTES);
+        let q2 = self.node_links[hd].transfer_wire(q1.1, REQUEST_FLIT_BYTES);
+        // Data payload back, hop by hop.
+        let d1 = self.node_links[hu].transfer_wire(q2.1, bytes);
+        let mut t = d1.1;
+        if !same_leaf {
+            let (lui, ldi) = (self.leaf_up(hl), self.leaf_down(rl));
+            let lu = self.leaf_links[lui].transfer_wire(t, bytes);
+            let ld = self.leaf_links[ldi].transfer_wire(lu.1, bytes);
+            t = ld.1;
+        }
+        let d2 = self.node_links[rd].transfer_wire(t, bytes);
+        RackCompletion {
+            complete: d2.1 + latency,
+            latency,
+            hops,
+        }
+    }
+
+    /// Total reads served.
+    pub fn read_count(&self) -> u64 {
+        self.reads.get()
+    }
+
+    /// Reads that crossed the spine.
+    pub fn cross_leaf_read_count(&self) -> u64 {
+        self.cross_leaf_reads.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rack(uplink: f64) -> LeafSpineFabric {
+        // 2 leaves × 4 nodes, Link1 class, 40ns per extra switch hop.
+        LeafSpineFabric::new(
+            LinkProfile::link1(),
+            2,
+            4,
+            uplink,
+            SimDuration::from_nanos(40),
+        )
+    }
+
+    #[test]
+    fn pbr_routes_are_static_and_correct() {
+        let f = rack(1.0);
+        assert_eq!(f.leaf_of(NodeId(0)), 0);
+        assert_eq!(f.leaf_of(NodeId(3)), 0);
+        assert_eq!(f.leaf_of(NodeId(4)), 1);
+        assert_eq!(f.route(NodeId(0), NodeId(1)), vec![Hop::LeafDown(0)]);
+        assert_eq!(
+            f.route(NodeId(0), NodeId(5)),
+            vec![Hop::LeafUp(1), Hop::SpineDown(0), Hop::LeafDown(0)]
+        );
+    }
+
+    #[test]
+    fn cross_leaf_pays_extra_hops() {
+        let mut f = rack(4.0);
+        let same = f.read(SimTime::ZERO, NodeId(0), NodeId(1), 64);
+        let cross = f.read(SimTime::ZERO, NodeId(0), NodeId(5), 64);
+        assert_eq!(same.hops, 1);
+        assert_eq!(cross.hops, 3);
+        assert_eq!(
+            cross.latency.as_nanos(),
+            same.latency.as_nanos() + 80,
+            "two extra 40ns hops"
+        );
+        assert!(cross.complete > same.complete);
+    }
+
+    #[test]
+    fn oversubscribed_uplink_throttles_cross_leaf_traffic() {
+        // 1x uplink: 4 cross-leaf streams share one 21 GB/s leaf uplink.
+        let mut thin = rack(1.0);
+        let mut fat = rack(4.0);
+        let run = |f: &mut LeafSpineFabric| {
+            let mut done = SimTime::ZERO;
+            for round in 0..50u64 {
+                for n in 0..4u32 {
+                    // Every leaf-0 node reads from its leaf-1 counterpart.
+                    let c = f.read(SimTime::from_nanos(round), NodeId(n), NodeId(4 + n), 500_000);
+                    done = done.max(c.complete);
+                }
+            }
+            done
+        };
+        let thin_done = run(&mut thin);
+        let fat_done = run(&mut fat);
+        assert!(
+            thin_done.as_nanos() > fat_done.as_nanos() * 3,
+            "1x uplink should be ~4x slower: {thin_done} vs {fat_done}"
+        );
+        assert_eq!(thin.cross_leaf_read_count(), 200);
+    }
+
+    #[test]
+    fn same_leaf_traffic_ignores_the_spine() {
+        let mut f = rack(1.0);
+        // Saturate the leaf-0 uplink with cross-leaf traffic…
+        for i in 0..50u64 {
+            f.read(SimTime::from_nanos(i), NodeId(4), NodeId(0), 2_000_000);
+        }
+        // …same-leaf latency within leaf 1 is unaffected (its own wires are
+        // idle).
+        let c = f.read(SimTime::ZERO, NodeId(5), NodeId(6), 64);
+        assert_eq!(c.latency.as_nanos(), 261, "unloaded same-leaf latency");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node")]
+    fn out_of_rack_node_rejected() {
+        let f = rack(1.0);
+        f.leaf_of(NodeId(8));
+    }
+}

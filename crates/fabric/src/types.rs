@@ -1,0 +1,51 @@
+//! Fabric-wide identifier types.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A node attached to the fabric: a server, or (in the physical-pool
+/// baseline) the memory-pool appliance.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A directed link in the fabric (identified by index into the fabric's
+/// link table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId(pub usize);
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+/// The direction of a memory operation crossing the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemOp {
+    /// CXL.mem read (MemRd → data response).
+    Read,
+    /// CXL.mem write (MemWr → completion).
+    Write,
+}
+
+/// Size in bytes of a CXL.mem request flit (header-only message).
+pub const REQUEST_FLIT_BYTES: u64 = 64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(LinkId(7).to_string(), "l7");
+    }
+}

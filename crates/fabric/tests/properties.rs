@@ -1,0 +1,106 @@
+//! Property tests for the fabric model.
+
+use lmp_fabric::{Fabric, Link, LinkProfile, NodeId};
+use lmp_sim::prelude::*;
+use proptest::prelude::*;
+
+fn any_profile() -> impl Strategy<Value = LinkProfile> {
+    (50u64..500, 0u64..2_000, 1.0f64..100.0).prop_map(|(min, extra, gbps)| {
+        LinkProfile::new(
+            "prop",
+            lmp_sim::latency::LoadedLatencyCurve::from_nanos(min, min + extra),
+            Bandwidth::from_gbps(gbps),
+        )
+    })
+}
+
+proptest! {
+    /// Link latency is always within the profile's [min, max] envelope,
+    /// whatever the traffic pattern.
+    #[test]
+    fn link_latency_bounded(
+        profile in any_profile(),
+        ops in proptest::collection::vec((0u64..10_000, 64u64..1_000_000), 1..200),
+    ) {
+        let (lo, hi) = (profile.min_latency(), profile.max_latency());
+        let mut link = Link::new(profile);
+        let mut sorted = ops.clone();
+        sorted.sort_unstable();
+        for (t, bytes) in sorted {
+            let tr = link.transfer(SimTime::from_nanos(t), bytes);
+            prop_assert!(tr.latency >= lo && tr.latency <= hi,
+                "latency {} outside [{lo}, {hi}]", tr.latency);
+            prop_assert!(tr.wire_done >= tr.start);
+        }
+    }
+
+    /// Wire occupancy is work-conserving and FIFO: with admissions in time
+    /// order, starts never precede admissions and never overlap.
+    #[test]
+    fn link_wire_is_serial(
+        ops in proptest::collection::vec((0u64..10_000, 64u64..100_000), 1..100),
+    ) {
+        let mut link = Link::new(LinkProfile::link1());
+        let mut sorted = ops.clone();
+        sorted.sort_unstable();
+        let mut last_done = SimTime::ZERO;
+        for (t, bytes) in sorted {
+            let now = SimTime::from_nanos(t);
+            let tr = link.transfer(now, bytes);
+            prop_assert!(tr.start >= now);
+            prop_assert!(tr.start >= last_done, "wire overlap");
+            last_done = tr.wire_done;
+        }
+    }
+
+    /// Fabric reads complete after their issue time plus at least the
+    /// unloaded latency, and byte counters add up.
+    #[test]
+    fn fabric_read_lower_bound(
+        pairs in proptest::collection::vec((0u32..4, 0u32..4, 64u64..1_000_000), 1..100),
+    ) {
+        let mut fabric = Fabric::new(LinkProfile::link0(), 4);
+        let mut total = 0u64;
+        for (a, b, bytes) in pairs {
+            if a == b {
+                continue;
+            }
+            let c = fabric.read(SimTime::ZERO, NodeId(a), NodeId(b), bytes);
+            prop_assert!(
+                c.complete >= SimTime::ZERO + SimDuration::from_nanos(163),
+                "read faster than unloaded latency"
+            );
+            total += bytes;
+        }
+        // Every payload crossed exactly two wires (holder up + requester
+        // down), plus two 64B flits.
+        let wires: u64 = (0..4)
+            .flat_map(|n| {
+                [
+                    fabric.link(fabric.up(NodeId(n))).bytes_sent(),
+                    fabric.link(fabric.down(NodeId(n))).bytes_sent(),
+                ]
+            })
+            .sum();
+        prop_assert_eq!(wires, total * 2 + fabric.read_count() * 2 * 64);
+    }
+
+    /// Aggregate throughput through one node never exceeds its link rate.
+    #[test]
+    fn node_throughput_capped(
+        requesters in proptest::collection::vec(0u32..3, 10..100),
+    ) {
+        let mut fabric = Fabric::new(LinkProfile::link1(), 4);
+        let holder = NodeId(3);
+        let chunk = 500_000u64;
+        let mut done = SimTime::ZERO;
+        let mut total = 0u64;
+        for (i, r) in requesters.iter().enumerate() {
+            let c = fabric.read(SimTime::from_nanos(i as u64), NodeId(*r), holder, chunk);
+            done = done.max(c.complete);
+            total += chunk;
+        }
+        let bw = Bandwidth::measured(total, done.duration_since(SimTime::ZERO));
+        prop_assert!(bw.as_gbps() <= 21.5, "exceeded holder uplink: {bw}");
+    }
+}

@@ -1,0 +1,170 @@
+//! Physical frames and the per-node frame allocator.
+//!
+//! Memory is managed in 2 MiB frames (matching x86 huge pages, the natural
+//! granularity for pooled memory: coarse enough that 96 GB is ~49k frames,
+//! fine enough for placement and migration decisions). The allocator is a
+//! deterministic free-set: allocation always returns the lowest free frame,
+//! so runs replay identically.
+
+use std::collections::BTreeSet;
+
+/// Size of one physical frame.
+pub const FRAME_BYTES: u64 = 2 * 1024 * 1024;
+
+/// Index of a frame within one node's memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FrameId(pub u64);
+
+/// Errors from frame allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// Not enough free frames to satisfy the request.
+    OutOfFrames,
+    /// The frame was not allocated (double free or foreign frame).
+    NotAllocated,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::OutOfFrames => write!(f, "out of frames"),
+            FrameError::NotAllocated => write!(f, "frame not allocated"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Deterministic lowest-first frame allocator.
+#[derive(Debug, Clone)]
+pub struct FrameAllocator {
+    total: u64,
+    free: BTreeSet<u64>,
+}
+
+impl FrameAllocator {
+    /// An allocator over `total` frames, all initially free.
+    pub fn new(total: u64) -> Self {
+        FrameAllocator {
+            total,
+            free: (0..total).collect(),
+        }
+    }
+
+    /// Build sized in bytes, rounding **down** to whole frames.
+    pub fn with_capacity_bytes(bytes: u64) -> Self {
+        Self::new(bytes / FRAME_BYTES)
+    }
+
+    /// Total frames managed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Frames currently free.
+    pub fn free_count(&self) -> u64 {
+        self.free.len() as u64
+    }
+
+    /// Frames currently allocated.
+    pub fn allocated(&self) -> u64 {
+        self.total - self.free_count()
+    }
+
+    /// Whether `frame` is currently allocated.
+    pub fn is_allocated(&self, frame: FrameId) -> bool {
+        frame.0 < self.total && !self.free.contains(&frame.0)
+    }
+
+    /// Allocate the lowest-numbered free frame.
+    pub fn alloc(&mut self) -> Result<FrameId, FrameError> {
+        match self.free.iter().next().copied() {
+            Some(f) => {
+                self.free.remove(&f);
+                Ok(FrameId(f))
+            }
+            None => Err(FrameError::OutOfFrames),
+        }
+    }
+
+    /// Allocate `n` frames (not necessarily contiguous), lowest-first.
+    /// All-or-nothing: on failure nothing is allocated.
+    pub fn alloc_many(&mut self, n: u64) -> Result<Vec<FrameId>, FrameError> {
+        if self.free_count() < n {
+            return Err(FrameError::OutOfFrames);
+        }
+        Ok((0..n).map(|_| self.alloc().expect("checked")).collect())
+    }
+
+    /// Free a frame.
+    pub fn free(&mut self, frame: FrameId) -> Result<(), FrameError> {
+        if frame.0 >= self.total || self.free.contains(&frame.0) {
+            return Err(FrameError::NotAllocated);
+        }
+        self.free.insert(frame.0);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_lowest_first() {
+        let mut a = FrameAllocator::new(4);
+        assert_eq!(a.alloc().unwrap(), FrameId(0));
+        assert_eq!(a.alloc().unwrap(), FrameId(1));
+        a.free(FrameId(0)).unwrap();
+        assert_eq!(a.alloc().unwrap(), FrameId(0));
+    }
+
+    #[test]
+    fn exhaustion() {
+        let mut a = FrameAllocator::new(2);
+        a.alloc().unwrap();
+        a.alloc().unwrap();
+        assert_eq!(a.alloc(), Err(FrameError::OutOfFrames));
+        assert_eq!(a.allocated(), 2);
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let mut a = FrameAllocator::new(2);
+        let f = a.alloc().unwrap();
+        a.free(f).unwrap();
+        assert_eq!(a.free(f), Err(FrameError::NotAllocated));
+    }
+
+    #[test]
+    fn foreign_frame_rejected() {
+        let mut a = FrameAllocator::new(2);
+        assert_eq!(a.free(FrameId(99)), Err(FrameError::NotAllocated));
+    }
+
+    #[test]
+    fn alloc_many_is_atomic() {
+        let mut a = FrameAllocator::new(3);
+        assert!(a.alloc_many(4).is_err());
+        assert_eq!(a.free_count(), 3);
+        let got = a.alloc_many(3).unwrap();
+        assert_eq!(got.len(), 3);
+        assert_eq!(a.free_count(), 0);
+    }
+
+    #[test]
+    fn capacity_bytes_rounds_down() {
+        let a = FrameAllocator::with_capacity_bytes(5 * FRAME_BYTES - 1);
+        assert_eq!(a.total(), 4);
+    }
+
+    #[test]
+    fn is_allocated_tracks_state() {
+        let mut a = FrameAllocator::new(2);
+        let f = a.alloc().unwrap();
+        assert!(a.is_allocated(f));
+        a.free(f).unwrap();
+        assert!(!a.is_allocated(f));
+        assert!(!a.is_allocated(FrameId(5)));
+    }
+}

@@ -1,0 +1,312 @@
+//! A node's complete memory system.
+//!
+//! [`MemoryNode`] combines the frame split, DRAM timing, optional
+//! materialized contents, and hotness telemetry. It models both a server's
+//! local memory (private + shared regions) and — with an all-shared split —
+//! a CXL Type-3 fabric-attached memory appliance
+//! ([`MemoryNode::fam_device`]), so the logical and physical architectures
+//! are built from the same substrate and differ only in configuration,
+//! exactly the comparison the paper makes.
+
+use crate::dram::{DramChannel, DramCompletion, DramProfile};
+use crate::frame::{FrameId, FRAME_BYTES};
+use crate::hotness::{AccessorId, HotnessMap};
+use crate::region::{RegionError, RegionKind, RegionSplit};
+use crate::store::FrameStore;
+use lmp_sim::prelude::*;
+
+/// A server's (or memory appliance's) memory system.
+#[derive(Debug)]
+pub struct MemoryNode {
+    name: String,
+    split: RegionSplit,
+    dram: DramChannel,
+    store: FrameStore,
+    hotness: HotnessMap,
+    local_accesses: Counter,
+    remote_accesses: Counter,
+    failed: bool,
+}
+
+impl MemoryNode {
+    /// A node with `capacity_bytes` of DRAM, `shared_bytes` of which may be
+    /// lent to the pool. Byte sizes round down to whole 2 MiB frames.
+    ///
+    /// # Panics
+    /// Panics if the shared budget exceeds capacity.
+    pub fn new(
+        name: impl Into<String>,
+        capacity_bytes: u64,
+        shared_bytes: u64,
+        profile: DramProfile,
+    ) -> Self {
+        let total = capacity_bytes / FRAME_BYTES;
+        let shared = shared_bytes / FRAME_BYTES;
+        MemoryNode {
+            name: name.into(),
+            split: RegionSplit::new(total, shared),
+            dram: DramChannel::new(profile),
+            store: FrameStore::new(),
+            hotness: HotnessMap::new(),
+            local_accesses: Counter::new(),
+            remote_accesses: Counter::new(),
+            failed: false,
+        }
+    }
+
+    /// A CXL Type-3 FAM appliance: every frame is shared (pooled), none
+    /// private — there is no local OS or process state in the box.
+    pub fn fam_device(name: impl Into<String>, capacity_bytes: u64, profile: DramProfile) -> Self {
+        Self::new(name, capacity_bytes, capacity_bytes, profile)
+    }
+
+    /// Node name for reports.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The region split (budgets, usage, resize).
+    pub fn split(&self) -> &RegionSplit {
+        &self.split
+    }
+
+    /// Mutable region split, for resizing policies.
+    pub fn split_mut(&mut self) -> &mut RegionSplit {
+        &mut self.split
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.split.total() * FRAME_BYTES
+    }
+
+    /// Shared-region budget in bytes.
+    pub fn shared_bytes(&self) -> u64 {
+        self.split.shared_budget() * FRAME_BYTES
+    }
+
+    /// Allocate a frame in the given region.
+    pub fn alloc(&mut self, kind: RegionKind) -> Result<FrameId, RegionError> {
+        self.ensure_alive();
+        self.split.alloc(kind)
+    }
+
+    /// Allocate `n` frames; all-or-nothing.
+    pub fn alloc_many(&mut self, kind: RegionKind, n: u64) -> Result<Vec<FrameId>, RegionError> {
+        self.ensure_alive();
+        self.split.alloc_many(kind, n)
+    }
+
+    /// Free a frame and discard any materialized contents.
+    pub fn free(&mut self, frame: FrameId) -> Result<(), RegionError> {
+        self.split.free(frame)?;
+        self.store.discard(frame);
+        self.hotness.forget(frame);
+        Ok(())
+    }
+
+    /// Time an access of `bytes` against this node's DRAM, attributing it to
+    /// `accessor` (equal to this node's id for local accesses). `frame`
+    /// feeds hotness tracking when known.
+    pub fn access(
+        &mut self,
+        now: SimTime,
+        bytes: u64,
+        accessor: AccessorId,
+        local: bool,
+        frame: Option<FrameId>,
+    ) -> DramCompletion {
+        self.ensure_alive();
+        if local {
+            self.local_accesses.inc();
+        } else {
+            self.remote_accesses.inc();
+        }
+        if let Some(f) = frame {
+            self.hotness.record(f, accessor, 1);
+        }
+        self.dram.access(now, bytes)
+    }
+
+    /// Materialized-byte write into an allocated frame.
+    ///
+    /// # Panics
+    /// Panics on unallocated frames (use `alloc` first) or crashed nodes.
+    pub fn write_bytes(&mut self, frame: FrameId, offset: u64, data: &[u8]) {
+        self.ensure_alive();
+        assert!(
+            self.split.kind_of(frame).is_some(),
+            "write to unallocated frame {frame:?} on {}",
+            self.name
+        );
+        self.store.write(frame, offset, data);
+    }
+
+    /// Materialized-byte read from an allocated frame.
+    ///
+    /// # Panics
+    /// Panics on unallocated frames or crashed nodes.
+    pub fn read_bytes(&self, frame: FrameId, offset: u64, len: usize) -> Vec<u8> {
+        assert!(!self.failed, "read from crashed node {}", self.name);
+        assert!(
+            self.split.kind_of(frame).is_some(),
+            "read from unallocated frame {frame:?} on {}",
+            self.name
+        );
+        self.store.read(frame, offset, len)
+    }
+
+    /// Copy out a whole frame (for migration and reconstruction).
+    pub fn read_frame(&self, frame: FrameId) -> Vec<u8> {
+        assert!(!self.failed, "read from crashed node {}", self.name);
+        self.store.read_frame(frame)
+    }
+
+    /// Replace a whole frame (for migration and reconstruction).
+    pub fn write_frame(&mut self, frame: FrameId, data: &[u8]) {
+        self.ensure_alive();
+        self.store.write_frame(frame, data);
+    }
+
+    /// Hotness telemetry.
+    pub fn hotness(&self) -> &HotnessMap {
+        &self.hotness
+    }
+
+    /// Mutable hotness telemetry (epoch ticks).
+    pub fn hotness_mut(&mut self) -> &mut HotnessMap {
+        &mut self.hotness
+    }
+
+    /// DRAM channel telemetry.
+    pub fn dram(&self) -> &DramChannel {
+        &self.dram
+    }
+
+    /// Mutable DRAM channel (utilization queries need `&mut`).
+    pub fn dram_mut(&mut self) -> &mut DramChannel {
+        &mut self.dram
+    }
+
+    /// Accesses issued by this node's own processors.
+    pub fn local_access_count(&self) -> u64 {
+        self.local_accesses.get()
+    }
+
+    /// Accesses served on behalf of remote nodes.
+    pub fn remote_access_count(&self) -> u64 {
+        self.remote_accesses.get()
+    }
+
+    /// Crash the node: its memory (and pool contribution) disappears.
+    pub fn crash(&mut self) {
+        self.failed = true;
+    }
+
+    /// Whether the node has crashed.
+    pub fn is_failed(&self) -> bool {
+        self.failed
+    }
+
+    /// Restart a crashed node with empty memory (all frames free).
+    pub fn restart(&mut self) {
+        let total = self.split.total();
+        let shared = self.split.shared_budget();
+        self.split = RegionSplit::new(total, shared);
+        self.store = FrameStore::new();
+        self.hotness = HotnessMap::new();
+        self.failed = false;
+    }
+
+    fn ensure_alive(&self) {
+        assert!(!self.failed, "operation on crashed node {}", self.name);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmp_sim::units::GIB;
+
+    fn node() -> MemoryNode {
+        MemoryNode::new("s0", GIB, GIB / 2, DramProfile::xeon_gold_5120())
+    }
+
+    #[test]
+    fn capacity_accounting() {
+        let n = node();
+        assert_eq!(n.capacity_bytes(), GIB);
+        assert_eq!(n.shared_bytes(), GIB / 2);
+    }
+
+    #[test]
+    fn fam_device_is_all_shared() {
+        let d = MemoryNode::fam_device("pool", GIB, DramProfile::xeon_gold_5120());
+        assert_eq!(d.split().shared_budget(), d.split().total());
+        assert_eq!(d.split().private_budget(), 0);
+    }
+
+    #[test]
+    fn alloc_access_free_cycle() {
+        let mut n = node();
+        let f = n.alloc(RegionKind::Shared).unwrap();
+        let c = n.access(SimTime::ZERO, 64, 0, true, Some(f));
+        assert_eq!(c.latency.as_nanos(), 82);
+        assert_eq!(n.local_access_count(), 1);
+        assert_eq!(n.hotness().total(f), 1);
+        n.free(f).unwrap();
+        assert_eq!(n.hotness().total(f), 0);
+    }
+
+    #[test]
+    fn local_vs_remote_counters() {
+        let mut n = node();
+        n.access(SimTime::ZERO, 64, 0, true, None);
+        n.access(SimTime::ZERO, 64, 1, false, None);
+        n.access(SimTime::ZERO, 64, 2, false, None);
+        assert_eq!(n.local_access_count(), 1);
+        assert_eq!(n.remote_access_count(), 2);
+    }
+
+    #[test]
+    fn bytes_survive_until_free() {
+        let mut n = node();
+        let f = n.alloc(RegionKind::Private).unwrap();
+        n.write_bytes(f, 0, b"data");
+        assert_eq!(n.read_bytes(f, 0, 4), b"data");
+        n.free(f).unwrap();
+        let f2 = n.alloc(RegionKind::Private).unwrap();
+        assert_eq!(f2, f, "lowest-first reuse");
+        assert_eq!(n.read_bytes(f2, 0, 4), vec![0; 4], "no stale data leak");
+    }
+
+    #[test]
+    #[should_panic(expected = "unallocated frame")]
+    fn write_to_unallocated_panics() {
+        let mut n = node();
+        n.write_bytes(FrameId(0), 0, b"x");
+    }
+
+    #[test]
+    fn crash_blocks_operations_and_restart_clears() {
+        let mut n = node();
+        let f = n.alloc(RegionKind::Shared).unwrap();
+        n.write_bytes(f, 0, b"precious");
+        n.crash();
+        assert!(n.is_failed());
+        n.restart();
+        assert!(!n.is_failed());
+        // All frames free again; data gone.
+        assert_eq!(n.split().shared_used(), 0);
+        let f2 = n.alloc(RegionKind::Shared).unwrap();
+        assert_eq!(n.read_bytes(f2, 0, 8), vec![0; 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "crashed node")]
+    fn access_on_crashed_node_panics() {
+        let mut n = node();
+        n.crash();
+        n.access(SimTime::ZERO, 64, 0, true, None);
+    }
+}

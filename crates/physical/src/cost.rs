@@ -1,0 +1,305 @@
+//! Deployment cost model (§4.2 "Lower Entry Barrier").
+//!
+//! The paper compares required resources rather than quoting dollar values;
+//! this model does the same with explicit, documented unit prices so the
+//! `cost` bench can print the two scenarios of §4.2:
+//!
+//! 1. **Equal disaggregated memory** — both deployments offer the same pool
+//!    capacity. The physical deployment additionally needs local memory in
+//!    every server (pooled DIMMs cannot serve as local memory), a pool
+//!    chassis, rack space, and switch ports — so it costs strictly more.
+//! 2. **Equal total memory** — same total DIMM count. Costs differ only by
+//!    the pool hardware, but physical servers end up with *less local
+//!    memory*, which is the operational deficiency Figure 5 demonstrates.
+//!
+//! All prices are in abstract "cost units"; defaults are roughly
+//! proportional to 2023 street prices (1 unit ≈ $1).
+
+use serde::{Deserialize, Serialize};
+
+/// Unit prices for deployment components.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComponentPrices {
+    /// Per GB of DDR5 DIMM.
+    pub memory_per_gb: f64,
+    /// Pool appliance chassis: power supply, motherboard, CPU or
+    /// ASIC/FPGA controller.
+    pub pool_chassis: f64,
+    /// One fabric switch port.
+    pub switch_port: f64,
+    /// One rack unit of space (amortized).
+    pub rack_unit: f64,
+    /// One CXL fabric adapter (present in every server in both designs;
+    /// the pool needs one per uplink too).
+    pub fabric_adapter: f64,
+}
+
+impl Default for ComponentPrices {
+    fn default() -> Self {
+        ComponentPrices {
+            memory_per_gb: 4.0,
+            pool_chassis: 1500.0,
+            switch_port: 200.0,
+            rack_unit: 100.0,
+            fabric_adapter: 150.0,
+        }
+    }
+}
+
+/// One line of a bill of materials.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostItem {
+    /// Component name.
+    pub name: String,
+    /// Quantity.
+    pub qty: f64,
+    /// Price per unit.
+    pub unit: f64,
+}
+
+impl CostItem {
+    /// Line subtotal.
+    pub fn subtotal(&self) -> f64 {
+        self.qty * self.unit
+    }
+}
+
+/// A deployment's bill of materials.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Bill {
+    /// Deployment label.
+    pub label: String,
+    /// Line items.
+    pub items: Vec<CostItem>,
+    /// Local memory available per server, GB (operational metric).
+    pub local_gb_per_server: f64,
+    /// Disaggregated (pool) capacity, GB.
+    pub disaggregated_gb: f64,
+}
+
+impl Bill {
+    /// Total cost in units.
+    pub fn total(&self) -> f64 {
+        self.items.iter().map(CostItem::subtotal).sum()
+    }
+
+    fn push(&mut self, name: &str, qty: f64, unit: f64) {
+        self.items.push(CostItem {
+            name: name.to_string(),
+            qty,
+            unit,
+        });
+    }
+}
+
+/// Bill for a logical-pool deployment: `servers` machines with
+/// `memory_gb_per_server` each, of which `shared_gb_per_server` is lent to
+/// the pool. No extra hardware beyond the servers' own adapters and ports.
+pub fn lmp_bill(
+    prices: &ComponentPrices,
+    servers: u32,
+    memory_gb_per_server: f64,
+    shared_gb_per_server: f64,
+) -> Bill {
+    assert!(shared_gb_per_server <= memory_gb_per_server);
+    let mut b = Bill {
+        label: "Logical pool".into(),
+        // In an LMP, un-shared memory is fully usable locally; even shared
+        // memory is local-speed for the host. Report the private portion.
+        local_gb_per_server: memory_gb_per_server - shared_gb_per_server,
+        disaggregated_gb: shared_gb_per_server * servers as f64,
+        ..Bill::default()
+    };
+    b.push(
+        "server DIMMs (GB)",
+        servers as f64 * memory_gb_per_server,
+        prices.memory_per_gb,
+    );
+    b.push("fabric adapters", servers as f64, prices.fabric_adapter);
+    b.push("switch ports", servers as f64, prices.switch_port);
+    b
+}
+
+/// Bill for a physical-pool deployment: `servers` machines with
+/// `local_gb_per_server` each plus a pool appliance of `pool_gb`,
+/// attached with `pool_uplinks` switch ports/adapters and occupying
+/// `pool_rack_units` of rack space.
+pub fn physical_bill(
+    prices: &ComponentPrices,
+    servers: u32,
+    local_gb_per_server: f64,
+    pool_gb: f64,
+    pool_uplinks: u32,
+    pool_rack_units: u32,
+) -> Bill {
+    let mut b = Bill {
+        label: "Physical pool".into(),
+        local_gb_per_server,
+        disaggregated_gb: pool_gb,
+        ..Bill::default()
+    };
+    b.push(
+        "server DIMMs (GB)",
+        servers as f64 * local_gb_per_server,
+        prices.memory_per_gb,
+    );
+    b.push("pool DIMMs (GB)", pool_gb, prices.memory_per_gb);
+    b.push("pool chassis (PSU+MB+ASIC)", 1.0, prices.pool_chassis);
+    b.push("pool rack units", pool_rack_units as f64, prices.rack_unit);
+    b.push(
+        "fabric adapters",
+        servers as f64 + pool_uplinks as f64,
+        prices.fabric_adapter,
+    );
+    b.push(
+        "switch ports",
+        servers as f64 + pool_uplinks as f64,
+        prices.switch_port,
+    );
+    b
+}
+
+/// The two comparisons of §4.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// Both deployments provide the same disaggregated capacity.
+    EqualDisaggregated,
+    /// Both deployments buy the same total DIMM capacity.
+    EqualTotal,
+}
+
+/// Outcome of a scenario comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Which scenario was evaluated.
+    pub scenario: Scenario,
+    /// The LMP bill.
+    pub lmp: Bill,
+    /// The physical-pool bill.
+    pub physical: Bill,
+}
+
+impl Comparison {
+    /// physical / lmp cost ratio.
+    pub fn cost_ratio(&self) -> f64 {
+        self.physical.total() / self.lmp.total()
+    }
+}
+
+/// Evaluate a §4.2 scenario for `servers` servers needing
+/// `local_need_gb` of private memory each and `pool_gb` of disaggregated
+/// capacity.
+pub fn compare(
+    prices: &ComponentPrices,
+    scenario: Scenario,
+    servers: u32,
+    local_need_gb: f64,
+    pool_gb: f64,
+) -> Comparison {
+    let per_server_share = pool_gb / servers as f64;
+    match scenario {
+        Scenario::EqualDisaggregated => {
+            // Both offer `pool_gb` of disaggregated memory; the physical
+            // deployment must buy local DIMMs *in addition*.
+            let lmp = lmp_bill(
+                prices,
+                servers,
+                local_need_gb + per_server_share,
+                per_server_share,
+            );
+            let physical = physical_bill(prices, servers, local_need_gb, pool_gb, 2, 2);
+            Comparison {
+                scenario,
+                lmp,
+                physical,
+            }
+        }
+        Scenario::EqualTotal => {
+            // Same DIMM total: N·local + pool. The physical deployment
+            // delegates `pool_gb` to the appliance, shrinking server-local
+            // memory.
+            let total = servers as f64 * local_need_gb + pool_gb;
+            let phys_local = (total - pool_gb) / servers as f64;
+            let lmp_per_server = total / servers as f64;
+            let lmp = lmp_bill(prices, servers, lmp_per_server, per_server_share);
+            let physical = physical_bill(prices, servers, phys_local, pool_gb, 2, 2);
+            Comparison {
+                scenario,
+                lmp,
+                physical,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_disaggregated_physical_costs_more() {
+        let p = ComponentPrices::default();
+        let c = compare(&p, Scenario::EqualDisaggregated, 4, 8.0, 64.0);
+        assert!(
+            c.cost_ratio() > 1.0,
+            "physical should cost more: ratio {}",
+            c.cost_ratio()
+        );
+        assert_eq!(c.lmp.disaggregated_gb, c.physical.disaggregated_gb);
+    }
+
+    #[test]
+    fn equal_total_physical_has_less_local_memory() {
+        let p = ComponentPrices::default();
+        let c = compare(&p, Scenario::EqualTotal, 4, 8.0, 64.0);
+        // Same DIMM bill on both sides.
+        let dimms = |b: &Bill| -> f64 {
+            b.items
+                .iter()
+                .filter(|i| i.name.contains("DIMM"))
+                .map(CostItem::subtotal)
+                .sum()
+        };
+        assert!((dimms(&c.lmp) - dimms(&c.physical)).abs() < 1e-9);
+        // But physical still pays for chassis/ports/rack…
+        assert!(c.cost_ratio() > 1.0);
+        // …and its servers have less local memory (the §4.5 operational gap:
+        // an LMP server can use its full DIMM capacity locally).
+        let lmp_max_local = c.lmp.local_gb_per_server + c.lmp.disaggregated_gb / 4.0;
+        assert!(lmp_max_local > c.physical.local_gb_per_server);
+    }
+
+    #[test]
+    fn bills_enumerate_pool_hardware() {
+        let p = ComponentPrices::default();
+        let b = physical_bill(&p, 4, 8.0, 64.0, 2, 2);
+        let names: Vec<&str> = b.items.iter().map(|i| i.name.as_str()).collect();
+        assert!(names.iter().any(|n| n.contains("chassis")));
+        assert!(names.iter().any(|n| n.contains("rack")));
+        let lb = lmp_bill(&p, 4, 24.0, 16.0);
+        assert!(lb.items.iter().all(|i| !i.name.contains("chassis")));
+    }
+
+    #[test]
+    fn lmp_switch_ports_scale_only_with_servers() {
+        let p = ComponentPrices::default();
+        let lmp = lmp_bill(&p, 4, 24.0, 16.0);
+        let phys = physical_bill(&p, 4, 8.0, 64.0, 2, 2);
+        let ports = |b: &Bill| {
+            b.items
+                .iter()
+                .find(|i| i.name == "switch ports")
+                .map(|i| i.qty)
+                .unwrap()
+        };
+        assert_eq!(ports(&lmp), 4.0);
+        assert_eq!(ports(&phys), 6.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn lmp_share_cannot_exceed_capacity() {
+        let p = ComponentPrices::default();
+        let _ = lmp_bill(&p, 4, 8.0, 9.0);
+    }
+}

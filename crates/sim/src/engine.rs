@@ -1,0 +1,222 @@
+//! The discrete-event engine.
+//!
+//! [`Engine`] owns the clock and the pending-event set. Users define an event
+//! payload type and drive the loop with a handler closure; the handler
+//! receives `&mut Engine` so it can schedule follow-up events:
+//!
+//! ```
+//! use lmp_sim::engine::Engine;
+//! use lmp_sim::time::SimDuration;
+//!
+//! #[derive(Debug)]
+//! enum Ev { Ping(u32) }
+//!
+//! let mut eng = Engine::new();
+//! eng.schedule_after(SimDuration::from_nanos(10), Ev::Ping(0));
+//! let mut seen = Vec::new();
+//! eng.run(|eng, ev| {
+//!     let Ev::Ping(n) = ev;
+//!     seen.push((eng.now().as_nanos(), n));
+//!     if n < 2 {
+//!         eng.schedule_after(SimDuration::from_nanos(5), Ev::Ping(n + 1));
+//!     }
+//! });
+//! assert_eq!(seen, [(10, 0), (15, 1), (20, 2)]);
+//! ```
+
+use crate::queue::{EventId, EventQueue};
+use crate::time::{SimDuration, SimTime};
+
+/// A discrete-event simulation engine over event payload type `E`.
+pub struct Engine<E> {
+    now: SimTime,
+    queue: EventQueue<E>,
+    processed: u64,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// A fresh engine with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            processed: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events delivered so far.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past — events cannot fire before `now`.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventId {
+        assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        self.queue.push(at, event)
+    }
+
+    /// Schedule `event` to fire `delay` after the current time.
+    pub fn schedule_after(&mut self, delay: SimDuration, event: E) -> EventId {
+        self.queue.push(self.now + delay, event)
+    }
+
+    /// Schedule `event` at the current instant (fires after all events
+    /// already scheduled for `now`, preserving FIFO order).
+    pub fn schedule_now(&mut self, event: E) -> EventId {
+        self.queue.push(self.now, event)
+    }
+
+    /// Cancel a pending event; returns whether it was still pending.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+
+    /// Deliver a single event, advancing the clock to its timestamp.
+    /// Returns `false` when the queue is empty.
+    pub fn step<F: FnMut(&mut Engine<E>, E)>(&mut self, handler: &mut F) -> bool {
+        match self.queue.pop() {
+            Some((at, _, ev)) => {
+                debug_assert!(at >= self.now);
+                self.now = at;
+                self.processed += 1;
+                handler(self, ev);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Run until the queue drains.
+    pub fn run<F: FnMut(&mut Engine<E>, E)>(&mut self, mut handler: F) {
+        while self.step(&mut handler) {}
+    }
+
+    /// Run until the queue drains or the clock would pass `deadline`.
+    /// Events scheduled strictly after `deadline` stay pending; the clock is
+    /// left at the last delivered event (or `deadline` if nothing fired late).
+    pub fn run_until<F: FnMut(&mut Engine<E>, E)>(&mut self, deadline: SimTime, mut handler: F) {
+        loop {
+            match self.queue.peek_time() {
+                Some(t) if t <= deadline => {
+                    self.step(&mut handler);
+                }
+                _ => break,
+            }
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Run until `stop` returns true (checked after each event) or the queue
+    /// drains. Useful for "run until this request completes" patterns.
+    pub fn run_while<F, P>(&mut self, mut handler: F, mut keep_going: P)
+    where
+        F: FnMut(&mut Engine<E>, E),
+        P: FnMut(&Engine<E>) -> bool,
+    {
+        while keep_going(self) && self.step(&mut handler) {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    enum Ev {
+        Tick(u32),
+    }
+
+    #[test]
+    fn clock_advances_to_event_time() {
+        let mut eng = Engine::new();
+        eng.schedule_at(SimTime::from_nanos(100), Ev::Tick(1));
+        let mut fired = 0;
+        eng.run(|eng, _| {
+            fired += 1;
+            assert_eq!(eng.now().as_nanos(), 100);
+        });
+        assert_eq!(fired, 1);
+        assert_eq!(eng.events_processed(), 1);
+    }
+
+    #[test]
+    fn handler_can_chain_events() {
+        let mut eng = Engine::new();
+        eng.schedule_now(Ev::Tick(0));
+        let mut count = 0u32;
+        eng.run(|eng, Ev::Tick(n)| {
+            count += 1;
+            if n < 9 {
+                eng.schedule_after(SimDuration::from_nanos(1), Ev::Tick(n + 1));
+            }
+        });
+        assert_eq!(count, 10);
+        assert_eq!(eng.now().as_nanos(), 9);
+    }
+
+    #[test]
+    fn run_until_leaves_future_events_pending() {
+        let mut eng = Engine::new();
+        eng.schedule_at(SimTime::from_nanos(5), Ev::Tick(1));
+        eng.schedule_at(SimTime::from_nanos(50), Ev::Tick(2));
+        let mut fired = Vec::new();
+        eng.run_until(SimTime::from_nanos(10), |_, Ev::Tick(n)| fired.push(n));
+        assert_eq!(fired, [1]);
+        assert_eq!(eng.pending(), 1);
+        assert_eq!(eng.now().as_nanos(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn schedule_in_past_panics() {
+        let mut eng = Engine::new();
+        eng.schedule_at(SimTime::from_nanos(10), Ev::Tick(1));
+        eng.run(|eng, _| {
+            eng.schedule_at(SimTime::from_nanos(5), Ev::Tick(2));
+        });
+    }
+
+    #[test]
+    fn cancelled_events_do_not_fire() {
+        let mut eng = Engine::new();
+        let id = eng.schedule_at(SimTime::from_nanos(5), Ev::Tick(1));
+        eng.schedule_at(SimTime::from_nanos(6), Ev::Tick(2));
+        assert!(eng.cancel(id));
+        let mut fired = Vec::new();
+        eng.run(|_, Ev::Tick(n)| fired.push(n));
+        assert_eq!(fired, [2]);
+    }
+
+    #[test]
+    fn run_while_stops_on_predicate() {
+        let mut eng = Engine::new();
+        for i in 0..100 {
+            eng.schedule_at(SimTime::from_nanos(i), Ev::Tick(i as u32));
+        }
+        let mut fired = 0;
+        eng.run_while(|_, _| fired += 1, |e| e.events_processed() < 10);
+        assert_eq!(fired, 10);
+        assert_eq!(eng.pending(), 90);
+    }
+}

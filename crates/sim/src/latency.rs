@@ -1,0 +1,123 @@
+//! Loaded-latency curves.
+//!
+//! Real memory and fabric links exhibit the "loaded latency" behaviour the
+//! paper measures in Table 2: unloaded reads complete at a minimum latency,
+//! and latency climbs toward a maximum as offered load approaches the
+//! resource's bandwidth. [`LoadedLatencyCurve`] reproduces that shape with an
+//! M/M/1-like normalized queueing factor, parameterized only by the measured
+//! `(min, max)` endpoints — exactly the two numbers the paper reports per
+//! link, so the model is anchored to published data.
+
+use crate::time::SimDuration;
+
+/// Latency as a convex function of utilization, anchored at measured
+/// endpoints: `latency(0) = min`, `latency(1) = max`.
+///
+/// The interpolation uses the normalized M/M/1 waiting-time shape
+/// `g(u) = u·(1−ρ̂)/(1−ρ̂·u)` with `ρ̂ = 0.95`, which stays flat until
+/// ~70% utilization and rises sharply near saturation — the shape of
+/// Intel MLC loaded-latency sweeps the paper's Table 2 is drawn from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadedLatencyCurve {
+    min: SimDuration,
+    max: SimDuration,
+    /// Effective server occupancy used in the queueing factor.
+    rho_hat: f64,
+}
+
+impl LoadedLatencyCurve {
+    /// Build from measured unloaded (`min`) and saturated (`max`) latencies.
+    ///
+    /// # Panics
+    /// Panics if `max < min`.
+    pub fn new(min: SimDuration, max: SimDuration) -> Self {
+        assert!(max >= min, "loaded latency max {max} < min {min}");
+        LoadedLatencyCurve {
+            min,
+            max,
+            rho_hat: 0.95,
+        }
+    }
+
+    /// Convenience constructor from nanosecond endpoints.
+    pub fn from_nanos(min_ns: u64, max_ns: u64) -> Self {
+        Self::new(
+            SimDuration::from_nanos(min_ns),
+            SimDuration::from_nanos(max_ns),
+        )
+    }
+
+    /// Unloaded latency.
+    pub fn min(&self) -> SimDuration {
+        self.min
+    }
+
+    /// Fully loaded latency.
+    pub fn max(&self) -> SimDuration {
+        self.max
+    }
+
+    /// Latency at utilization `u ∈ [0, 1]` (clamped).
+    pub fn at(&self, utilization: f64) -> SimDuration {
+        let u = utilization.clamp(0.0, 1.0);
+        let g = (u * (1.0 - self.rho_hat)) / (1.0 - self.rho_hat * u);
+        // g(1) = 1 exactly; g(0) = 0.
+        let span = self.max.saturating_sub(self.min);
+        self.min + span.mul_f64(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_match_measurements() {
+        // Link0 from Table 2: 163ns unloaded, 418ns loaded.
+        let c = LoadedLatencyCurve::from_nanos(163, 418);
+        assert_eq!(c.at(0.0).as_nanos(), 163);
+        assert_eq!(c.at(1.0).as_nanos(), 418);
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let c = LoadedLatencyCurve::from_nanos(82, 527);
+        let mut last = SimDuration::ZERO;
+        for i in 0..=100 {
+            let l = c.at(i as f64 / 100.0);
+            assert!(l >= last, "latency decreased at u={}", i as f64 / 100.0);
+            last = l;
+        }
+    }
+
+    #[test]
+    fn curve_is_flat_then_steep() {
+        let c = LoadedLatencyCurve::from_nanos(100, 1_100);
+        // At 50% utilization, less than 10% of the climb has happened.
+        let at_half = c.at(0.5).as_nanos() - 100;
+        assert!(at_half < 100, "climb at u=0.5 was {at_half}ns");
+        // The last 10% of utilization contributes most of the climb.
+        let at_90 = c.at(0.9).as_nanos();
+        let at_100 = c.at(1.0).as_nanos();
+        assert!(at_100 - at_90 > 500, "knee too early");
+    }
+
+    #[test]
+    fn utilization_is_clamped() {
+        let c = LoadedLatencyCurve::from_nanos(10, 20);
+        assert_eq!(c.at(-0.5), c.at(0.0));
+        assert_eq!(c.at(1.5), c.at(1.0));
+    }
+
+    #[test]
+    fn degenerate_flat_curve() {
+        let c = LoadedLatencyCurve::from_nanos(50, 50);
+        assert_eq!(c.at(0.7).as_nanos(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "loaded latency max")]
+    fn inverted_endpoints_panic() {
+        let _ = LoadedLatencyCurve::from_nanos(100, 50);
+    }
+}

@@ -1,0 +1,211 @@
+//! Deterministic pending-event set.
+//!
+//! [`EventQueue`] is a priority queue keyed by [`SimTime`] with FIFO
+//! tie-breaking: two events scheduled for the same instant pop in the order
+//! they were pushed. That makes whole-simulation runs reproducible, which the
+//! benchmark harness depends on. Events can be cancelled by id without
+//! scanning the heap (lazy deletion).
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Identifier of a scheduled event, unique within one queue's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    id: EventId,
+    payload: E,
+}
+
+// Reverse ordering: BinaryHeap is a max-heap, we want earliest-first with
+// lowest-sequence-first tie-breaking.
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+/// A time-ordered, deterministic event queue with O(log n) push/pop and
+/// O(1) cancellation (lazy: cancelled entries are skipped at pop time).
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    /// Ids currently in the heap and not cancelled.
+    pending: HashSet<EventId>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            pending: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `payload` to fire at `at`. Returns an id usable with
+    /// [`EventQueue::cancel`].
+    pub fn push(&mut self, at: SimTime, payload: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let id = EventId(seq);
+        self.heap.push(Entry {
+            at,
+            seq,
+            id,
+            payload,
+        });
+        self.pending.insert(id);
+        id
+    }
+
+    /// Cancel a previously scheduled event. Returns `true` if the event was
+    /// still pending (it will never be delivered), `false` if it already
+    /// fired or was already cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.pending.remove(&id)
+    }
+
+    /// Remove and return the earliest live event as `(time, id, payload)`.
+    pub fn pop(&mut self) -> Option<(SimTime, EventId, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.pending.remove(&entry.id) {
+                return Some((entry.at, entry.id, entry.payload));
+            }
+            // else: cancelled entry, skip it.
+        }
+        None
+    }
+
+    /// The timestamp of the earliest live event, without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Drain cancelled heads so the answer reflects a live event.
+        while let Some(entry) = self.heap.peek() {
+            if self.pending.contains(&entry.id) {
+                return Some(entry.at);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Number of live (non-cancelled) pending events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when no live events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(30), "c");
+        q.push(t(10), "a");
+        q.push(t(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|(_, _, p)| p)).collect();
+        assert_eq!(order, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(t(5), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|(_, _, p)| p)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_prevents_delivery() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), "a");
+        q.push(t(2), "b");
+        assert!(q.cancel(a));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().map(|(_, _, p)| p), Some("b"));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), "a");
+        assert!(q.pop().is_some());
+        assert!(!q.cancel(a));
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_noop() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn double_cancel_counts_once() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), "a");
+        q.push(t(2), "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), "a");
+        q.push(t(9), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(9)));
+    }
+
+    #[test]
+    fn is_empty_tracks_live_count() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        let a = q.push(t(1), 0);
+        assert!(!q.is_empty());
+        q.cancel(a);
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+}

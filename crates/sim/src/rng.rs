@@ -1,0 +1,193 @@
+//! Deterministic random numbers.
+//!
+//! Every stochastic component takes a [`DetRng`] derived from a single run
+//! seed, so a whole experiment replays bit-for-bit. Substreams are derived by
+//! hashing a label into the parent seed ([`DetRng::fork`]), which keeps
+//! component randomness independent of the order components are constructed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic, forkable random number generator.
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    inner: StdRng,
+    seed: u64,
+}
+
+impl DetRng {
+    /// Create from a run seed.
+    pub fn new(seed: u64) -> Self {
+        DetRng {
+            inner: StdRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The seed this generator was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derive an independent substream for the component named `label`.
+    ///
+    /// Forking does not consume randomness from the parent stream, so adding
+    /// a new component does not perturb existing ones.
+    pub fn fork(&self, label: &str) -> DetRng {
+        DetRng::new(splitmix(self.seed ^ fnv1a(label.as_bytes())))
+    }
+
+    /// Derive an independent substream for item `index` of a family (e.g.
+    /// per-core or per-server streams).
+    pub fn fork_indexed(&self, label: &str, index: u64) -> DetRng {
+        DetRng::new(splitmix(
+            self.seed ^ fnv1a(label.as_bytes()) ^ splitmix(index.wrapping_add(0x9E37_79B9)),
+        ))
+    }
+
+    /// Uniform `u64` in `[0, bound)`.
+    ///
+    /// # Panics
+    /// Panics when `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0)");
+        self.inner.gen_range(0..bound)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p.clamp(0.0, 1.0)
+    }
+
+    /// Exponentially distributed value with the given mean (for Poisson
+    /// inter-arrival times in open-loop load generators).
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "exponential mean must be positive");
+        // Inverse-CDF; guard against ln(0).
+        let u = (1.0 - self.unit()).max(f64::MIN_POSITIVE);
+        -mean * u.ln()
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+impl RngCore for DetRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::new(7);
+        let mut b = DetRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn forks_are_independent_of_parent_consumption() {
+        let parent = DetRng::new(42);
+        let fork_before = parent.fork("link");
+        let mut consumed = parent.clone();
+        for _ in 0..10 {
+            consumed.next_u64();
+        }
+        let fork_after = consumed.fork("link");
+        let mut x = fork_before.clone();
+        let mut y = fork_after.clone();
+        assert_eq!(x.next_u64(), y.next_u64());
+    }
+
+    #[test]
+    fn distinct_labels_distinct_streams() {
+        let parent = DetRng::new(1);
+        let mut a = parent.fork("a");
+        let mut b = parent.fork("b");
+        // Statistically certain to differ on the first draw.
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn indexed_forks_differ() {
+        let parent = DetRng::new(1);
+        let mut a = parent.fork_indexed("core", 0);
+        let mut b = parent.fork_indexed("core", 1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = DetRng::new(3);
+        for _ in 0..1000 {
+            assert!(r.below(10) < 10);
+        }
+    }
+
+    #[test]
+    fn exponential_mean_is_roughly_right() {
+        let mut r = DetRng::new(5);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| r.exponential(100.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 100.0).abs() < 5.0, "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = DetRng::new(9);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = DetRng::new(11);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+}

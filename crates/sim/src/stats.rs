@@ -1,0 +1,407 @@
+//! Measurement primitives: counters, histograms, time-weighted averages.
+//!
+//! These are the building blocks of every number the benchmark harness
+//! reports. The histogram uses log-linear buckets (HdrHistogram-style) so
+//! latency distributions spanning 80 ns to 500+ ns (and far beyond, under
+//! load) are captured with bounded error and O(1) recording.
+
+use crate::time::{SimDuration, SimTime};
+use std::fmt;
+
+/// A monotonically increasing event/byte counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+    /// Add `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 = self.0.checked_add(n).expect("counter overflow");
+    }
+    /// Add one.
+    pub fn inc(&mut self) {
+        self.add(1)
+    }
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+    /// Reset to zero, returning the previous value.
+    pub fn take(&mut self) -> u64 {
+        std::mem::take(&mut self.0)
+    }
+}
+
+/// A log-linear histogram of `u64` samples (typically nanoseconds).
+///
+/// Values are bucketed with ~3% relative error: 32 linear buckets per
+/// power-of-two range. Percentiles are interpolated within a bucket.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// buckets[b] = count of samples in bucket b.
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+const SUB_BUCKET_BITS: u32 = 5; // 32 sub-buckets per octave
+const SUB_BUCKETS: u64 = 1 << SUB_BUCKET_BITS;
+
+fn bucket_index(value: u64) -> usize {
+    if value < SUB_BUCKETS {
+        return value as usize;
+    }
+    let octave = 63 - value.leading_zeros(); // >= SUB_BUCKET_BITS
+    let shift = octave - SUB_BUCKET_BITS;
+    let sub = (value >> shift) - SUB_BUCKETS; // in [0, SUB_BUCKETS)
+    (SUB_BUCKETS as usize) + ((octave - SUB_BUCKET_BITS) as usize * SUB_BUCKETS as usize)
+        + sub as usize
+}
+
+fn bucket_low(index: usize) -> u64 {
+    if index < SUB_BUCKETS as usize {
+        return index as u64;
+    }
+    let rest = index - SUB_BUCKETS as usize;
+    let octave = (rest / SUB_BUCKETS as usize) as u32 + SUB_BUCKET_BITS;
+    let sub = (rest % SUB_BUCKETS as usize) as u64;
+    (SUB_BUCKETS + sub) << (octave - SUB_BUCKET_BITS)
+}
+
+fn bucket_high(index: usize) -> u64 {
+    if index < SUB_BUCKETS as usize {
+        return index as u64;
+    }
+    let rest = index - SUB_BUCKETS as usize;
+    let octave = (rest / SUB_BUCKETS as usize) as u32 + SUB_BUCKET_BITS;
+    let width = 1u64 << (octave - SUB_BUCKET_BITS);
+    bucket_low(index) + width - 1
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: Vec::new(),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = bucket_index(value);
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Record a duration in nanoseconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_nanos());
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest recorded sample (0 if empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean (0.0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile `q` in `[0, 1]` with linear interpolation inside
+    /// the containing bucket. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= target {
+                let within = (target - seen) as f64 / c as f64;
+                let low = bucket_low(idx) as f64;
+                let high = bucket_high(idx) as f64;
+                let v = low + (high - low) * within;
+                return (v.round() as u64).clamp(self.min, self.max);
+            }
+            seen += c;
+        }
+        self.max
+    }
+
+    /// Median (p50).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (a, &b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} min={} mean={:.1} p50={} p95={} p99={} max={}",
+            self.count,
+            self.min(),
+            self.mean(),
+            self.p50(),
+            self.p95(),
+            self.p99(),
+            self.max()
+        )
+    }
+}
+
+/// Time-weighted average of a piecewise-constant signal (e.g. queue depth,
+/// utilization). Integrates `value × dt` between updates.
+#[derive(Debug, Clone)]
+pub struct TimeWeighted {
+    last_time: SimTime,
+    last_value: f64,
+    integral: f64,
+    start: SimTime,
+}
+
+impl TimeWeighted {
+    /// Start tracking at `start` with initial `value`.
+    pub fn new(start: SimTime, value: f64) -> Self {
+        TimeWeighted {
+            last_time: start,
+            last_value: value,
+            integral: 0.0,
+            start,
+        }
+    }
+
+    /// Record that the signal changed to `value` at time `now`.
+    ///
+    /// # Panics
+    /// Panics if `now` precedes the previous update.
+    pub fn update(&mut self, now: SimTime, value: f64) {
+        let dt = now.duration_since(self.last_time).as_secs_f64();
+        self.integral += self.last_value * dt;
+        self.last_time = now;
+        self.last_value = value;
+    }
+
+    /// Current value of the signal.
+    pub fn current(&self) -> f64 {
+        self.last_value
+    }
+
+    /// Average over `[start, now]`. Returns the current value when the
+    /// window is empty.
+    pub fn average(&self, now: SimTime) -> f64 {
+        let total = now.saturating_duration_since(self.start).as_secs_f64();
+        if total <= 0.0 {
+            return self.last_value;
+        }
+        let tail = now.saturating_duration_since(self.last_time).as_secs_f64();
+        (self.integral + self.last_value * tail) / total
+    }
+}
+
+/// Exponentially weighted moving average with a configurable smoothing
+/// factor; used for link-utilization estimates that feed the loaded-latency
+/// model.
+#[derive(Debug, Clone, Copy)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// `alpha` in `(0, 1]`: weight of the newest observation.
+    ///
+    /// # Panics
+    /// Panics for alpha outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha out of range: {alpha}");
+        Ewma { alpha, value: None }
+    }
+
+    /// Fold in an observation.
+    pub fn observe(&mut self, x: f64) {
+        self.value = Some(match self.value {
+            None => x,
+            Some(v) => v + self.alpha * (x - v),
+        });
+    }
+
+    /// Current estimate (`default` before any observation).
+    pub fn get_or(&self, default: f64) -> f64 {
+        self.value.unwrap_or(default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(c.take(), 5);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn bucket_round_trip_small_values() {
+        for v in 0..SUB_BUCKETS {
+            let idx = bucket_index(v);
+            assert_eq!(bucket_low(idx), v);
+            assert_eq!(bucket_high(idx), v);
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_contain_value() {
+        for &v in &[33u64, 100, 1_000, 82_000, u32::MAX as u64, 1 << 50] {
+            let idx = bucket_index(v);
+            assert!(bucket_low(idx) <= v, "low({idx})={} > {v}", bucket_low(idx));
+            assert!(v <= bucket_high(idx), "{v} > high({idx})={}", bucket_high(idx));
+        }
+    }
+
+    #[test]
+    fn exact_stats_for_small_values() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 4, 5] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 5);
+        assert!((h.mean() - 3.0).abs() < 1e-9);
+        assert_eq!(h.p50(), 3);
+    }
+
+    #[test]
+    fn quantiles_have_bounded_relative_error() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        for (q, expect) in [(0.5, 5_000.0), (0.95, 9_500.0), (0.99, 9_900.0)] {
+            let got = h.quantile(q) as f64;
+            let err = (got - expect).abs() / expect;
+            assert!(err < 0.05, "q={q}: got {got}, want {expect} (err {err})");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_calm() {
+        let h = Histogram::new();
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(10);
+        b.record(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 10);
+        assert_eq!(a.max(), 1_000_000);
+    }
+
+    #[test]
+    fn time_weighted_average() {
+        let t = |ns| SimTime::from_nanos(ns);
+        let mut tw = TimeWeighted::new(t(0), 0.0);
+        tw.update(t(500_000_000), 1.0); // 0.0 for first half-second
+        let avg = tw.average(t(1_000_000_000)); // 1.0 for second half
+        assert!((avg - 0.5).abs() < 1e-9, "avg {avg}");
+        assert_eq!(tw.current(), 1.0);
+    }
+
+    #[test]
+    fn time_weighted_empty_window() {
+        let tw = TimeWeighted::new(SimTime::from_nanos(5), 3.0);
+        assert_eq!(tw.average(SimTime::from_nanos(5)), 3.0);
+    }
+
+    #[test]
+    fn ewma_converges() {
+        let mut e = Ewma::new(0.5);
+        assert_eq!(e.get_or(7.0), 7.0);
+        for _ in 0..64 {
+            e.observe(10.0);
+        }
+        assert!((e.get_or(0.0) - 10.0).abs() < 1e-6);
+    }
+}

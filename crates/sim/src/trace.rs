@@ -1,0 +1,147 @@
+//! Lightweight simulation tracing.
+//!
+//! A [`TraceSink`] receives timestamped, component-tagged records. The
+//! default [`NullSink`] compiles to nothing; [`MemorySink`] collects records
+//! for tests and debugging; [`StderrSink`] streams them for interactive runs.
+
+use crate::time::SimTime;
+use std::fmt;
+
+/// Severity/category of a trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceKind {
+    /// Normal protocol/progress events.
+    Event,
+    /// Policy decisions (migration chosen, region resized, …).
+    Policy,
+    /// Injected faults and recovery actions.
+    Fault,
+}
+
+impl fmt::Display for TraceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceKind::Event => write!(f, "event"),
+            TraceKind::Policy => write!(f, "policy"),
+            TraceKind::Fault => write!(f, "fault"),
+        }
+    }
+}
+
+/// A consumer of trace records.
+pub trait TraceSink {
+    /// Deliver one record. `component` identifies the emitter (e.g.
+    /// `"link[0->1]"`, `"server3.balancer"`).
+    fn emit(&mut self, at: SimTime, kind: TraceKind, component: &str, message: fmt::Arguments<'_>);
+
+    /// Whether records would be observed at all; lets hot paths skip
+    /// formatting entirely.
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// Discards everything.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn emit(&mut self, _: SimTime, _: TraceKind, _: &str, _: fmt::Arguments<'_>) {}
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// One captured record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Simulated timestamp.
+    pub at: SimTime,
+    /// Record category.
+    pub kind: TraceKind,
+    /// Emitting component.
+    pub component: String,
+    /// Rendered message.
+    pub message: String,
+}
+
+/// Collects records in memory (tests, post-run inspection).
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    /// Captured records, in emission order.
+    pub records: Vec<TraceRecord>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records whose component contains `needle`.
+    pub fn matching(&self, needle: &str) -> Vec<&TraceRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.component.contains(needle))
+            .collect()
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn emit(&mut self, at: SimTime, kind: TraceKind, component: &str, message: fmt::Arguments<'_>) {
+        self.records.push(TraceRecord {
+            at,
+            kind,
+            component: component.to_string(),
+            message: message.to_string(),
+        });
+    }
+}
+
+/// Streams records to stderr.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StderrSink;
+
+impl TraceSink for StderrSink {
+    fn emit(&mut self, at: SimTime, kind: TraceKind, component: &str, message: fmt::Arguments<'_>) {
+        eprintln!("[{at}] {kind} {component}: {message}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_sink_captures() {
+        let mut sink = MemorySink::new();
+        sink.emit(
+            SimTime::from_nanos(5),
+            TraceKind::Policy,
+            "balancer",
+            format_args!("migrated {} pages", 3),
+        );
+        assert_eq!(sink.records.len(), 1);
+        let r = &sink.records[0];
+        assert_eq!(r.at.as_nanos(), 5);
+        assert_eq!(r.kind, TraceKind::Policy);
+        assert_eq!(r.message, "migrated 3 pages");
+    }
+
+    #[test]
+    fn null_sink_reports_disabled() {
+        assert!(!NullSink.enabled());
+        let mut sink = MemorySink::new();
+        assert!(TraceSink::enabled(&sink));
+        sink.emit(SimTime::ZERO, TraceKind::Event, "x", format_args!("y"));
+        assert_eq!(sink.records.len(), 1);
+    }
+
+    #[test]
+    fn matching_filters_by_component() {
+        let mut sink = MemorySink::new();
+        sink.emit(SimTime::ZERO, TraceKind::Event, "link[0]", format_args!("a"));
+        sink.emit(SimTime::ZERO, TraceKind::Event, "server1", format_args!("b"));
+        assert_eq!(sink.matching("link").len(), 1);
+    }
+}

@@ -1,0 +1,319 @@
+//! A key-value store over the logical pool.
+//!
+//! §6 notes that RDMA techniques "can be carried over to LMPs to benefit
+//! key-value stores". This workload is that application: a fixed-capacity
+//! hash-addressed KV store whose value slots live in pool segments spread
+//! across servers, driven by a zipfian request mix from every server. It
+//! exercises allocation, materialized reads/writes, timed accesses, and —
+//! together with the balancer — shows skewed keys migrating toward their
+//! hottest client.
+
+use lmp_core::prelude::*;
+use lmp_fabric::{Fabric, MemOp, NodeId};
+use lmp_sim::prelude::*;
+use rand::Rng;
+use rand_distr::{Distribution, Zipf};
+
+/// Fixed-size value slot.
+pub const SLOT_BYTES: u64 = 256;
+
+/// Store configuration.
+#[derive(Debug, Clone)]
+pub struct KvConfig {
+    /// Number of key slots.
+    pub slots: u64,
+    /// Keys per segment (placement granularity for migration).
+    pub slots_per_segment: u64,
+    /// Zipf skew (1.0 ≈ classic web skew; 0 would be uniform — use
+    /// `uniform` in [`KvWorkload`] instead).
+    pub zipf_exponent: f64,
+    /// Fraction of operations that are writes.
+    pub write_fraction: f64,
+}
+
+impl Default for KvConfig {
+    fn default() -> Self {
+        KvConfig {
+            slots: 4096,
+            slots_per_segment: 256,
+            zipf_exponent: 1.0,
+            write_fraction: 0.1,
+        }
+    }
+}
+
+/// The pool-backed KV store.
+#[derive(Debug)]
+pub struct KvStore {
+    config: KvConfig,
+    /// Segment per slot group, in key order.
+    segments: Vec<SegmentId>,
+    gets: Counter,
+    puts: Counter,
+    local_ops: Counter,
+    remote_ops: Counter,
+}
+
+impl KvStore {
+    /// Create the store, spreading slot segments round-robin across
+    /// servers.
+    pub fn create(pool: &mut LogicalPool, config: KvConfig) -> Result<Self, PoolError> {
+        assert!(config.slots > 0 && config.slots_per_segment > 0);
+        let nsegs = config.slots.div_ceil(config.slots_per_segment);
+        let mut segments = Vec::with_capacity(nsegs as usize);
+        for _ in 0..nsegs {
+            segments.push(pool.alloc(
+                config.slots_per_segment * SLOT_BYTES,
+                Placement::RoundRobin,
+            )?);
+        }
+        Ok(KvStore {
+            config,
+            segments,
+            gets: Counter::new(),
+            puts: Counter::new(),
+            local_ops: Counter::new(),
+            remote_ops: Counter::new(),
+        })
+    }
+
+    fn addr_of(&self, key: u64) -> LogicalAddr {
+        assert!(key < self.config.slots, "key {key} out of range");
+        let seg = self.segments[(key / self.config.slots_per_segment) as usize];
+        LogicalAddr::new(seg, (key % self.config.slots_per_segment) * SLOT_BYTES)
+    }
+
+    /// Timed + materialized GET. Returns the value bytes and completion.
+    pub fn get(
+        &mut self,
+        pool: &mut LogicalPool,
+        fabric: &mut Fabric,
+        now: SimTime,
+        client: NodeId,
+        key: u64,
+    ) -> Result<(Vec<u8>, SimTime), PoolError> {
+        let addr = self.addr_of(key);
+        let a = pool.access(fabric, now, client, addr, SLOT_BYTES, MemOp::Read)?;
+        self.gets.inc();
+        self.account(&a);
+        let value = pool.read_bytes(addr, SLOT_BYTES)?;
+        Ok((value, a.complete))
+    }
+
+    /// Timed + materialized PUT.
+    ///
+    /// # Panics
+    /// Panics when `value` exceeds [`SLOT_BYTES`].
+    pub fn put(
+        &mut self,
+        pool: &mut LogicalPool,
+        fabric: &mut Fabric,
+        now: SimTime,
+        client: NodeId,
+        key: u64,
+        value: &[u8],
+    ) -> Result<SimTime, PoolError> {
+        assert!(value.len() as u64 <= SLOT_BYTES, "value too large");
+        let addr = self.addr_of(key);
+        let a = pool.access(fabric, now, client, addr, SLOT_BYTES, MemOp::Write)?;
+        self.puts.inc();
+        self.account(&a);
+        let mut padded = vec![0u8; SLOT_BYTES as usize];
+        padded[..value.len()].copy_from_slice(value);
+        pool.write_bytes(addr, &padded)?;
+        Ok(a.complete)
+    }
+
+    fn account(&mut self, a: &PoolAccess) {
+        if a.remote_bytes == 0 {
+            self.local_ops.inc();
+        } else {
+            self.remote_ops.inc();
+        }
+    }
+
+    /// `(gets, puts)` so far.
+    pub fn op_counts(&self) -> (u64, u64) {
+        (self.gets.get(), self.puts.get())
+    }
+
+    /// Fraction of operations that resolved locally.
+    pub fn local_fraction(&self) -> f64 {
+        let l = self.local_ops.get();
+        let r = self.remote_ops.get();
+        if l + r == 0 {
+            return 0.0;
+        }
+        l as f64 / (l + r) as f64
+    }
+
+    /// The segment that backs `key` (for tests and balancing checks).
+    pub fn segment_of(&self, key: u64) -> SegmentId {
+        self.addr_of(key).segment
+    }
+}
+
+/// A zipfian client mix driving a [`KvStore`].
+#[derive(Debug)]
+pub struct KvWorkload {
+    rng: DetRng,
+    zipf: Zipf<f64>,
+    write_fraction: f64,
+    slots: u64,
+}
+
+impl KvWorkload {
+    /// A workload over `config`'s key space, seeded deterministically.
+    pub fn new(config: &KvConfig, rng: DetRng) -> Self {
+        KvWorkload {
+            rng,
+            zipf: Zipf::new(config.slots, config.zipf_exponent.max(1e-9))
+                .expect("valid zipf parameters"),
+            write_fraction: config.write_fraction,
+            slots: config.slots,
+        }
+    }
+
+    /// Next `(key, is_write)` pair.
+    pub fn next_op(&mut self) -> (u64, bool) {
+        let key = (self.zipf.sample(&mut self.rng) as u64 - 1).min(self.slots - 1);
+        let is_write = self.rng.gen::<f64>() < self.write_fraction;
+        (key, is_write)
+    }
+
+    /// Run `ops` operations from `client`, returning the completion time of
+    /// the last one and the average latency in nanoseconds.
+    pub fn run(
+        &mut self,
+        store: &mut KvStore,
+        pool: &mut LogicalPool,
+        fabric: &mut Fabric,
+        start: SimTime,
+        client: NodeId,
+        ops: u64,
+    ) -> Result<(SimTime, f64), PoolError> {
+        let mut now = start;
+        let mut total_ns = 0u64;
+        for i in 0..ops {
+            let (key, is_write) = self.next_op();
+            let begin = now;
+            now = if is_write {
+                store.put(pool, fabric, now, client, key, &i.to_le_bytes())?
+            } else {
+                store.get(pool, fabric, now, client, key)?.1
+            };
+            total_ns += now.duration_since(begin).as_nanos();
+        }
+        Ok((now, total_ns as f64 / ops.max(1) as f64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmp_fabric::LinkProfile;
+    use lmp_mem::{DramProfile, FRAME_BYTES};
+
+    fn setup() -> (LogicalPool, Fabric) {
+        let cfg = PoolConfig {
+            servers: 4,
+            capacity_per_server: 32 * FRAME_BYTES,
+            shared_per_server: 24 * FRAME_BYTES,
+            dram: DramProfile::xeon_gold_5120(),
+            tlb_capacity: 64,
+        };
+        (LogicalPool::new(cfg), Fabric::new(LinkProfile::link1(), 4))
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let (mut p, mut f) = setup();
+        let mut kv = KvStore::create(&mut p, KvConfig::default()).unwrap();
+        kv.put(&mut p, &mut f, SimTime::ZERO, NodeId(0), 42, b"hello")
+            .unwrap();
+        let (v, _) = kv.get(&mut p, &mut f, SimTime::ZERO, NodeId(1), 42).unwrap();
+        assert_eq!(&v[..5], b"hello");
+        assert_eq!(kv.op_counts(), (1, 1));
+    }
+
+    #[test]
+    fn segments_spread_across_servers() {
+        let (mut p, _) = setup();
+        let kv = KvStore::create(&mut p, KvConfig::default()).unwrap();
+        let homes: std::collections::HashSet<_> = (0..kv.segments.len() as u64)
+            .map(|i| p.holder_of(kv.segments[i as usize]).unwrap())
+            .collect();
+        assert!(homes.len() > 1, "round-robin placement should spread");
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_deterministic() {
+        let cfg = KvConfig::default();
+        let mut a = KvWorkload::new(&cfg, DetRng::new(7));
+        let mut b = KvWorkload::new(&cfg, DetRng::new(7));
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..10_000 {
+            let (ka, wa) = a.next_op();
+            let (kb, wb) = b.next_op();
+            assert_eq!((ka, wa), (kb, wb), "same seed, same stream");
+            *counts.entry(ka).or_insert(0u64) += 1;
+        }
+        // The hottest key should dominate a uniform share by far.
+        let max = counts.values().max().copied().unwrap();
+        assert!(max > 500, "zipf skew too weak: max {max} of 10000");
+    }
+
+    #[test]
+    fn workload_runs_and_reports_latency() {
+        let (mut p, mut f) = setup();
+        let cfg = KvConfig {
+            slots: 512,
+            slots_per_segment: 64,
+            ..KvConfig::default()
+        };
+        let mut kv = KvStore::create(&mut p, cfg.clone()).unwrap();
+        let mut w = KvWorkload::new(&cfg, DetRng::new(1));
+        let (end, avg_ns) = w
+            .run(&mut kv, &mut p, &mut f, SimTime::ZERO, NodeId(0), 500)
+            .unwrap();
+        assert!(end > SimTime::ZERO);
+        // Latencies must sit between pure-local and loaded-remote bounds.
+        assert!(avg_ns > 80.0 && avg_ns < 2_000.0, "avg {avg_ns}ns");
+        assert!(kv.local_fraction() > 0.0 && kv.local_fraction() < 1.0);
+    }
+
+    #[test]
+    fn balancer_migrates_hot_kv_segments_toward_client() {
+        let (mut p, mut f) = setup();
+        let cfg = KvConfig {
+            slots: 512,
+            slots_per_segment: 64,
+            zipf_exponent: 1.2,
+            write_fraction: 0.0,
+        };
+        let mut kv = KvStore::create(&mut p, cfg.clone()).unwrap();
+        let mut w = KvWorkload::new(&cfg, DetRng::new(3));
+        // One dominant client hammers the store.
+        w.run(&mut kv, &mut p, &mut f, SimTime::ZERO, NodeId(2), 3_000)
+            .unwrap();
+        let before = kv.local_fraction();
+        let mut bal = LocalityBalancer::new(BalancerConfig {
+            max_migrations_per_round: 16,
+            ..Default::default()
+        });
+        bal.run_round(&mut p, &mut f, SimTime::ZERO);
+        assert!(bal.migration_count() > 0, "hot segments should move");
+        // Re-run the same mix: locality must improve.
+        let mut w2 = KvWorkload::new(&cfg, DetRng::new(3));
+        // Reset counters so local_fraction reflects only the re-run.
+        kv.local_ops.take();
+        kv.remote_ops.take();
+        w2.run(&mut kv, &mut p, &mut f, SimTime::ZERO, NodeId(2), 3_000)
+            .unwrap();
+        let after = kv.local_fraction();
+        assert!(
+            after > before,
+            "locality should improve: {before:.2} -> {after:.2}"
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! # lmp-workloads — workload generators
+//!
+//! The workloads that drive the evaluation and examples:
+//!
+//! * [`vector`] — the paper's §4.1 multi-core vector-aggregation
+//!   microbenchmark (Figures 2–5), runnable on every deployment.
+//! * [`kv`] — a zipfian key-value store over the logical pool (the
+//!   RDMA-era application class §6 expects to carry over).
+//! * [`graph`] — latency-bound BFS pointer chasing over pooled CSR graphs.
+//! * [`trace`] — deterministic synthetic access traces and replay.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod graph;
+pub mod kv;
+pub mod multitenant;
+pub mod trace;
+pub mod vector;
+
+pub use graph::{bfs, BfsResult, PoolGraph};
+pub use kv::{KvConfig, KvStore, KvWorkload, SLOT_BYTES};
+pub use multitenant::{MultiTenantReport, Tenant, TenantReport};
+pub use trace::{replay, Pattern, ReplayResult, TraceOp, TraceSpec};
+pub use vector::{paper_sizes, run_figure, run_point, FigureRow, PAPER_REPS};

@@ -1,0 +1,237 @@
+//! Synthetic access traces and replay.
+//!
+//! The sizing optimizer and locality balancer need workloads with phases
+//! and skew to prove themselves. A [`TraceSpec`] generates deterministic
+//! access streams (sequential, uniform, zipfian, phase-shifting) that can
+//! be replayed against a pool from any set of clients.
+
+use lmp_core::prelude::*;
+use lmp_fabric::{Fabric, MemOp, NodeId};
+use lmp_sim::prelude::*;
+use rand_distr::{Distribution, Zipf};
+
+/// Access-pattern families.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Pattern {
+    /// Linear sweep with wraparound.
+    Sequential,
+    /// Uniform random offsets.
+    Uniform,
+    /// Zipf-skewed offsets with the given exponent.
+    Zipfian(f64),
+    /// A hot region (10% of the buffer) that rotates through the buffer
+    /// over the trace — the phase-shifting behaviour that makes static
+    /// placement decay and keeps the locality balancer honest.
+    PhasedHotspot {
+        /// Number of distinct hot-region positions over the trace.
+        phases: u32,
+    },
+}
+
+/// A trace description.
+#[derive(Debug, Clone)]
+pub struct TraceSpec {
+    /// Access pattern.
+    pub pattern: Pattern,
+    /// Bytes per access.
+    pub access_bytes: u64,
+    /// Fraction of writes.
+    pub write_fraction: f64,
+    /// Number of accesses.
+    pub length: u64,
+}
+
+/// One generated access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceOp {
+    /// Byte offset into the target buffer.
+    pub offset: u64,
+    /// Read or write.
+    pub op: MemOp,
+}
+
+impl TraceSpec {
+    /// Generate the trace for a buffer of `buffer_len` bytes.
+    pub fn generate(&self, buffer_len: u64, mut rng: DetRng) -> Vec<TraceOp> {
+        assert!(self.access_bytes > 0 && self.access_bytes <= buffer_len);
+        let positions = buffer_len / self.access_bytes;
+        assert!(positions > 0);
+        let zipf = match self.pattern {
+            Pattern::Zipfian(s) => Some(Zipf::new(positions, s.max(1e-9)).expect("valid zipf")),
+            _ => None,
+        };
+        let mut out = Vec::with_capacity(self.length as usize);
+        for i in 0..self.length {
+            let slot = match self.pattern {
+                Pattern::Sequential => i % positions,
+                Pattern::Uniform => rng.below(positions),
+                Pattern::Zipfian(_) => {
+                    (zipf.as_ref().expect("zipf built").sample(&mut rng) as u64 - 1)
+                        .min(positions - 1)
+                }
+                Pattern::PhasedHotspot { phases } => {
+                    assert!(phases > 0, "need at least one phase");
+                    let phase = (i * phases as u64 / self.length.max(1)).min(phases as u64 - 1);
+                    let hot_len = (positions / 10).max(1);
+                    let hot_base = (phase * positions / phases as u64) % positions;
+                    (hot_base + rng.below(hot_len)) % positions
+                }
+            };
+            let op = if rng.chance(self.write_fraction) {
+                MemOp::Write
+            } else {
+                MemOp::Read
+            };
+            out.push(TraceOp {
+                offset: slot * self.access_bytes,
+                op,
+            });
+        }
+        out
+    }
+}
+
+/// Result of replaying a trace.
+#[derive(Debug, Clone)]
+pub struct ReplayResult {
+    /// Completion time of the last access.
+    pub complete: SimTime,
+    /// Per-access latency distribution (ns).
+    pub latency: Histogram,
+    /// Bytes resolved locally.
+    pub local_bytes: u64,
+    /// Bytes that crossed the fabric.
+    pub remote_bytes: u64,
+}
+
+/// Replay `trace` against `seg` from `client`, each access dependent on
+/// the previous (closed loop, one outstanding access).
+pub fn replay(
+    pool: &mut LogicalPool,
+    fabric: &mut Fabric,
+    start: SimTime,
+    client: NodeId,
+    seg: SegmentId,
+    trace: &[TraceOp],
+    access_bytes: u64,
+) -> Result<ReplayResult, PoolError> {
+    let mut now = start;
+    let mut latency = Histogram::new();
+    let mut local = 0u64;
+    let mut remote = 0u64;
+    for t in trace {
+        let a = pool.access(
+            fabric,
+            now,
+            client,
+            LogicalAddr::new(seg, t.offset),
+            access_bytes,
+            t.op,
+        )?;
+        latency.record(a.complete.duration_since(now).as_nanos());
+        local += a.local_bytes;
+        remote += a.remote_bytes;
+        now = a.complete;
+    }
+    Ok(ReplayResult {
+        complete: now,
+        latency,
+        local_bytes: local,
+        remote_bytes: remote,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmp_fabric::LinkProfile;
+    use lmp_mem::{DramProfile, FRAME_BYTES};
+
+    fn setup() -> (LogicalPool, Fabric) {
+        let cfg = PoolConfig {
+            servers: 2,
+            capacity_per_server: 16 * FRAME_BYTES,
+            shared_per_server: 12 * FRAME_BYTES,
+            dram: DramProfile::xeon_gold_5120(),
+            tlb_capacity: 16,
+        };
+        (LogicalPool::new(cfg), Fabric::new(LinkProfile::link1(), 2))
+    }
+
+    #[test]
+    fn sequential_wraps() {
+        let spec = TraceSpec {
+            pattern: Pattern::Sequential,
+            access_bytes: 64,
+            write_fraction: 0.0,
+            length: 10,
+        };
+        let trace = spec.generate(256, DetRng::new(1));
+        let offsets: Vec<u64> = trace.iter().map(|t| t.offset).collect();
+        assert_eq!(offsets, [0, 64, 128, 192, 0, 64, 128, 192, 0, 64]);
+    }
+
+    #[test]
+    fn traces_are_deterministic() {
+        let spec = TraceSpec {
+            pattern: Pattern::Zipfian(1.1),
+            access_bytes: 64,
+            write_fraction: 0.3,
+            length: 100,
+        };
+        let a = spec.generate(1 << 20, DetRng::new(9));
+        let b = spec.generate(1 << 20, DetRng::new(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn offsets_stay_in_bounds() {
+        for pattern in [Pattern::Sequential, Pattern::Uniform, Pattern::Zipfian(0.9)] {
+            let spec = TraceSpec {
+                pattern,
+                access_bytes: 128,
+                write_fraction: 0.5,
+                length: 500,
+            };
+            let buffer = 64 * 1024;
+            for t in spec.generate(buffer, DetRng::new(4)) {
+                assert!(t.offset + 128 <= buffer, "{pattern:?} out of bounds");
+            }
+        }
+    }
+
+    #[test]
+    fn phased_hotspot_shifts() {
+        let spec = TraceSpec {
+            pattern: Pattern::PhasedHotspot { phases: 2 },
+            access_bytes: 64,
+            write_fraction: 0.0,
+            length: 1_000,
+        };
+        let buffer = 64 * 64_000; // 64000 positions
+        let trace = spec.generate(buffer, DetRng::new(7));
+        let first: Vec<u64> = trace[..500].iter().map(|t| t.offset / 64).collect();
+        let second: Vec<u64> = trace[500..].iter().map(|t| t.offset / 64).collect();
+        // Phase 1 lives in the first 10%, phase 2 starts at the midpoint.
+        assert!(first.iter().all(|&p| p < 6_400), "phase 1 outside hot region");
+        assert!(second.iter().all(|&p| (32_000..38_400).contains(&p)));
+    }
+
+    #[test]
+    fn replay_latency_reflects_placement() {
+        let (mut p, mut f) = setup();
+        let seg = p.alloc(2 * FRAME_BYTES, Placement::On(NodeId(0))).unwrap();
+        let spec = TraceSpec {
+            pattern: Pattern::Uniform,
+            access_bytes: 64,
+            write_fraction: 0.0,
+            length: 200,
+        };
+        let trace = spec.generate(2 * FRAME_BYTES, DetRng::new(2));
+        let local = replay(&mut p, &mut f, SimTime::ZERO, NodeId(0), seg, &trace, 64).unwrap();
+        let remote = replay(&mut p, &mut f, local.complete, NodeId(1), seg, &trace, 64).unwrap();
+        assert_eq!(local.remote_bytes, 0);
+        assert_eq!(remote.local_bytes, 0);
+        assert!(remote.latency.p50() > 2 * local.latency.p50());
+    }
+}

@@ -1,0 +1,97 @@
+//! The full §3.2 architecture in motion, driven by the event engine:
+//! tenants replay phased access traces while the rack runtime's two
+//! background daemons (locality balancing and shared-region sizing) run on
+//! their own periods — all as events on one simulated clock.
+//!
+//! Run with: `cargo run --release --example background_daemons`
+
+use lmp::core::prelude::*;
+use lmp::fabric::{Fabric, LinkProfile, NodeId};
+use lmp::mem::{DramProfile, FRAME_BYTES};
+use lmp::sim::prelude::*;
+use lmp::workloads::multitenant::{run, Tenant};
+use lmp::workloads::trace::Pattern;
+
+fn main() {
+    // Deliberately conservative initial split: only 24 of 64 frames shared
+    // per server. The sizing daemon will discover the real demands and grow
+    // the shares (the OS floor is 8 frames); the balancer then pulls
+    // spilled-but-hot buffers home.
+    let mut pool = LogicalPool::new(PoolConfig {
+        servers: 4,
+        capacity_per_server: 64 * FRAME_BYTES,
+        shared_per_server: 24 * FRAME_BYTES,
+        dram: DramProfile::xeon_gold_5120(),
+        tlb_capacity: 256,
+    });
+    let mut fabric = Fabric::new(LinkProfile::link1(), 4);
+    let mut rack = RackRuntime::new(
+        &pool,
+        RuntimeConfig {
+            balance_period: SimDuration::from_micros(200),
+            sizing_period: SimDuration::from_micros(400),
+            balancer: BalancerConfig {
+                min_remote_accesses: 16,
+                hysteresis: 1.5,
+                max_migrations_per_round: 8,
+            },
+            private_floors: Some(vec![8; 4]),
+        },
+    );
+
+    let tenants = vec![
+        Tenant {
+            server: NodeId(0),
+            working_set: 48 * FRAME_BYTES, // 2x the initial 24-frame share
+            priority: 9,
+            pattern: Pattern::Zipfian(1.1),
+            ops_per_batch: 2_000,
+        },
+        Tenant {
+            server: NodeId(1),
+            working_set: 40 * FRAME_BYTES, // spills; its hot region rotates
+            priority: 3,
+            pattern: Pattern::PhasedHotspot { phases: 4 },
+            ops_per_batch: 1_500,
+        },
+        Tenant {
+            server: NodeId(2),
+            working_set: 8 * FRAME_BYTES,
+            priority: 1,
+            pattern: Pattern::Sequential,
+            ops_per_batch: 1_000,
+        },
+    ];
+
+    let report = run(&mut pool, &mut fabric, &mut rack, &tenants, 6, 7)
+        .expect("multi-tenant run completes");
+
+    println!("simulated {} of rack time", report.complete);
+    println!(
+        "background daemons: {} migrations, {} sizing runs\n",
+        report.migrations, report.sizing_runs
+    );
+    println!(
+        "{:<8} {:>9} {:>14} {:>24}",
+        "tenant", "server", "local bytes", "batch latency (ns)"
+    );
+    for (i, t) in report.tenants.iter().enumerate() {
+        let lat: Vec<String> = t
+            .batch_latency_ns
+            .iter()
+            .map(|l| format!("{l:.0}"))
+            .collect();
+        println!(
+            "{i:<8} {:>9} {:>13.1}% {:>24}",
+            t.server,
+            t.local_fraction * 100.0,
+            lat.join(" ")
+        );
+    }
+    println!(
+        "\nworking sets larger than the conservative initial share spill to other\n\
+         servers; the sizing daemon grows the shares, and the balancer then\n\
+         migrates the spilled (now hot) buffers home — watch the local\n\
+         fraction climb across batches."
+    );
+}

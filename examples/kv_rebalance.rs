@@ -1,0 +1,66 @@
+//! A zipfian key-value store over the logical pool, with the locality
+//! balancer migrating hot key segments toward their dominant client —
+//! the paper's "NUMA migration" analogue working on a real application.
+//!
+//! Run with: `cargo run --release --example kv_rebalance`
+
+use lmp::core::prelude::*;
+use lmp::fabric::{Fabric, LinkProfile, NodeId};
+use lmp::mem::{DramProfile, FRAME_BYTES};
+use lmp::sim::prelude::*;
+use lmp::workloads::kv::{KvConfig, KvStore, KvWorkload};
+
+fn main() {
+    let mut pool = LogicalPool::new(PoolConfig {
+        servers: 4,
+        capacity_per_server: 64 * FRAME_BYTES,
+        shared_per_server: 48 * FRAME_BYTES,
+        dram: DramProfile::xeon_gold_5120(),
+        tlb_capacity: 256,
+    });
+    let mut fabric = Fabric::new(LinkProfile::link1(), 4);
+
+    let cfg = KvConfig {
+        slots: 8192,
+        slots_per_segment: 512,
+        zipf_exponent: 1.1,
+        write_fraction: 0.1,
+    };
+    let mut store = KvStore::create(&mut pool, cfg.clone()).expect("store fits");
+    let mut workload = KvWorkload::new(&cfg, DetRng::new(2024));
+    let mut balancer = LocalityBalancer::new(BalancerConfig {
+        min_remote_accesses: 32,
+        hysteresis: 2.0,
+        max_migrations_per_round: 8,
+    });
+
+    // One dominant client (server 3) drives the store; the balancer runs
+    // between batches like the paper's background task.
+    let client = NodeId(3);
+    let mut now = SimTime::ZERO;
+    println!(
+        "{:>5} {:>12} {:>14} {:>12}",
+        "batch", "avg latency", "local ops", "migrations"
+    );
+    for batch in 0..8 {
+        let (end, avg_ns) = workload
+            .run(&mut store, &mut pool, &mut fabric, now, client, 4_000)
+            .expect("ops run");
+        now = end;
+        println!(
+            "{batch:>5} {:>10.0}ns {:>13.1}% {:>12}",
+            avg_ns,
+            store.local_fraction() * 100.0,
+            balancer.migration_count()
+        );
+        let round = balancer.run_round(&mut pool, &mut fabric, now);
+        for r in &round.executed {
+            now = now.max(r.complete);
+        }
+    }
+    println!(
+        "\nhot segments migrated toward {client}: {} migrations, {} moved",
+        balancer.migration_count(),
+        fmt_bytes(balancer.bytes_moved())
+    );
+}

@@ -1,0 +1,51 @@
+//! # lmp — Logical Memory Pools
+//!
+//! A Rust implementation and evaluation harness for **"Logical Memory
+//! Pools: Flexible and Local Disaggregated Memory"** (HotNets '23): a
+//! memory-disaggregation architecture that carves the rack's memory pool
+//! out of each server's local DRAM instead of deploying a separate memory
+//! appliance.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`sim`] | `lmp-sim` | deterministic discrete-event kernel, time, stats |
+//! | [`fabric`] | `lmp-fabric` | CXL-like links (Table 1/2 profiles), switch, incast |
+//! | [`mem`] | `lmp-mem` | frames, DRAM timing, private/shared regions, hotness |
+//! | [`coherence`] | `lmp-coherence` | directory MSI, snoop filter, coherent-memory locks |
+//! | [`physical`] | `lmp-physical` | the physical-pool baseline + §4.2 cost model |
+//! | [`core`] | `lmp-core` | **the contribution**: logical pool, translation, migration, sizing, failure masking |
+//! | [`compute`] | `lmp-compute` | scans, data placement, compute shipping |
+//! | [`cluster`] | `lmp-cluster` | the three §4.1 deployments behind one interface |
+//! | [`workloads`] | `lmp-workloads` | vector aggregation, zipfian KV, BFS, traces |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use lmp::cluster::{Cluster, ClusterConfig, PoolArch};
+//! use lmp::fabric::{LinkProfile, NodeId};
+//! use lmp::sim::units::GIB;
+//!
+//! // The paper's Logical deployment: 4 servers × 24 GB over Link1.
+//! let mut cluster = Cluster::new(ClusterConfig::paper(
+//!     PoolArch::Logical,
+//!     LinkProfile::link1(),
+//! ));
+//! // One server sums an 8 GB vector with 14 cores, once.
+//! let result = cluster.run_aggregation(8 * GIB, NodeId(0), 1).unwrap();
+//! assert!(result.avg_bandwidth_gbps > 90.0, "local-speed pool access");
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use lmp_cluster as cluster;
+pub use lmp_coherence as coherence;
+pub use lmp_compute as compute;
+pub use lmp_core as core;
+pub use lmp_fabric as fabric;
+pub use lmp_mem as mem;
+pub use lmp_physical as physical;
+pub use lmp_sim as sim;
+pub use lmp_workloads as workloads;

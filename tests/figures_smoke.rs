@@ -1,0 +1,80 @@
+//! Paper-scale smoke tests: run the actual figure configurations (full
+//! 8–96 GB sizes — cheap, because timing simulation is data-free) and
+//! assert the quantitative shapes the paper reports.
+
+use lmp::cluster::PoolArch;
+use lmp::fabric::LinkProfile;
+use lmp::sim::units::GIB;
+use lmp::workloads::vector::run_point;
+
+fn gbps(arch: PoolArch, link: LinkProfile, size: u64) -> Option<f64> {
+    run_point(arch, link, size, 2).avg_gbps
+}
+
+#[test]
+fn figure2_8gb_ratios() {
+    let l = gbps(PoolArch::Logical, LinkProfile::link1(), 8 * GIB).unwrap();
+    let n = gbps(PoolArch::PhysicalNoCache, LinkProfile::link1(), 8 * GIB).unwrap();
+    // Paper: "up to 4.7x improved bandwidth compared to Physical no-cache".
+    let ratio = l / n;
+    assert!((4.0..5.5).contains(&ratio), "8GB Link1 ratio {ratio:.2}");
+    // Logical runs at local DRAM speed.
+    assert!((l - 97.0).abs() < 3.0, "logical {l:.1} should be ~97");
+}
+
+#[test]
+fn figure3_24gb_cache_ratio() {
+    let l = gbps(PoolArch::Logical, LinkProfile::link1(), 24 * GIB).unwrap();
+    let c = gbps(PoolArch::PhysicalCache, LinkProfile::link1(), 24 * GIB).unwrap();
+    // Paper: "up to 3.4x compared to Physical cache for the 24GB vector".
+    let ratio = l / c;
+    assert!((2.8..4.2).contains(&ratio), "24GB Link1 cache ratio {ratio:.2}");
+}
+
+#[test]
+fn figure4_64gb_42_percent() {
+    let l = gbps(PoolArch::Logical, LinkProfile::link1(), 64 * GIB).unwrap();
+    let c = gbps(PoolArch::PhysicalCache, LinkProfile::link1(), 64 * GIB).unwrap();
+    // Paper: "42% higher bandwidth than Physical cache on Link1".
+    let gain = l / c - 1.0;
+    assert!(
+        (0.30..0.60).contains(&gain),
+        "64GB Link1 gain {:.0}%",
+        gain * 100.0
+    );
+}
+
+#[test]
+fn figure5_96gb_feasibility() {
+    assert!(gbps(PoolArch::Logical, LinkProfile::link1(), 96 * GIB).is_some());
+    assert!(gbps(PoolArch::PhysicalCache, LinkProfile::link1(), 96 * GIB).is_none());
+    assert!(gbps(PoolArch::PhysicalNoCache, LinkProfile::link1(), 96 * GIB).is_none());
+    // Same on Link0.
+    assert!(gbps(PoolArch::Logical, LinkProfile::link0(), 96 * GIB).is_some());
+    assert!(gbps(PoolArch::PhysicalNoCache, LinkProfile::link0(), 96 * GIB).is_none());
+}
+
+#[test]
+fn link0_upper_bounds_link1() {
+    // Link0 is the paper's optimistic CXL bound: every physical-pool
+    // number on Link0 must dominate its Link1 counterpart.
+    for arch in [PoolArch::PhysicalCache, PoolArch::PhysicalNoCache] {
+        for size in [8 * GIB, 24 * GIB, 64 * GIB] {
+            let fast = gbps(arch, LinkProfile::link0(), size).unwrap();
+            let slow = gbps(arch, LinkProfile::link1(), size).unwrap();
+            assert!(
+                fast >= slow,
+                "{arch:?} {size}: Link0 {fast:.1} < Link1 {slow:.1}"
+            );
+        }
+    }
+}
+
+#[test]
+fn remote_links_cap_physical_bandwidth() {
+    // Physical no-cache can never exceed the link's line rate.
+    let n0 = gbps(PoolArch::PhysicalNoCache, LinkProfile::link0(), 8 * GIB).unwrap();
+    let n1 = gbps(PoolArch::PhysicalNoCache, LinkProfile::link1(), 8 * GIB).unwrap();
+    assert!(n0 <= 34.6, "no-cache Link0 {n0:.1} above line rate");
+    assert!(n1 <= 21.1, "no-cache Link1 {n1:.1} above line rate");
+}
