@@ -430,6 +430,29 @@ mod tests {
     }
 
     #[test]
+    fn scan_surfaces_crash_as_recoverable_error() {
+        let mut c = small(PoolArch::Logical);
+        // 40 frames against a 24-frame local share forces striping across
+        // servers.
+        let h = c.alloc_vector(40 * FRAME_BYTES, NodeId(0)).unwrap();
+        let victim = match &h {
+            VectorHandle::Logical(v) => v
+                .stripes
+                .iter()
+                .map(|(n, _, _)| *n)
+                .find(|n| *n != NodeId(0))
+                .expect("vector spans servers"),
+            _ => unreachable!(),
+        };
+        c.logical_pool().unwrap().crash_server(victim);
+        // The scan fails with a recoverable error, never a panic.
+        let err = c
+            .scan_vector(SimTime::ZERO, NodeId(0), &h, ScanParams::default())
+            .unwrap_err();
+        assert!(matches!(err, ClusterError::Pool(PoolError::SegmentLost(_))));
+    }
+
+    #[test]
     fn small_vector_local_on_logical() {
         let mut c = small(PoolArch::Logical);
         let h = c.alloc_vector(8 * FRAME_BYTES, NodeId(0)).unwrap();

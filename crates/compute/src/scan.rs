@@ -75,6 +75,7 @@ impl ScanOutcome {
 ///
 /// # Panics
 /// Panics for zero cores or a zero chunk size.
+#[allow(clippy::too_many_arguments)]
 pub fn scan_segment(
     pool: &mut LogicalPool,
     fabric: &mut Fabric,

@@ -137,6 +137,7 @@ pub fn reduce_timed(
 /// distributed vector: timing via the scan engine, the result from
 /// materialized stripe contents. With [`Strategy::Ship`] only each task's
 /// fixed-size partial crosses the fabric.
+#[allow(clippy::too_many_arguments)]
 pub fn run_task(
     pool: &mut LogicalPool,
     fabric: &mut Fabric,

@@ -92,6 +92,16 @@ impl ProtectionManager {
         self.member_group.get(&seg).copied()
     }
 
+    /// The data members of a parity group (excludes the parity segment).
+    pub fn group_members(&self, gid: GroupId) -> Option<&[SegmentId]> {
+        self.groups.get(&gid).map(|g| g.members.as_slice())
+    }
+
+    /// The parity segment of a group.
+    pub fn parity_segment(&self, gid: GroupId) -> Option<SegmentId> {
+        self.groups.get(&gid).map(|g| g.parity)
+    }
+
     /// Mirror `seg` onto a different server. Returns the replica segment.
     pub fn mirror(
         &mut self,
@@ -108,11 +118,14 @@ impl ProtectionManager {
         let target = pick_other_server(pool, len, &[home]).ok_or(PoolError::Capacity {
             requested_frames: len.div_ceil(FRAME_BYTES),
         })?;
+        // Charge the fabric for the copy before any pool state changes: a
+        // down port (fault injection) fails the mirror cleanly.
+        fabric
+            .try_write(now, home, target, len)
+            .map_err(|e| PoolError::ServerDown(e.node()))?;
         let replica = pool.alloc(len, Placement::On(target))?;
-        // Copy contents and charge the fabric.
         let data = pool.read_bytes(LogicalAddr::new(seg, 0), len)?;
         pool.write_bytes(LogicalAddr::new(replica, 0), &data)?;
-        let _ = fabric.write(now, home, target, len);
         self.mirrors.insert(seg, replica);
         self.replica_of.insert(replica, seg);
         Ok(replica)
@@ -146,12 +159,18 @@ impl ProtectionManager {
         let target = pick_other_server(pool, len, &homes).ok_or(PoolError::Capacity {
             requested_frames: len.div_ceil(FRAME_BYTES),
         })?;
+        // Charge the fabric for pulling every member before any pool state
+        // changes: a down port fails protection cleanly.
+        for &h in &homes {
+            fabric
+                .try_read(now, target, h, len)
+                .map_err(|e| PoolError::ServerDown(e.node()))?;
+        }
         let parity = pool.alloc(len, Placement::On(target))?;
         let mut acc = vec![0u8; len as usize];
-        for (&m, &h) in members.iter().zip(&homes) {
+        for &m in members {
             let data = pool.read_bytes(LogicalAddr::new(m, 0), len)?;
             xor_into(&mut acc, &data);
-            let _ = fabric.read(now, target, h, len);
         }
         pool.write_bytes(LogicalAddr::new(parity, 0), &acc)?;
         let gid = GroupId(self.next_group);
@@ -303,7 +322,11 @@ impl ProtectionManager {
             let data = pool.read_bytes(LogicalAddr::new(*s, 0), len)?;
             xor_into(&mut acc, &data);
             if *h != target {
-                let fc = fabric.read(now, target, *h, len);
+                // A survivor (or the target) behind a down port makes the
+                // group unreadable right now; the caller degrades to loss.
+                let fc = fabric
+                    .try_read(now, target, *h, len)
+                    .map_err(|_| PoolError::SegmentLost(*s))?;
                 done = done.max(fc.complete);
             }
         }
@@ -455,6 +478,41 @@ mod tests {
             p.read_bytes(LogicalAddr::new(seg, 0), 1),
             Err(PoolError::SegmentLost(_))
         ));
+    }
+
+    #[test]
+    fn mirror_fails_cleanly_when_ports_down() {
+        let (mut p, mut f, mut pm) = setup(3);
+        let seg = p.alloc(FRAME_BYTES, Placement::On(NodeId(0))).unwrap();
+        let free_before: Vec<u64> = (0..3).map(|i| p.free_shared_frames(NodeId(i))).collect();
+        f.set_port_down(NodeId(1), true);
+        f.set_port_down(NodeId(2), true);
+        let r = pm.mirror(&mut p, &mut f, SimTime::ZERO, seg);
+        assert!(matches!(r, Err(PoolError::ServerDown(_))));
+        assert!(!pm.is_protected(seg));
+        // No replica leaked: capacity unchanged everywhere.
+        let free_after: Vec<u64> = (0..3).map(|i| p.free_shared_frames(NodeId(i))).collect();
+        assert_eq!(free_before, free_after);
+        // Port restored, mirroring works again.
+        f.set_port_down(NodeId(1), false);
+        f.set_port_down(NodeId(2), false);
+        assert!(pm.mirror(&mut p, &mut f, SimTime::ZERO, seg).is_ok());
+    }
+
+    #[test]
+    fn reconstruction_degrades_to_loss_when_survivor_port_down() {
+        let (mut p, mut f, mut pm) = setup(4);
+        let a = p.alloc(FRAME_BYTES, Placement::On(NodeId(0))).unwrap();
+        let b = p.alloc(FRAME_BYTES, Placement::On(NodeId(1))).unwrap();
+        pm.protect_parity(&mut p, &mut f, SimTime::ZERO, &[a, b])
+            .unwrap();
+        let affected = p.crash_server(NodeId(0));
+        // The surviving member's port flaps during recovery.
+        f.set_port_down(NodeId(1), true);
+        let report = pm.recover(&mut p, &mut f, SimTime::ZERO, NodeId(0), &affected);
+        assert_eq!(report.lost, vec![a], "no reachable survivors: lost");
+        assert!(report.reconstructed.is_empty());
+        assert!(!pm.is_protected(b), "group dissolved");
     }
 
     #[test]

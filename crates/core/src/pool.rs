@@ -9,7 +9,7 @@
 
 use crate::addr::{frame_chunks, LogicalAddr, SegmentId};
 use crate::translate::{GlobalMap, LocalMap, SegmentLoc, TranslationCache};
-use lmp_fabric::{Fabric, MemOp, NodeId};
+use lmp_fabric::{Fabric, FabricError, MemOp, NodeId};
 use lmp_mem::{DramProfile, MemoryNode, RegionKind, FRAME_BYTES};
 use lmp_sim::prelude::*;
 use std::collections::HashMap;
@@ -408,10 +408,17 @@ impl LogicalPool {
                 remote_bytes += chunk;
                 let d =
                     self.nodes[holder.0 as usize].access(now, chunk, requester.0, false, Some(frame));
+                // The fabric's port state can lag the pool's crash state by
+                // a simulated detection delay under fault injection, so take
+                // the fallible path and surface a recoverable error.
                 let f = match op {
-                    MemOp::Read => fabric.read(now, requester, holder, chunk),
-                    MemOp::Write => fabric.write(now, requester, holder, chunk),
-                };
+                    MemOp::Read => fabric.try_read(now, requester, holder, chunk),
+                    MemOp::Write => fabric.try_write(now, requester, holder, chunk),
+                }
+                .map_err(|e| match e {
+                    FabricError::RequesterDown(n) => PoolError::ServerDown(n),
+                    FabricError::HolderDown(_) => PoolError::SegmentLost(addr.segment),
+                })?;
                 complete = complete.max(d.complete).max(f.complete);
             }
         }
@@ -494,8 +501,14 @@ impl LogicalPool {
         self.global.segments_on(server)
     }
 
-    /// Restart a crashed server with empty memory.
+    /// Restart a crashed server with empty memory. Segments still mapped
+    /// to it died with its DRAM, so their bookkeeping is dropped here:
+    /// later accesses surface [`PoolError::UnknownSegment`] instead of
+    /// resolving into the recycled empty frames.
     pub fn restart_server(&mut self, server: NodeId) {
+        for seg in self.global.segments_on(server) {
+            self.drop_segment_bookkeeping(seg);
+        }
         self.nodes[server.0 as usize].restart();
         self.locals[server.0 as usize] = LocalMap::new();
     }
@@ -789,6 +802,23 @@ mod tests {
         assert_eq!(r, Err(PoolError::SegmentLost(seg)));
         assert_eq!(p.free_shared_frames(NodeId(2)), 0);
         assert_eq!(p.pool_capacity_bytes(), 3 * 16 * FRAME_BYTES);
+    }
+
+    #[test]
+    fn restart_after_loss_unmaps_segments() {
+        let (mut p, _) = small_pool();
+        let seg = p.alloc(FRAME_BYTES, Placement::On(NodeId(1))).unwrap();
+        p.crash_server(NodeId(1));
+        p.restart_server(NodeId(1));
+        // The lost segment's id is gone, not silently resolving into the
+        // restarted server's empty memory.
+        assert!(matches!(
+            p.read_bytes(LogicalAddr::new(seg, 0), 1),
+            Err(PoolError::UnknownSegment(_))
+        ));
+        // Capacity is fully reusable after the restart.
+        assert_eq!(p.free_shared_frames(NodeId(1)), 16);
+        assert!(p.alloc(16 * FRAME_BYTES, Placement::On(NodeId(1))).is_ok());
     }
 
     #[test]

@@ -29,6 +29,37 @@ pub struct FabricCompletion {
     pub queued: SimDuration,
 }
 
+/// Why a fabric operation could not be served. Fault injection (crashed
+/// nodes) surfaces through these instead of panics so upper layers can
+/// retry or fail over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricError {
+    /// The requesting node's fabric port is down.
+    RequesterDown(NodeId),
+    /// The holder's fabric port is down.
+    HolderDown(NodeId),
+}
+
+impl FabricError {
+    /// The node whose port is down, whichever side it was on.
+    pub fn node(&self) -> NodeId {
+        match self {
+            FabricError::RequesterDown(n) | FabricError::HolderDown(n) => *n,
+        }
+    }
+}
+
+impl std::fmt::Display for FabricError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FabricError::RequesterDown(n) => write!(f, "requester {n} is off the fabric"),
+            FabricError::HolderDown(n) => write!(f, "holder {n} is off the fabric"),
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}
+
 /// A star-topology fabric connecting `node_count` nodes through one switch.
 #[derive(Debug)]
 pub struct Fabric {
@@ -39,6 +70,12 @@ pub struct Fabric {
     /// Extra per-hop switch latency (0 by default: the profile's endpoints
     /// already include the switch, as in Table 2 / Pond).
     switch_latency: SimDuration,
+    /// Per-node port state: `true` while the node is off the fabric
+    /// (crashed or partitioned). Fault injection toggles this.
+    port_down: Vec<bool>,
+    /// Per-node latency multiplier (1.0 = healthy). A degraded link
+    /// stretches the loaded-latency component of every path through it.
+    latency_factor: Vec<f64>,
     reads: Counter,
     writes: Counter,
     read_latency: Histogram,
@@ -59,6 +96,8 @@ impl Fabric {
             links,
             node_count,
             switch_latency: SimDuration::ZERO,
+            port_down: vec![false; node_count as usize],
+            latency_factor: vec![1.0; node_count as usize],
             reads: Counter::new(),
             writes: Counter::new(),
             read_latency: Histogram::new(),
@@ -130,11 +169,62 @@ impl Fabric {
         self.links[id.0].utilization(now)
     }
 
+    /// Take `node`'s fabric port down (crash or partition). Subsequent
+    /// [`Fabric::try_read`]/[`Fabric::try_write`] through it fail.
+    pub fn set_port_down(&mut self, node: NodeId, down: bool) {
+        let i = node.0 as usize;
+        assert!(node.0 < self.node_count, "unknown node {node}");
+        self.port_down[i] = down;
+    }
+
+    /// Whether `node`'s fabric port is down.
+    pub fn is_port_down(&self, node: NodeId) -> bool {
+        self.port_down[node.0 as usize]
+    }
+
+    /// Stretch the loaded latency of every path through `node` by
+    /// `factor` (≥ 1.0 degrades, 1.0 restores). Models link-level
+    /// degradation: retraining, congestion spikes, a flaky cable.
+    ///
+    /// # Panics
+    /// Panics on an unknown node or a factor below 1.0.
+    pub fn degrade_node(&mut self, node: NodeId, factor: f64) {
+        assert!(node.0 < self.node_count, "unknown node {node}");
+        assert!(factor >= 1.0, "degradation factor must be >= 1.0");
+        self.latency_factor[node.0 as usize] = factor;
+    }
+
+    /// Restore `node`'s links to full health.
+    pub fn restore_node(&mut self, node: NodeId) {
+        self.latency_factor[node.0 as usize] = 1.0;
+    }
+
+    /// Current latency multiplier on `node`'s links.
+    pub fn node_latency_factor(&self, node: NodeId) -> f64 {
+        self.latency_factor[node.0 as usize]
+    }
+
+    fn path_latency_factor(&self, a: NodeId, b: NodeId) -> f64 {
+        self.latency_factor[a.0 as usize].max(self.latency_factor[b.0 as usize])
+    }
+
+    fn check_ports(&self, requester: NodeId, holder: NodeId) -> Result<(), FabricError> {
+        if self.port_down[requester.0 as usize] {
+            return Err(FabricError::RequesterDown(requester));
+        }
+        if self.port_down[holder.0 as usize] {
+            return Err(FabricError::HolderDown(holder));
+        }
+        Ok(())
+    }
+
     /// A remote read: `requester` loads `bytes` that reside on `holder`.
     ///
     /// # Panics
     /// Panics if `requester == holder` — local accesses never touch the
-    /// fabric and must be served by the memory model instead.
+    /// fabric and must be served by the memory model instead — or if
+    /// either port is down (use [`Fabric::try_read`] under fault
+    /// injection).
     pub fn read(
         &mut self,
         now: SimTime,
@@ -142,14 +232,32 @@ impl Fabric {
         holder: NodeId,
         bytes: u64,
     ) -> FabricCompletion {
+        self.try_read(now, requester, holder, bytes)
+            .expect("fabric port down; use try_read under fault injection")
+    }
+
+    /// Fallible remote read; see [`Fabric::read`]. Returns an error
+    /// instead of completing when either endpoint's port is down.
+    ///
+    /// # Panics
+    /// Panics if `requester == holder`.
+    pub fn try_read(
+        &mut self,
+        now: SimTime,
+        requester: NodeId,
+        holder: NodeId,
+        bytes: u64,
+    ) -> Result<FabricCompletion, FabricError> {
         assert!(
             requester != holder,
             "local access on the fabric: {requester}"
         );
+        self.check_ports(requester, holder)?;
         self.reads.inc();
         // Bottleneck utilization along the data path, sampled pre-admission.
         let u = self.path_utilization(now, requester, holder);
-        let latency = self.profile.curve.at(u) + self.switch_latency * 2;
+        let latency = (self.profile.curve.at(u) + self.switch_latency * 2)
+            .mul_f64(self.path_latency_factor(requester, holder));
 
         // Request flits.
         let r_up = self.up_index(requester);
@@ -173,18 +281,19 @@ impl Fabric {
         let complete = d2.1 + latency;
         let queued = d2.1.saturating_duration_since(unqueued);
         self.read_latency.record_duration(complete.duration_since(now));
-        FabricCompletion {
+        Ok(FabricCompletion {
             complete,
             latency,
             queued,
-        }
+        })
     }
 
     /// A remote write: `requester` stores `bytes` to memory on `holder`.
     /// Payload flows requester→holder; a completion flit returns.
     ///
     /// # Panics
-    /// Panics if `requester == holder`.
+    /// Panics if `requester == holder`, or if either port is down (use
+    /// [`Fabric::try_write`] under fault injection).
     pub fn write(
         &mut self,
         now: SimTime,
@@ -192,13 +301,31 @@ impl Fabric {
         holder: NodeId,
         bytes: u64,
     ) -> FabricCompletion {
+        self.try_write(now, requester, holder, bytes)
+            .expect("fabric port down; use try_write under fault injection")
+    }
+
+    /// Fallible remote write; see [`Fabric::write`]. Returns an error
+    /// instead of completing when either endpoint's port is down.
+    ///
+    /// # Panics
+    /// Panics if `requester == holder`.
+    pub fn try_write(
+        &mut self,
+        now: SimTime,
+        requester: NodeId,
+        holder: NodeId,
+        bytes: u64,
+    ) -> Result<FabricCompletion, FabricError> {
         assert!(
             requester != holder,
             "local access on the fabric: {requester}"
         );
+        self.check_ports(requester, holder)?;
         self.writes.inc();
         let u = self.path_utilization(now, requester, holder);
-        let latency = self.profile.curve.at(u) + self.switch_latency * 2;
+        let latency = (self.profile.curve.at(u) + self.switch_latency * 2)
+            .mul_f64(self.path_latency_factor(requester, holder));
 
         let r_up = self.up_index(requester);
         let h_down = self.down_index(holder);
@@ -220,11 +347,11 @@ impl Fabric {
                 * 2;
         let complete = c2.1 + latency;
         let queued = c2.1.saturating_duration_since(unqueued);
-        FabricCompletion {
+        Ok(FabricCompletion {
             complete,
             latency,
             queued,
-        }
+        })
     }
 
     fn path_utilization(&mut self, now: SimTime, a: NodeId, b: NodeId) -> f64 {
@@ -333,7 +460,7 @@ mod tests {
         let mut now = t(0);
         for _ in 0..5_000 {
             last = f.read(now, NodeId(0), NodeId(1), 256 * 1024).latency;
-            now = now + SimDuration::from_nanos(50);
+            now += SimDuration::from_nanos(50);
         }
         assert!(last > first, "latency did not rise: {first} -> {last}");
         assert!(last.as_nanos() <= 527);
@@ -348,6 +475,40 @@ mod tests {
         assert_eq!(f.read_count(), 1);
         assert_eq!(f.write_count(), 2);
         assert_eq!(f.read_latency_histogram().count(), 1);
+    }
+
+    #[test]
+    fn down_port_fails_and_restores() {
+        let mut f = Fabric::new(LinkProfile::link0(), 3);
+        f.set_port_down(NodeId(1), true);
+        assert_eq!(
+            f.try_read(t(0), NodeId(0), NodeId(1), 64),
+            Err(FabricError::HolderDown(NodeId(1)))
+        );
+        assert_eq!(
+            f.try_write(t(0), NodeId(1), NodeId(2), 64),
+            Err(FabricError::RequesterDown(NodeId(1)))
+        );
+        // Unaffected pairs keep flowing, and counters skip failed ops.
+        assert!(f.try_read(t(0), NodeId(0), NodeId(2), 64).is_ok());
+        assert_eq!(f.read_count(), 1);
+        f.set_port_down(NodeId(1), false);
+        assert!(f.try_read(t(0), NodeId(0), NodeId(1), 64).is_ok());
+    }
+
+    #[test]
+    fn degraded_node_stretches_latency() {
+        let mut f = Fabric::new(LinkProfile::link0(), 3);
+        let healthy = f.read(t(0), NodeId(0), NodeId(1), 64).latency;
+        f.degrade_node(NodeId(1), 4.0);
+        let degraded = f.read(t(0), NodeId(0), NodeId(1), 64).latency;
+        assert_eq!(degraded, healthy * 4, "latency scales with the factor");
+        // Paths avoiding the degraded node are untouched.
+        let other = f.read(t(0), NodeId(0), NodeId(2), 64).latency;
+        assert_eq!(other, healthy);
+        f.restore_node(NodeId(1));
+        let restored = f.read(t(0), NodeId(0), NodeId(1), 64).latency;
+        assert_eq!(restored, healthy);
     }
 
     #[test]

@@ -160,7 +160,7 @@ mod tests {
         for _ in 0..2_000 {
             let tr = link.transfer(now, 64 * 1024);
             last = tr.latency;
-            now = now + SimDuration::from_nanos(100); // offered >> capacity
+            now += SimDuration::from_nanos(100); // offered >> capacity
         }
         let min = LinkProfile::link1().min_latency().as_nanos();
         let max = LinkProfile::link1().max_latency().as_nanos();

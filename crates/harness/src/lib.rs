@@ -1,0 +1,52 @@
+//! # lmp-harness — deterministic fault injection for the LMP stack
+//!
+//! A FoundationDB-style simulation-testing layer over the repo's
+//! discrete-event engine. The paper's §5 lists the failure remedies an
+//! LMP must get right — masking via replication or erasure coding,
+//! exceptions for the rest — and this crate is how we trust that code:
+//! every fault schedule is a pure function of a seed, every run produces
+//! a digestible event trace, and cross-layer invariants are checked both
+//! during recovery and at the end of the run.
+//!
+//! * [`plan`] — [`plan::FaultPlan`]: seeded schedules of server crashes,
+//!   restarts, port flaps, and link-latency degradation.
+//! * [`retry`] — [`retry::RetryPolicy`]: exponential backoff in simulated
+//!   time; transient vs. permanent error classification.
+//! * [`invariants`] — translation consistency, recovery completeness,
+//!   write-amplification accounting, coherence mutual exclusion under
+//!   snoop-filter overflow.
+//! * [`trace`] — [`trace::ChaosTrace`]: the append-only run log and its
+//!   digest (same seed ⇒ same digest, byte for byte).
+//! * [`scenario`] — the five shipped chaos scenarios and their runner.
+//!
+//! ```
+//! use lmp_harness::prelude::*;
+//!
+//! let a = run_scenario(Scenario::CrashMirrored, 7);
+//! let b = run_scenario(Scenario::CrashMirrored, 7);
+//! assert!(a.passed());
+//! assert_eq!(a.digest, b.digest, "determinism is the contract");
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod invariants;
+pub mod plan;
+pub mod retry;
+pub mod scenario;
+pub mod trace;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::invariants::{
+        check_coherence_mutex, check_recovery, check_translation, check_write_amplification,
+        CheckResult, ContentModel, WriteLedger,
+    };
+    pub use crate::plan::{Fault, FaultPlan, PlanConfig, PlannedFault};
+    pub use crate::retry::{access_with_retry, is_retryable, retry, RetryOutcome, RetryPolicy};
+    pub use crate::scenario::{run_scenario, ChaosReport, Scenario};
+    pub use crate::trace::ChaosTrace;
+}
+
+pub use prelude::*;

@@ -1,0 +1,244 @@
+//! Fault plans: what breaks, and when.
+//!
+//! A [`FaultPlan`] is an ordered list of faults pinned to simulated
+//! instants. Plans are either written explicitly (one fault per line, as
+//! the integration tests do) or generated from a seed — the
+//! FoundationDB-style mode where the plan itself is a deterministic
+//! function of the seed, so a failing run is reproduced by its seed alone.
+
+use lmp_fabric::NodeId;
+use lmp_sim::prelude::*;
+
+/// One injectable fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fault {
+    /// The server's memory and fabric port vanish; its pool shard is gone.
+    ServerCrash(NodeId),
+    /// A crashed server comes back with empty memory and a live port.
+    ServerRestart(NodeId),
+    /// The node's links stretch every path's loaded latency by `factor`.
+    LinkDegrade {
+        /// Affected node.
+        node: NodeId,
+        /// Latency multiplier, ≥ 1.0.
+        factor: f64,
+    },
+    /// The node's links return to full health.
+    LinkRestore(NodeId),
+    /// The node's fabric port drops without the server crashing (a NIC
+    /// flap); remote operations touching the node fail until it returns.
+    PortDown(NodeId),
+    /// A flapped port comes back.
+    PortUp(NodeId),
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Fault::ServerCrash(n) => write!(f, "crash {n}"),
+            Fault::ServerRestart(n) => write!(f, "restart {n}"),
+            Fault::LinkDegrade { node, factor } => {
+                write!(f, "degrade {node} x{factor:.1}")
+            }
+            Fault::LinkRestore(n) => write!(f, "restore {n}"),
+            Fault::PortDown(n) => write!(f, "port-down {n}"),
+            Fault::PortUp(n) => write!(f, "port-up {n}"),
+        }
+    }
+}
+
+/// A fault pinned to a simulated instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlannedFault {
+    /// When the fault strikes.
+    pub at: SimTime,
+    /// What happens.
+    pub fault: Fault,
+}
+
+/// Parameters for seeded plan generation.
+#[derive(Debug, Clone)]
+pub struct PlanConfig {
+    /// Nodes eligible for faults.
+    pub servers: u32,
+    /// Faults are drawn in `[horizon/10, horizon)` so the workload gets a
+    /// healthy warm-up window.
+    pub horizon: SimDuration,
+    /// Number of server crashes to inject.
+    pub crashes: u32,
+    /// Whether crashed servers restart (empty) before the horizon.
+    pub restarts: bool,
+    /// Number of link-degradation windows to inject.
+    pub link_spikes: u32,
+    /// Degradation factor for spikes (≥ 1.0).
+    pub spike_factor: f64,
+}
+
+impl Default for PlanConfig {
+    fn default() -> Self {
+        PlanConfig {
+            servers: 4,
+            horizon: SimDuration::from_micros(500),
+            crashes: 1,
+            restarts: true,
+            link_spikes: 1,
+            spike_factor: 8.0,
+        }
+    }
+}
+
+/// A deterministic schedule of faults.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    faults: Vec<PlannedFault>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a fault. Faults may be pushed out of order; [`Self::iter`]
+    /// yields them sorted by time (ties keep push order).
+    pub fn push(&mut self, at: SimTime, fault: Fault) -> &mut Self {
+        self.faults.push(PlannedFault { at, fault });
+        self
+    }
+
+    /// Generate a plan from a seed. Same seed and config ⇒ same plan.
+    ///
+    /// Crashes strike distinct servers (so a k-fault plan is survivable by
+    /// k-independent protection); spikes may hit any node. All times land
+    /// in `[horizon/10, horizon)`.
+    pub fn generate(seed: u64, cfg: &PlanConfig) -> Self {
+        assert!(cfg.servers > 0, "plan needs servers");
+        assert!(
+            cfg.crashes <= cfg.servers,
+            "more crashes than distinct servers"
+        );
+        let mut rng = DetRng::new(seed).fork("fault-plan");
+        let lo = cfg.horizon.as_nanos() / 10;
+        let hi = cfg.horizon.as_nanos().max(lo + 1);
+        let draw_at = |rng: &mut DetRng| {
+            SimTime::from_nanos(lo + rng.below(hi - lo))
+        };
+        let mut plan = FaultPlan::new();
+
+        // Distinct crash victims via a seeded shuffle.
+        let mut victims: Vec<u32> = (0..cfg.servers).collect();
+        rng.shuffle(&mut victims);
+        for &v in victims.iter().take(cfg.crashes as usize) {
+            let at = draw_at(&mut rng);
+            plan.push(at, Fault::ServerCrash(NodeId(v)));
+            if cfg.restarts {
+                // Restart strictly after the crash, still inside the horizon.
+                let gap = 1 + rng.below((hi - at.as_nanos()).max(2) - 1);
+                plan.push(
+                    at + SimDuration::from_nanos(gap),
+                    Fault::ServerRestart(NodeId(v)),
+                );
+            }
+        }
+        for _ in 0..cfg.link_spikes {
+            let node = NodeId(rng.below(cfg.servers as u64) as u32);
+            let at = draw_at(&mut rng);
+            plan.push(
+                at,
+                Fault::LinkDegrade {
+                    node,
+                    factor: cfg.spike_factor,
+                },
+            );
+            let width = 1 + rng.below((hi - at.as_nanos()).max(2) - 1);
+            plan.push(at + SimDuration::from_nanos(width), Fault::LinkRestore(node));
+        }
+        plan
+    }
+
+    /// Number of planned faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Faults sorted by strike time (stable for ties).
+    pub fn iter(&self) -> impl Iterator<Item = PlannedFault> + '_ {
+        let mut order: Vec<usize> = (0..self.faults.len()).collect();
+        order.sort_by_key(|&i| (self.faults[i].at, i));
+        order.into_iter().map(|i| self.faults[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = PlanConfig::default();
+        let a = FaultPlan::generate(7, &cfg);
+        let b = FaultPlan::generate(7, &cfg);
+        let c = FaultPlan::generate(8, &cfg);
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn crashes_hit_distinct_servers() {
+        let cfg = PlanConfig {
+            servers: 4,
+            crashes: 4,
+            restarts: false,
+            link_spikes: 0,
+            ..PlanConfig::default()
+        };
+        let plan = FaultPlan::generate(3, &cfg);
+        let mut victims: Vec<u32> = plan
+            .iter()
+            .filter_map(|p| match p.fault {
+                Fault::ServerCrash(n) => Some(n.0),
+                _ => None,
+            })
+            .collect();
+        victims.sort_unstable();
+        victims.dedup();
+        assert_eq!(victims.len(), 4);
+    }
+
+    #[test]
+    fn restart_follows_its_crash() {
+        let cfg = PlanConfig {
+            crashes: 2,
+            restarts: true,
+            link_spikes: 0,
+            ..PlanConfig::default()
+        };
+        let plan = FaultPlan::generate(11, &cfg);
+        let mut crash_at = std::collections::HashMap::new();
+        for p in plan.iter() {
+            match p.fault {
+                Fault::ServerCrash(n) => {
+                    crash_at.insert(n, p.at);
+                }
+                Fault::ServerRestart(n) => {
+                    assert!(p.at > crash_at[&n], "restart before crash");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn iter_is_time_sorted() {
+        let mut plan = FaultPlan::new();
+        plan.push(SimTime::from_nanos(50), Fault::ServerCrash(NodeId(1)));
+        plan.push(SimTime::from_nanos(10), Fault::LinkRestore(NodeId(0)));
+        let times: Vec<u64> = plan.iter().map(|p| p.at.as_nanos()).collect();
+        assert_eq!(times, vec![10, 50]);
+    }
+}

@@ -1,0 +1,276 @@
+//! Retry, timeout, and backoff semantics for pool operations under
+//! faults.
+//!
+//! The paper expects failures to surface to applications as memory
+//! exceptions, not hangs or crashes. This module supplies the client-side
+//! half: a [`RetryPolicy`] with exponential backoff in *simulated* time,
+//! and a classification of [`PoolError`]s into transient errors worth
+//! retrying (the holder may recover, the port may come back) versus
+//! permanent ones that must surface immediately.
+
+use lmp_core::prelude::*;
+use lmp_fabric::{Fabric, MemOp, NodeId};
+use lmp_sim::prelude::*;
+
+/// When and how often to retry a failed pool operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). At least 1.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles every retry.
+    pub base_backoff: SimDuration,
+    /// Give up once the next attempt would start later than
+    /// `issue + timeout`, even with attempts left.
+    pub timeout: SimDuration,
+}
+
+impl RetryPolicy {
+    /// Defaults used by the chaos scenarios: 6 attempts, 200 ns initial
+    /// backoff (≈ one fabric round trip), 50 µs budget — long enough to
+    /// ride out a crash-detection window, short enough to fail fast on a
+    /// permanently lost segment.
+    pub fn default_chaos() -> Self {
+        RetryPolicy {
+            max_attempts: 6,
+            base_backoff: SimDuration::from_nanos(200),
+            timeout: SimDuration::from_micros(50),
+        }
+    }
+
+    /// Backoff to wait after attempt number `attempt` (0-based) fails:
+    /// `base · 2^attempt`, saturating.
+    pub fn backoff_after(&self, attempt: u32) -> SimDuration {
+        let factor = 1u64.checked_shl(attempt).unwrap_or(u64::MAX);
+        SimDuration::from_nanos(self.base_backoff.as_nanos().saturating_mul(factor))
+    }
+
+    /// Whether another attempt may be scheduled after `attempt` (0-based)
+    /// failed at simulated time `now`, for an operation issued at `issued`.
+    pub fn may_retry(&self, issued: SimTime, now: SimTime, attempt: u32) -> bool {
+        attempt + 1 < self.max_attempts
+            && (now + self.backoff_after(attempt)) <= issued + self.timeout
+    }
+}
+
+/// Whether an error is worth retrying: the condition can clear (server
+/// restart, port restore, protection-layer recovery). Capacity, bounds,
+/// and unknown-segment errors are deterministic and permanent.
+pub fn is_retryable(err: &PoolError) -> bool {
+    matches!(
+        err,
+        PoolError::SegmentLost(_) | PoolError::ServerDown(_)
+    )
+}
+
+/// Terminal outcome of a retried operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RetryOutcome<T> {
+    /// An attempt succeeded.
+    Ok {
+        /// The successful attempt's result.
+        value: T,
+        /// Attempts consumed, including the successful one.
+        attempts: u32,
+    },
+    /// Every permitted attempt failed with a transient error.
+    GaveUp {
+        /// Attempts consumed.
+        attempts: u32,
+        /// The final transient error.
+        last: PoolError,
+        /// When the final attempt failed.
+        at: SimTime,
+    },
+}
+
+impl<T> RetryOutcome<T> {
+    /// Whether the operation ultimately succeeded.
+    pub fn succeeded(&self) -> bool {
+        matches!(self, RetryOutcome::Ok { .. })
+    }
+}
+
+/// Drive `attempt(now, attempt_index)` under `policy`, advancing simulated
+/// time by the backoff between attempts. Non-retryable errors surface as
+/// `Err` immediately; transient exhaustion becomes [`RetryOutcome::GaveUp`].
+///
+/// The closure receives the simulated start time of each attempt, so
+/// callers that interleave recovery (the chaos scenarios drive retries
+/// through engine events instead) can also use this synchronous form when
+/// the world does not change underneath them.
+pub fn retry<T, F>(
+    policy: &RetryPolicy,
+    issued: SimTime,
+    mut attempt: F,
+) -> Result<RetryOutcome<T>, PoolError>
+where
+    F: FnMut(SimTime, u32) -> Result<T, PoolError>,
+{
+    assert!(policy.max_attempts >= 1, "policy allows no attempts");
+    let mut now = issued;
+    let mut n = 0;
+    loop {
+        match attempt(now, n) {
+            Ok(value) => {
+                return Ok(RetryOutcome::Ok {
+                    value,
+                    attempts: n + 1,
+                })
+            }
+            Err(e) if !is_retryable(&e) => return Err(e),
+            Err(e) => {
+                if !policy.may_retry(issued, now, n) {
+                    return Ok(RetryOutcome::GaveUp {
+                        attempts: n + 1,
+                        last: e,
+                        at: now,
+                    });
+                }
+                now += policy.backoff_after(n);
+                n += 1;
+            }
+        }
+    }
+}
+
+/// Convenience: a timed pool access with retries.
+#[allow(clippy::too_many_arguments)]
+pub fn access_with_retry(
+    policy: &RetryPolicy,
+    pool: &mut LogicalPool,
+    fabric: &mut Fabric,
+    now: SimTime,
+    requester: NodeId,
+    addr: LogicalAddr,
+    len: u64,
+    op: MemOp,
+) -> Result<RetryOutcome<PoolAccess>, PoolError> {
+    retry(policy, now, |t, _| {
+        pool.access(fabric, t, requester, addr, len, op)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmp_fabric::LinkProfile;
+    use lmp_mem::{DramProfile, FRAME_BYTES};
+
+    fn world() -> (LogicalPool, Fabric) {
+        let cfg = PoolConfig {
+            servers: 3,
+            capacity_per_server: 16 * FRAME_BYTES,
+            shared_per_server: 12 * FRAME_BYTES,
+            dram: DramProfile::xeon_gold_5120(),
+            tlb_capacity: 8,
+        };
+        (LogicalPool::new(cfg), Fabric::new(LinkProfile::link1(), 3))
+    }
+
+    #[test]
+    fn backoff_is_exponential() {
+        let p = RetryPolicy::default_chaos();
+        assert_eq!(p.backoff_after(0).as_nanos(), 200);
+        assert_eq!(p.backoff_after(1).as_nanos(), 400);
+        assert_eq!(p.backoff_after(3).as_nanos(), 1600);
+    }
+
+    #[test]
+    fn first_try_success_uses_one_attempt() {
+        let (mut pool, mut fabric) = world();
+        let seg = pool.alloc(FRAME_BYTES, Placement::On(NodeId(1))).unwrap();
+        let out = access_with_retry(
+            &RetryPolicy::default_chaos(),
+            &mut pool,
+            &mut fabric,
+            SimTime::ZERO,
+            NodeId(0),
+            LogicalAddr::new(seg, 0),
+            64,
+            MemOp::Read,
+        )
+        .unwrap();
+        assert!(matches!(out, RetryOutcome::Ok { attempts: 1, .. }));
+    }
+
+    #[test]
+    fn permanent_errors_surface_immediately() {
+        let (mut pool, mut fabric) = world();
+        let r = access_with_retry(
+            &RetryPolicy::default_chaos(),
+            &mut pool,
+            &mut fabric,
+            SimTime::ZERO,
+            NodeId(0),
+            LogicalAddr::new(SegmentId(99), 0),
+            64,
+            MemOp::Read,
+        );
+        assert!(matches!(r, Err(PoolError::UnknownSegment(_))));
+    }
+
+    #[test]
+    fn transient_error_exhausts_with_gave_up() {
+        let (mut pool, mut fabric) = world();
+        let seg = pool.alloc(FRAME_BYTES, Placement::On(NodeId(2))).unwrap();
+        pool.crash_server(NodeId(2));
+        let out = access_with_retry(
+            &RetryPolicy::default_chaos(),
+            &mut pool,
+            &mut fabric,
+            SimTime::ZERO,
+            NodeId(0),
+            LogicalAddr::new(seg, 0),
+            64,
+            MemOp::Read,
+        )
+        .unwrap();
+        match out {
+            RetryOutcome::GaveUp { attempts, last, at } => {
+                assert_eq!(attempts, 6);
+                assert_eq!(last, PoolError::SegmentLost(seg));
+                // 200+400+800+1600+3200 ns of backoff elapsed.
+                assert_eq!(at.as_nanos(), 6200);
+            }
+            other => panic!("expected GaveUp, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retry_succeeds_once_condition_clears() {
+        let policy = RetryPolicy::default_chaos();
+        let mut failures_left = 3;
+        let out = retry(&policy, SimTime::ZERO, |_, _| {
+            if failures_left > 0 {
+                failures_left -= 1;
+                Err(PoolError::ServerDown(NodeId(1)))
+            } else {
+                Ok(42u32)
+            }
+        })
+        .unwrap();
+        assert_eq!(
+            out,
+            RetryOutcome::Ok {
+                value: 42,
+                attempts: 4
+            }
+        );
+    }
+
+    #[test]
+    fn timeout_caps_attempts() {
+        let policy = RetryPolicy {
+            max_attempts: 100,
+            base_backoff: SimDuration::from_nanos(1000),
+            timeout: SimDuration::from_nanos(2500),
+        };
+        let out = retry::<(), _>(&policy, SimTime::ZERO, |_, _| {
+            Err(PoolError::ServerDown(NodeId(0)))
+        })
+        .unwrap();
+        // Attempt 0 at t=0, attempt 1 at t=1000; next would start at
+        // t=3000 > 2500, so only 2 attempts run.
+        assert!(matches!(out, RetryOutcome::GaveUp { attempts: 2, .. }));
+    }
+}

@@ -1,0 +1,127 @@
+//! Chaos traces: an append-only log of everything a run did, with a
+//! digest for cheap same-seed comparison.
+//!
+//! Determinism is the harness's core promise: same seed ⇒ identical
+//! trace, byte for byte. The digest (FNV-1a over every entry) makes the
+//! comparison O(1) to store and report; [`ChaosTrace::diff`] finds the
+//! first divergent entry when two runs that should match do not.
+
+use lmp_sim::prelude::*;
+
+/// One trace entry: when it happened and what happened.
+pub type TraceEntry = (SimTime, String);
+
+/// An append-only, timestamped event log.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChaosTrace {
+    entries: Vec<TraceEntry>,
+}
+
+impl ChaosTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one entry.
+    pub fn record(&mut self, at: SimTime, entry: impl Into<String>) {
+        self.entries.push((at, entry.into()));
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All entries, in record order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// FNV-1a digest of the whole trace (timestamps and text).
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |byte: u8| {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for (at, text) in &self.entries {
+            for b in at.as_nanos().to_le_bytes() {
+                eat(b);
+            }
+            for &b in text.as_bytes() {
+                eat(b);
+            }
+            eat(b'\n');
+        }
+        h
+    }
+
+    /// Index and contents of the first entry where two traces diverge,
+    /// or `None` when they are identical.
+    pub fn diff<'a>(
+        &'a self,
+        other: &'a ChaosTrace,
+    ) -> Option<(usize, Option<&'a TraceEntry>, Option<&'a TraceEntry>)> {
+        let n = self.entries.len().max(other.entries.len());
+        (0..n).find_map(|i| {
+            let (a, b) = (self.entries.get(i), other.entries.get(i));
+            (a != b).then_some((i, a, b))
+        })
+    }
+}
+
+impl std::fmt::Display for ChaosTrace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (at, text) in &self.entries {
+            writeln!(f, "[{:>12} ns] {}", at.as_nanos(), text)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_stable_and_content_sensitive() {
+        let mut a = ChaosTrace::new();
+        a.record(SimTime::from_nanos(10), "crash server1");
+        a.record(SimTime::from_nanos(20), "recover server1");
+        let mut b = a.clone();
+        assert_eq!(a.digest(), b.digest());
+        b.record(SimTime::from_nanos(30), "extra");
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn digest_sees_timestamps() {
+        let mut a = ChaosTrace::new();
+        a.record(SimTime::from_nanos(10), "x");
+        let mut b = ChaosTrace::new();
+        b.record(SimTime::from_nanos(11), "x");
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn diff_finds_first_divergence() {
+        let mut a = ChaosTrace::new();
+        let mut b = ChaosTrace::new();
+        for t in 0..3 {
+            a.record(SimTime::from_nanos(t), format!("e{t}"));
+            b.record(SimTime::from_nanos(t), format!("e{t}"));
+        }
+        assert!(a.diff(&b).is_none());
+        b.record(SimTime::from_nanos(3), "tail");
+        let (i, x, y) = a.diff(&b).unwrap();
+        assert_eq!(i, 3);
+        assert!(x.is_none());
+        assert_eq!(y.unwrap().1, "tail");
+    }
+}

@@ -175,7 +175,7 @@ mod tests {
         let mut last = first;
         for _ in 0..5_000 {
             last = d.access(now, 64 * 1024).latency;
-            now = now + SimDuration::from_nanos(50);
+            now += SimDuration::from_nanos(50);
         }
         assert!(last > first);
         assert!(last.as_nanos() <= 148);

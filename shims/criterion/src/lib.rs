@@ -1,0 +1,218 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's `harness = false` bench
+//! targets use — [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], [`Bencher::iter_batched`], [`BatchSize`], and the
+//! `criterion_group!` / `criterion_main!` macros — with a simple
+//! median-of-samples wall-clock timer instead of upstream's statistical
+//! machinery. Results print one line per benchmark.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How much setup output to batch per timing, mirroring upstream's enum.
+/// The shim times one routine call per batch regardless, so the variants
+/// only exist for call-site compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    /// Median nanoseconds per iteration, recorded by `iter`/`iter_batched`.
+    sample_ns: f64,
+}
+
+const WARMUP_ITERS: u64 = 3;
+const SAMPLES: usize = 15;
+const ITERS_PER_SAMPLE: u64 = 32;
+
+impl Bencher {
+    /// Time `routine` and record its per-iteration cost.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        let mut samples = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            for _ in 0..ITERS_PER_SAMPLE {
+                black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / ITERS_PER_SAMPLE as f64);
+        }
+        self.sample_ns = median(&mut samples);
+    }
+
+    /// Time `routine` over fresh `setup` output each call; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine(setup()));
+        }
+        let mut samples = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            samples.push(start.elapsed().as_nanos() as f64);
+        }
+        self.sample_ns = median(&mut samples);
+    }
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn report(name: &str, ns: f64) {
+    let (value, unit) = if ns >= 1e9 {
+        (ns / 1e9, "s")
+    } else if ns >= 1e6 {
+        (ns / 1e6, "ms")
+    } else if ns >= 1e3 {
+        (ns / 1e3, "µs")
+    } else {
+        (ns, "ns")
+    };
+    println!("{name:<50} time: {value:>10.3} {unit}/iter");
+}
+
+/// Top-level benchmark registry, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Run and report a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { sample_ns: 0.0 };
+        f(&mut b);
+        report(&id.to_string(), b.sample_ns);
+        self
+    }
+
+    /// Open a named group; benchmarks report as `group/name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.into() }
+    }
+
+    /// Total measurement time hint; accepted and ignored by the shim.
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sample count hint; accepted and ignored by the shim.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Upstream parses CLI args here; the shim has none to parse.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Upstream prints a summary here; the shim reports per-benchmark.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run and report one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { sample_ns: 0.0 };
+        f(&mut b);
+        report(&format!("{}/{id}", self.name), b.sample_ns);
+        self
+    }
+
+    /// Throughput hint; accepted and ignored by the shim.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Close the group. A no-op beyond upstream-API compatibility.
+    pub fn finish(self) {}
+}
+
+/// Throughput annotation, for call-site compatibility.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Bundle benchmark functions into a runnable group, as upstream does.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config.configure_from_args();
+            $($target(&mut c);)+
+            c.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert!(runs >= WARMUP_ITERS + SAMPLES as u64 * ITERS_PER_SAMPLE);
+    }
+
+    #[test]
+    fn iter_batched_gets_fresh_input() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,134 @@
+//! Offline stand-in for `rand_distr`, covering exactly what this workspace
+//! uses: the [`Distribution`] trait and a [`Zipf`] sampler.
+//!
+//! The Zipf sampler here inverts the CDF of the continuous bounded power
+//! law ∝ x^−s on `[1, n+1)` and floors the result — a bounded-Pareto
+//! approximation of the discrete zipfian. It is deterministic, monotone in
+//! the underlying uniform draw, O(1) per sample, and has the heavy-head
+//! skew the workload generators rely on; it is not bit-compatible with
+//! upstream `rand_distr`'s rejection sampler (nothing in this workspace
+//! depends on that).
+
+use rand::Rng;
+
+/// A distribution samplable with any [`Rng`].
+pub trait Distribution<T> {
+    /// Draw one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error constructing a distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ZipfError {
+    /// The number of elements must be positive.
+    NTooSmall,
+    /// The exponent must be non-negative and finite.
+    STooSmall,
+}
+
+impl std::fmt::Display for ZipfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ZipfError::NTooSmall => write!(f, "zipf needs at least one element"),
+            ZipfError::STooSmall => write!(f, "zipf exponent must be non-negative and finite"),
+        }
+    }
+}
+
+impl std::error::Error for ZipfError {}
+
+/// Zipf-like distribution over `{1, …, n}` with exponent `s`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Zipf<F> {
+    n: u64,
+    s: F,
+    /// Precomputed `(n+1)^(1-s)` (unused when `s == 1`).
+    hi_pow: F,
+}
+
+impl Zipf<f64> {
+    /// Distribution over `{1, …, n}` with exponent `s ≥ 0`.
+    pub fn new(n: u64, s: f64) -> Result<Self, ZipfError> {
+        if n == 0 {
+            return Err(ZipfError::NTooSmall);
+        }
+        if !(s.is_finite() && s >= 0.0) {
+            return Err(ZipfError::STooSmall);
+        }
+        let hi_pow = ((n + 1) as f64).powf(1.0 - s);
+        Ok(Zipf { n, s, hi_pow })
+    }
+}
+
+impl Distribution<f64> for Zipf<f64> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen::<f64>();
+        let x = if (self.s - 1.0).abs() < 1e-12 {
+            // Density ∝ 1/x: inverse CDF is (n+1)^u.
+            ((self.n + 1) as f64).powf(u)
+        } else {
+            // Inverse CDF of x^-s on [1, n+1).
+            let one_minus_s = 1.0 - self.s;
+            (1.0 + u * (self.hi_pow - 1.0)).powf(1.0 / one_minus_s)
+        };
+        // Floor to the discrete rank; clamp for boundary rounding.
+        x.floor().clamp(1.0, self.n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_domain() {
+        let z = Zipf::new(100, 1.1).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = z.sample(&mut rng);
+            assert!((1.0..=100.0).contains(&v), "out of domain: {v}");
+            assert_eq!(v, v.floor(), "non-integral sample: {v}");
+        }
+    }
+
+    #[test]
+    fn skews_toward_small_ranks() {
+        let z = Zipf::new(1000, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 20_000;
+        let head = (0..n)
+            .filter(|_| z.sample(&mut rng) <= 10.0)
+            .count() as f64;
+        // Under uniform, P(≤10) = 1%; zipf s=1 concentrates far more.
+        assert!(head / n as f64 > 0.2, "head mass {}", head / n as f64);
+    }
+
+    #[test]
+    fn near_zero_exponent_is_roughly_uniform() {
+        let z = Zipf::new(100, 1e-9).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| z.sample(&mut rng)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 50.5).abs() < 2.0, "mean {mean}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let z = Zipf::new(64, 0.9).unwrap();
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut a), z.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert_eq!(Zipf::new(0, 1.0), Err(ZipfError::NTooSmall));
+        assert_eq!(Zipf::new(10, -1.0), Err(ZipfError::STooSmall));
+        assert_eq!(Zipf::new(10, f64::NAN), Err(ZipfError::STooSmall));
+    }
+}

@@ -1,0 +1,303 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the shim `serde::Serialize` (JSON-only) and marker
+//! `serde::Deserialize` for the struct shapes this workspace actually
+//! declares: named-field structs, tuple structs (newtypes serialize as
+//! their inner value, wider tuples as arrays), and unit structs, with
+//! lifetime and plain type parameters. Enums and `#[serde(...)]`
+//! attributes are intentionally unsupported — nothing in the workspace
+//! uses them — and produce a compile error rather than wrong output.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct StructShape {
+    name: String,
+    /// Generic parameter declarations, e.g. `'a, T`.
+    generics_decl: String,
+    /// Generic arguments for the self type, e.g. `'a, T`.
+    generics_args: String,
+    /// Type parameter names (need `Serialize` bounds).
+    type_params: Vec<String>,
+    fields: Fields,
+}
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Split the token trees of a delimited group on top-level commas.
+fn split_commas(tokens: Vec<TokenTree>) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut depth = 0i32;
+    for t in tokens {
+        match &t {
+            TokenTree::Punct(p) if depth == 0 && p.as_char() == ',' => {
+                out.push(std::mem::take(&mut cur));
+                continue;
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            _ => {}
+        }
+        cur.push(t);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Drop leading attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+fn strip_attrs_and_vis(tokens: &mut Vec<TokenTree>) {
+    loop {
+        match tokens.first() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.remove(0);
+                // The bracketed attribute body.
+                if matches!(tokens.first(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    tokens.remove(0);
+                }
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                tokens.remove(0);
+                if matches!(tokens.first(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    tokens.remove(0);
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+fn parse_struct(input: TokenStream) -> Result<StructShape, String> {
+    let mut tokens: Vec<TokenTree> = input.into_iter().collect();
+    strip_attrs_and_vis(&mut tokens);
+
+    match tokens.first() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "struct" => {
+            tokens.remove(0);
+        }
+        Some(TokenTree::Ident(i)) if i.to_string() == "enum" || i.to_string() == "union" => {
+            return Err(format!(
+                "the offline serde shim only derives for structs, not {i}s"
+            ));
+        }
+        _ => return Err("expected a struct definition".to_string()),
+    }
+
+    let name = match tokens.first() {
+        Some(TokenTree::Ident(i)) => {
+            let n = i.to_string();
+            tokens.remove(0);
+            n
+        }
+        _ => return Err("expected a struct name".to_string()),
+    };
+
+    // Optional generics: collect everything between the outermost < >.
+    let mut generics_tokens: Vec<TokenTree> = Vec::new();
+    if matches!(tokens.first(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        tokens.remove(0);
+        let mut depth = 1i32;
+        while let Some(t) = tokens.first().cloned() {
+            if let TokenTree::Punct(p) = &t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            tokens.remove(0);
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            generics_tokens.push(t);
+            tokens.remove(0);
+        }
+        if depth != 0 {
+            return Err("unbalanced generics".to_string());
+        }
+    }
+
+    let mut decl_parts = Vec::new();
+    let mut arg_parts = Vec::new();
+    let mut type_params = Vec::new();
+    for param in split_commas(generics_tokens) {
+        if param.is_empty() {
+            continue;
+        }
+        let is_lifetime = matches!(&param[0], TokenTree::Punct(p) if p.as_char() == '\'');
+        // Declaration keeps the full token run (bounds included). A `'`
+        // punct must stay glued to the ident that follows it, or the
+        // generated impl fails to re-parse.
+        let mut decl = String::new();
+        let mut glue = false;
+        for t in &param {
+            if !decl.is_empty() && !glue {
+                decl.push(' ');
+            }
+            decl.push_str(&t.to_string());
+            glue = matches!(t, TokenTree::Punct(p) if p.as_char() == '\'');
+        }
+        decl_parts.push(decl);
+        if is_lifetime {
+            let name = param
+                .get(1)
+                .map(|t| t.to_string())
+                .ok_or("malformed lifetime parameter")?;
+            arg_parts.push(format!("'{name}"));
+        } else {
+            match &param[0] {
+                TokenTree::Ident(i) if i.to_string() == "const" => {
+                    let name = param
+                        .get(1)
+                        .map(|t| t.to_string())
+                        .ok_or("malformed const parameter")?;
+                    arg_parts.push(name);
+                }
+                TokenTree::Ident(i) => {
+                    let name = i.to_string();
+                    type_params.push(name.clone());
+                    arg_parts.push(name);
+                }
+                _ => return Err("unsupported generic parameter".to_string()),
+            }
+        }
+    }
+
+    // A where clause can precede the body of tuple structs; skip tokens
+    // until the field group or the trailing semicolon.
+    let fields = loop {
+        match tokens.first() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut names = Vec::new();
+                for mut field in split_commas(inner) {
+                    strip_attrs_and_vis(&mut field);
+                    if field.is_empty() {
+                        continue;
+                    }
+                    match &field[0] {
+                        TokenTree::Ident(i) => names.push(i.to_string()),
+                        _ => return Err("unsupported field shape".to_string()),
+                    }
+                }
+                break Fields::Named(names);
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let count = split_commas(inner)
+                    .into_iter()
+                    .filter(|f| !f.is_empty())
+                    .count();
+                break Fields::Tuple(count);
+            }
+            Some(_) => {
+                tokens.remove(0);
+            }
+            None => break Fields::Unit,
+        }
+    };
+
+    Ok(StructShape {
+        name,
+        generics_decl: decl_parts.join(", "),
+        generics_args: arg_parts.join(", "),
+        type_params,
+        fields,
+    })
+}
+
+fn impl_header(shape: &StructShape, trait_path: &str) -> String {
+    let decl = if shape.generics_decl.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", shape.generics_decl)
+    };
+    let args = if shape.generics_args.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", shape.generics_args)
+    };
+    let bounds = if shape.type_params.is_empty() {
+        String::new()
+    } else {
+        let list: Vec<String> = shape
+            .type_params
+            .iter()
+            .map(|p| format!("{p}: {trait_path}"))
+            .collect();
+        format!(" where {}", list.join(", "))
+    };
+    format!(
+        "impl{decl} {trait_path} for {}{args}{bounds}",
+        shape.name
+    )
+}
+
+/// Derive the shim `serde::Serialize` (JSON rendering) for a struct.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_struct(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let body = match &shape.fields {
+        Fields::Named(names) => {
+            let mut b = String::from("out.push('{');\n");
+            for (i, n) in names.iter().enumerate() {
+                if i > 0 {
+                    b.push_str("out.push(',');\n");
+                }
+                b.push_str(&format!(
+                    "out.push_str(\"\\\"{n}\\\":\");\n::serde::Serialize::serialize_json(&self.{n}, out);\n"
+                ));
+            }
+            b.push_str("out.push('}');");
+            b
+        }
+        Fields::Tuple(1) => "::serde::Serialize::serialize_json(&self.0, out);".to_string(),
+        Fields::Tuple(n) => {
+            let mut b = String::from("out.push('[');\n");
+            for i in 0..*n {
+                if i > 0 {
+                    b.push_str("out.push(',');\n");
+                }
+                b.push_str(&format!(
+                    "::serde::Serialize::serialize_json(&self.{i}, out);\n"
+                ));
+            }
+            b.push_str("out.push(']');");
+            b
+        }
+        Fields::Unit => "out.push_str(\"null\");".to_string(),
+    };
+    let header = impl_header(&shape, "::serde::Serialize");
+    format!(
+        "{header} {{\n    fn serialize_json(&self, out: &mut ::std::string::String) {{\n{body}\n    }}\n}}"
+    )
+    .parse()
+    .unwrap()
+}
+
+/// Derive the shim marker `serde::Deserialize` for a struct.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_struct(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let header = impl_header(&shape, "::serde::Deserialize");
+    format!("{header} {{}}").parse().unwrap()
+}

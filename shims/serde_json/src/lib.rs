@@ -1,0 +1,42 @@
+//! Offline stand-in for `serde_json`. The workspace only serializes
+//! (JSON-lines result output), so this exposes `to_string` and
+//! `to_string_pretty` over the shim `serde::Serialize` trait; the error
+//! type exists for signature compatibility and is never produced.
+
+/// Serialization error. The shim serializer is infallible, so this is
+/// never constructed; it exists so call sites can keep `?`/`unwrap()`.
+#[derive(Debug)]
+pub struct Error(());
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias mirroring `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Render `value` as a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+/// Render `value` as JSON. The shim does not pretty-print; output is the
+/// same compact form as [`to_string`], which remains valid JSON.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    to_string(value)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn round_trips_through_serialize() {
+        assert_eq!(super::to_string(&vec![1u8, 2]).unwrap(), "[1,2]");
+        assert_eq!(super::to_string("x").unwrap(), "\"x\"");
+    }
+}
