@@ -3,9 +3,14 @@
 //! Runs every [`Scenario`] under one seed, twice each, and verifies:
 //! every cross-layer invariant holds (translation consistency, recovery
 //! completeness, write-amplification accounting, coherence mutual
-//! exclusion), and the second run's event trace is bit-identical to the
+//! exclusion, lease-confirmation audit, epoch monotonicity, degraded-read
+//! identity), and the second run's event trace is bit-identical to the
 //! first — the determinism contract that makes any failure reproducible
 //! from its seed alone.
+//!
+//! The self-healing pair closes the loop autonomously: `crash-auto-heal`
+//! must lose nothing protected with no manual `recover()` call, and
+//! `flap-no-heal` must perform zero recoveries under sub-lease port flaps.
 //!
 //! ```text
 //! cargo run --release -p lmp-bench --bin chaos -- --seed 42
@@ -32,6 +37,10 @@ struct Row {
     reconstructed: u64,
     reprotected: u64,
     lost: u64,
+    suspicions: u64,
+    confirmations: u64,
+    auto_recoveries: u64,
+    degraded_served: u64,
     checks_passed: usize,
     checks_total: usize,
     deterministic: bool,
@@ -86,6 +95,10 @@ fn main() {
             reconstructed: a.reconstructed,
             reprotected: a.reprotected,
             lost: a.lost,
+            suspicions: a.suspicions,
+            confirmations: a.confirmations,
+            auto_recoveries: a.auto_recoveries,
+            degraded_served: a.degraded_served,
             checks_passed,
             checks_total: a.checks.len(),
             deterministic,

@@ -53,10 +53,45 @@ pub struct RecoveryReport {
     /// Segments with no surviving protection — the application gets
     /// memory exceptions for these.
     pub lost: Vec<SegmentId>,
+    /// Segments that had to be rebuilt onto a server already hosting
+    /// another segment of the same parity group: data survived, but the
+    /// group lost failure-domain independence. A second crash of that
+    /// server now takes two group segments at once, which XOR cannot
+    /// repair. Operators should treat these as "re-protect me urgently".
+    pub degraded_placement: Vec<SegmentId>,
     /// Bytes moved during recovery.
     pub bytes_transferred: u64,
     /// When recovery finished.
     pub complete: SimTime,
+}
+
+/// Where a degraded read's bytes actually came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradedSource {
+    /// The primary copy was reachable after all (e.g. the caller saw a
+    /// transient error that has since cleared).
+    Primary,
+    /// Served from the mirror replica.
+    MirrorReplica,
+    /// Rebuilt on the fly by XOR of the surviving group segments.
+    ParityRebuild {
+        /// Surviving segments read (members + parity, minus the victim).
+        survivors: u32,
+    },
+}
+
+/// Outcome of a degraded read: the bytes, when they arrived, and how they
+/// were obtained.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradedRead {
+    /// The requested byte range, exactly as the primary would have
+    /// returned it.
+    pub bytes: Vec<u8>,
+    /// Completion time at the requester (degraded reads are slower: they
+    /// touch more servers).
+    pub complete: SimTime,
+    /// Which path served the read.
+    pub source: DegradedSource,
 }
 
 /// Tracks which segments are protected and how; drives recovery.
@@ -103,6 +138,11 @@ impl ProtectionManager {
     }
 
     /// Mirror `seg` onto a different server. Returns the replica segment.
+    ///
+    /// Protecting an already-protected segment returns
+    /// [`PoolError::AlreadyProtected`] — the auto-recovery orchestrator can
+    /// race re-protection against a second crash, so this must be a
+    /// recoverable error rather than a panic.
     pub fn mirror(
         &mut self,
         pool: &mut LogicalPool,
@@ -110,7 +150,9 @@ impl ProtectionManager {
         now: SimTime,
         seg: SegmentId,
     ) -> Result<SegmentId, PoolError> {
-        assert!(!self.is_protected(seg), "segment {seg} already protected");
+        if self.is_protected(seg) {
+            return Err(PoolError::AlreadyProtected(seg));
+        }
         let len = pool
             .segment_len(seg)
             .ok_or(PoolError::UnknownSegment(seg))?;
@@ -146,7 +188,9 @@ impl ProtectionManager {
             .ok_or(PoolError::UnknownSegment(members[0]))?;
         let mut homes = Vec::new();
         for &m in members {
-            assert!(!self.is_protected(m), "segment {m} already protected");
+            if self.is_protected(m) {
+                return Err(PoolError::AlreadyProtected(m));
+            }
             let l = pool.segment_len(m).ok_or(PoolError::UnknownSegment(m))?;
             assert_eq!(l, len, "parity members must have equal length");
             let h = pool.holder_of(m).ok_or(PoolError::UnknownSegment(m))?;
@@ -224,6 +268,116 @@ impl ProtectionManager {
         Ok(amp)
     }
 
+    /// Serve a read even while the segment's primary copy is unavailable —
+    /// crashed and not yet reconstructed, or unreachable behind a flapped
+    /// port. The paper's goal is that applications see *slow* reads during
+    /// the recovery window, not `SegmentLost` exceptions.
+    ///
+    /// Resolution order: the primary if its server is alive and reachable;
+    /// the mirror twin (replica for a primary, primary for a replica);
+    /// otherwise an on-the-fly XOR of the requested byte range across the
+    /// surviving parity-group segments. Every remote hop is charged to the
+    /// fabric, so degraded reads are honestly slower. Returns
+    /// [`PoolError::SegmentLost`] only when no complete path to the bytes
+    /// exists.
+    pub fn read_degraded(
+        &self,
+        pool: &LogicalPool,
+        fabric: &mut Fabric,
+        now: SimTime,
+        requester: NodeId,
+        addr: LogicalAddr,
+        len: u64,
+    ) -> Result<DegradedRead, PoolError> {
+        let seg = addr.segment;
+        let seg_len = pool.segment_len(seg).ok_or(PoolError::UnknownSegment(seg))?;
+        let end = addr.offset + len;
+        if end > seg_len {
+            return Err(PoolError::OutOfBounds {
+                segment: seg,
+                end,
+                len: seg_len,
+            });
+        }
+        let holder = pool.holder_of(seg).ok_or(PoolError::UnknownSegment(seg))?;
+        // 1. Primary, when alive and reachable.
+        if !pool.node(holder).is_failed() {
+            if holder == requester {
+                return Ok(DegradedRead {
+                    bytes: pool.read_bytes(addr, len)?,
+                    complete: now,
+                    source: DegradedSource::Primary,
+                });
+            }
+            if let Ok(fc) = fabric.try_read(now, requester, holder, len) {
+                return Ok(DegradedRead {
+                    bytes: pool.read_bytes(addr, len)?,
+                    complete: fc.complete,
+                    source: DegradedSource::Primary,
+                });
+            }
+            // Port flap: fall through and route around it.
+        }
+        // 2. Mirror twin, at the same offset (writes keep them in sync).
+        let twin = self
+            .mirrors
+            .get(&seg)
+            .copied()
+            .or_else(|| self.replica_of.get(&seg).copied());
+        if let Some(twin) = twin {
+            let home = pool.holder_of(twin).ok_or(PoolError::SegmentLost(seg))?;
+            if pool.node(home).is_failed() {
+                return Err(PoolError::SegmentLost(seg));
+            }
+            let complete = if home == requester {
+                now
+            } else {
+                fabric
+                    .try_read(now, requester, home, len)
+                    .map_err(|_| PoolError::SegmentLost(seg))?
+                    .complete
+            };
+            return Ok(DegradedRead {
+                bytes: pool.read_bytes(LogicalAddr::new(twin, addr.offset), len)?,
+                complete,
+                source: DegradedSource::MirrorReplica,
+            });
+        }
+        // 3. On-the-fly XOR of the surviving parity-group segments: the
+        // victim's range is the XOR of the same range in every other
+        // member plus the parity.
+        if let Some(gid) = self.member_group.get(&seg) {
+            let group = self.groups.get(gid).expect("group exists");
+            let mut acc = vec![0u8; len as usize];
+            let mut complete = now;
+            let mut survivors = 0u32;
+            for &s in group.members.iter().chain(std::iter::once(&group.parity)) {
+                if s == seg {
+                    continue;
+                }
+                let home = pool.holder_of(s).ok_or(PoolError::SegmentLost(seg))?;
+                if pool.node(home).is_failed() {
+                    return Err(PoolError::SegmentLost(seg));
+                }
+                let data = pool.read_bytes(LogicalAddr::new(s, addr.offset), len)?;
+                xor_into(&mut acc, &data);
+                if home != requester {
+                    let fc = fabric
+                        .try_read(now, requester, home, len)
+                        .map_err(|_| PoolError::SegmentLost(seg))?;
+                    complete = complete.max(fc.complete);
+                }
+                survivors += 1;
+            }
+            return Ok(DegradedRead {
+                bytes: acc,
+                complete,
+                source: DegradedSource::ParityRebuild { survivors },
+            });
+        }
+        Err(PoolError::SegmentLost(seg))
+    }
+
     /// Recover from the crash of `server`. Call after
     /// [`LogicalPool::crash_server`]; handles every affected segment.
     pub fn recover(
@@ -262,9 +416,12 @@ impl ProtectionManager {
             } else if let Some(gid) = self.member_group.get(&seg).copied() {
                 let group = self.groups.get(&gid).expect("group exists").clone();
                 match self.reconstruct(pool, fabric, now, &group, seg) {
-                    Ok((bytes, done)) => {
+                    Ok((bytes, done, degraded)) => {
                         report.bytes_transferred += bytes;
                         report.complete = report.complete.max(done);
+                        if degraded {
+                            report.degraded_placement.push(seg);
+                        }
                         if seg == group.parity {
                             report.reprotected.push(seg);
                         } else {
@@ -292,7 +449,7 @@ impl ProtectionManager {
         now: SimTime,
         group: &ParityGroup,
         victim: SegmentId,
-    ) -> Result<(u64, SimTime), PoolError> {
+    ) -> Result<(u64, SimTime, bool), PoolError> {
         let len = group.len;
         // Survivors: every other group segment (members + parity).
         let mut survivors = Vec::new();
@@ -308,13 +465,18 @@ impl ProtectionManager {
         }
         // Prefer a server hosting no group segment (restores full fault
         // independence); fall back to any live server with room — degraded
-        // placement beats data loss.
+        // placement beats data loss, but the caller must hear about it so
+        // the loss of independence is never silent.
         let exclude: Vec<NodeId> = survivors.iter().map(|(_, h)| *h).collect();
-        let target = pick_other_server(pool, len, &exclude)
-            .or_else(|| pick_other_server(pool, len, &[]))
-            .ok_or(PoolError::Capacity {
-                requested_frames: len.div_ceil(FRAME_BYTES),
-            })?;
+        let (target, degraded) = match pick_other_server(pool, len, &exclude) {
+            Some(t) => (t, false),
+            None => (
+                pick_other_server(pool, len, &[]).ok_or(PoolError::Capacity {
+                    requested_frames: len.div_ceil(FRAME_BYTES),
+                })?,
+                true,
+            ),
+        };
         // XOR the survivors into the replacement.
         let mut acc = vec![0u8; len as usize];
         let mut done = now;
@@ -331,7 +493,7 @@ impl ProtectionManager {
             }
         }
         pool.rehome_segment(victim, target, &acc)?;
-        Ok((len * survivors.len() as u64, done))
+        Ok((len * survivors.len() as u64, done, degraded))
     }
 
     fn dissolve_group(&mut self, gid: GroupId) {
@@ -528,6 +690,147 @@ mod tests {
             .write(&mut p, LogicalAddr::new(mirrored, 0), b"xxxx")
             .unwrap();
         assert_eq!(amp.extra_bytes, 4, "mirror doubles writes");
+    }
+
+    #[test]
+    fn double_protection_is_a_recoverable_error() {
+        let (mut p, mut f, mut pm) = setup(3);
+        let seg = p.alloc(FRAME_BYTES, Placement::On(NodeId(0))).unwrap();
+        pm.mirror(&mut p, &mut f, SimTime::ZERO, seg).unwrap();
+        let free_before: Vec<u64> = (0..3).map(|i| p.free_shared_frames(NodeId(i))).collect();
+        assert_eq!(
+            pm.mirror(&mut p, &mut f, SimTime::ZERO, seg),
+            Err(PoolError::AlreadyProtected(seg)),
+        );
+        // No second replica leaked, and the original protection is intact.
+        let free_after: Vec<u64> = (0..3).map(|i| p.free_shared_frames(NodeId(i))).collect();
+        assert_eq!(free_before, free_after);
+        assert!(pm.replica(seg).is_some());
+        // Same for parity membership.
+        let other = p.alloc(FRAME_BYTES, Placement::On(NodeId(1))).unwrap();
+        assert_eq!(
+            pm.protect_parity(&mut p, &mut f, SimTime::ZERO, &[seg, other]),
+            Err(PoolError::AlreadyProtected(seg)),
+        );
+    }
+
+    #[test]
+    fn degraded_placement_is_reported_not_silent() {
+        // 3 servers: members on 0 and 1, parity forced onto 2. After
+        // crashing 0 the only reconstruction targets already host group
+        // segments — the fallback must say so.
+        let (mut p, mut f, mut pm) = setup(3);
+        let a = p.alloc(FRAME_BYTES, Placement::On(NodeId(0))).unwrap();
+        let b = p.alloc(FRAME_BYTES, Placement::On(NodeId(1))).unwrap();
+        pm.protect_parity(&mut p, &mut f, SimTime::ZERO, &[a, b])
+            .unwrap();
+        pm.write(&mut p, LogicalAddr::new(a, 0), b"fragile").unwrap();
+
+        let affected = p.crash_server(NodeId(0));
+        let report = pm.recover(&mut p, &mut f, SimTime::ZERO, NodeId(0), &affected);
+        assert_eq!(report.reconstructed, vec![a]);
+        assert_eq!(
+            report.degraded_placement,
+            vec![a],
+            "co-located rebuild must be reported"
+        );
+        assert_eq!(p.read_bytes(LogicalAddr::new(a, 0), 7).unwrap(), b"fragile");
+        // The rebuilt copy landed on a server that hosts another group
+        // segment — exactly the independence loss the report flags.
+        let new_home = p.holder_of(a).unwrap();
+        let group_homes = [p.holder_of(b).unwrap(), {
+            let gid = pm.group_of(b).unwrap();
+            p.holder_of(pm.parity_segment(gid).unwrap()).unwrap()
+        }];
+        assert!(group_homes.contains(&new_home));
+    }
+
+    #[test]
+    fn double_loss_after_degraded_placement_loses_cleanly() {
+        // Regression: the second crash in a degraded-placement group used
+        // to be unrepresentable (the fallback was silent). It must surface
+        // as loss of both co-located segments — never a panic.
+        let (mut p, mut f, mut pm) = setup(3);
+        let a = p.alloc(FRAME_BYTES, Placement::On(NodeId(0))).unwrap();
+        let b = p.alloc(FRAME_BYTES, Placement::On(NodeId(1))).unwrap();
+        pm.protect_parity(&mut p, &mut f, SimTime::ZERO, &[a, b])
+            .unwrap();
+        let affected = p.crash_server(NodeId(0));
+        let report = pm.recover(&mut p, &mut f, SimTime::ZERO, NodeId(0), &affected);
+        assert_eq!(report.degraded_placement, vec![a]);
+        let second_home = p.holder_of(a).unwrap();
+        assert_eq!(second_home, p.holder_of(b).unwrap(), "co-located rebuild");
+
+        let affected = p.crash_server(second_home);
+        let report = pm.recover(&mut p, &mut f, SimTime::ZERO, second_home, &affected);
+        let mut lost = report.lost.clone();
+        lost.sort_unstable();
+        assert_eq!(lost, vec![a, b], "both co-located segments are lost");
+        assert!(report.reconstructed.is_empty());
+        assert!(!pm.is_protected(a) && !pm.is_protected(b), "group dissolved");
+    }
+
+    #[test]
+    fn degraded_read_serves_from_mirror_before_recovery() {
+        let (mut p, mut f, mut pm) = setup(3);
+        let seg = p.alloc(FRAME_BYTES, Placement::On(NodeId(0))).unwrap();
+        pm.mirror(&mut p, &mut f, SimTime::ZERO, seg).unwrap();
+        pm.write(&mut p, LogicalAddr::new(seg, 40), b"still-here").unwrap();
+        p.crash_server(NodeId(0));
+        f.set_port_down(NodeId(0), true);
+        // No recovery has run: a plain read faults, a degraded read serves.
+        assert!(matches!(
+            p.read_bytes(LogicalAddr::new(seg, 40), 10),
+            Err(PoolError::SegmentLost(_))
+        ));
+        let r = pm
+            .read_degraded(&p, &mut f, SimTime::ZERO, NodeId(2), LogicalAddr::new(seg, 40), 10)
+            .unwrap();
+        assert_eq!(r.bytes, b"still-here");
+        assert_eq!(r.source, DegradedSource::MirrorReplica);
+        assert!(r.complete > SimTime::ZERO, "remote hop was charged");
+    }
+
+    #[test]
+    fn degraded_read_rebuilds_range_from_parity() {
+        let (mut p, mut f, mut pm) = setup(4);
+        let a = p.alloc(FRAME_BYTES, Placement::On(NodeId(0))).unwrap();
+        let b = p.alloc(FRAME_BYTES, Placement::On(NodeId(1))).unwrap();
+        pm.protect_parity(&mut p, &mut f, SimTime::ZERO, &[a, b])
+            .unwrap();
+        pm.write(&mut p, LogicalAddr::new(a, 100), b"alpha-bytes").unwrap();
+        pm.write(&mut p, LogicalAddr::new(b, 100), b"bravo-bytes").unwrap();
+        p.crash_server(NodeId(0));
+        f.set_port_down(NodeId(0), true);
+        let r = pm
+            .read_degraded(&p, &mut f, SimTime::ZERO, NodeId(3), LogicalAddr::new(a, 100), 11)
+            .unwrap();
+        assert_eq!(r.bytes, b"alpha-bytes");
+        assert_eq!(r.source, DegradedSource::ParityRebuild { survivors: 2 });
+    }
+
+    #[test]
+    fn degraded_read_routes_around_port_flap() {
+        // Holder alive but unreachable (flap): the read must route through
+        // the protection layer instead of failing.
+        let (mut p, mut f, mut pm) = setup(4);
+        let a = p.alloc(FRAME_BYTES, Placement::On(NodeId(0))).unwrap();
+        let b = p.alloc(FRAME_BYTES, Placement::On(NodeId(1))).unwrap();
+        pm.protect_parity(&mut p, &mut f, SimTime::ZERO, &[a, b])
+            .unwrap();
+        pm.write(&mut p, LogicalAddr::new(a, 0), b"reroute").unwrap();
+        f.set_port_down(NodeId(0), true);
+        let r = pm
+            .read_degraded(&p, &mut f, SimTime::ZERO, NodeId(3), LogicalAddr::new(a, 0), 7)
+            .unwrap();
+        assert_eq!(r.bytes, b"reroute");
+        assert_eq!(r.source, DegradedSource::ParityRebuild { survivors: 2 });
+        // Flap clears: reads come straight from the primary again.
+        f.set_port_down(NodeId(0), false);
+        let r = pm
+            .read_degraded(&p, &mut f, SimTime::ZERO, NodeId(3), LogicalAddr::new(a, 0), 7)
+            .unwrap();
+        assert_eq!(r.source, DegradedSource::Primary);
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //! * [`sizing`] — the periodic global optimizer for private/shared splits.
 //! * [`failure`] — crash masking by mirroring or XOR erasure coding, and
 //!   memory exceptions for unprotected segments.
+//! * [`health`] — lease/heartbeat failure detection (Healthy → Suspected
+//!   → Down) and epoch-versioned cluster membership.
+//! * [`heal`] — the recovery orchestrator: throttled, epoch-tagged
+//!   automatic repair driven by detector confirmations.
 //!
 //! ```
 //! use lmp_core::prelude::*;
@@ -40,6 +44,8 @@
 pub mod addr;
 pub mod balance;
 pub mod failure;
+pub mod heal;
+pub mod health;
 pub mod migrate;
 pub mod pool;
 pub mod runtime;
@@ -51,7 +57,14 @@ pub mod translate;
 pub mod prelude {
     pub use crate::addr::{frame_chunks, LogicalAddr, SegmentId};
     pub use crate::balance::{BalanceRound, BalancerConfig, LocalityBalancer, MigrationPlan};
-    pub use crate::failure::{GroupId, ProtectionManager, RecoveryReport, WriteAmplification};
+    pub use crate::failure::{
+        DegradedRead, DegradedSource, GroupId, ProtectionManager, RecoveryReport,
+        WriteAmplification,
+    };
+    pub use crate::heal::{RecoveryOrchestrator, RejoinOutcome, TaggedRecovery};
+    pub use crate::health::{
+        FailureDetector, HealthConfig, HealthEvent, Membership, NodeHealth, ProbeOutcome,
+    };
     pub use crate::migrate::{migrate_segment, MigrationReport};
     pub use crate::pool::{LogicalPool, Placement, PoolAccess, PoolConfig, PoolError};
     pub use crate::runtime::{

@@ -81,6 +81,10 @@ pub enum PoolError {
     SegmentLost(SegmentId),
     /// Operation addressed a crashed server directly.
     ServerDown(NodeId),
+    /// The segment already carries protection (mirror or parity). The
+    /// recovery orchestrator may race re-protection with a second crash;
+    /// this is recoverable, not a programming error.
+    AlreadyProtected(SegmentId),
 }
 
 impl std::fmt::Display for PoolError {
@@ -95,6 +99,7 @@ impl std::fmt::Display for PoolError {
             }
             PoolError::SegmentLost(s) => write!(f, "memory exception: {s} lost to a crash"),
             PoolError::ServerDown(n) => write!(f, "server {n} is down"),
+            PoolError::AlreadyProtected(s) => write!(f, "segment {s} is already protected"),
         }
     }
 }

@@ -15,7 +15,7 @@
 
 use crate::link::Link;
 use crate::profile::LinkProfile;
-use crate::types::{LinkId, NodeId, REQUEST_FLIT_BYTES};
+use crate::types::{LinkId, NodeId, PROBE_BYTES, REQUEST_FLIT_BYTES};
 use lmp_sim::prelude::*;
 
 /// Completion report for one fabric operation.
@@ -78,6 +78,7 @@ pub struct Fabric {
     latency_factor: Vec<f64>,
     reads: Counter,
     writes: Counter,
+    probes: Counter,
     read_latency: Histogram,
 }
 
@@ -100,6 +101,7 @@ impl Fabric {
             latency_factor: vec![1.0; node_count as usize],
             reads: Counter::new(),
             writes: Counter::new(),
+            probes: Counter::new(),
             read_latency: Histogram::new(),
         }
     }
@@ -354,6 +356,50 @@ impl Fabric {
         })
     }
 
+    /// A heartbeat probe: `prober` pings `target` and waits for the echo.
+    /// A probe is two header-only flits (out on `up[prober]`/`down[target]`,
+    /// back on `up[target]`/`down[prober]`) and experiences the loaded
+    /// latency once, like any other round trip — so probes slow down under
+    /// congestion but never move payload bandwidth. Failures report which
+    /// side was unreachable: [`FabricError::RequesterDown`] means the
+    /// *prober* could not transmit (inconclusive evidence about the
+    /// target), [`FabricError::HolderDown`] means the target did not echo.
+    ///
+    /// # Panics
+    /// Panics if `prober == target` — a node does not heartbeat itself.
+    pub fn probe(
+        &mut self,
+        now: SimTime,
+        prober: NodeId,
+        target: NodeId,
+    ) -> Result<FabricCompletion, FabricError> {
+        assert!(prober != target, "self-probe on the fabric: {prober}");
+        self.check_ports(prober, target)?;
+        self.probes.inc();
+        let u = self.path_utilization(now, prober, target);
+        let latency = (self.profile.curve.at(u) + self.switch_latency * 2)
+            .mul_f64(self.path_latency_factor(prober, target));
+
+        let p_up = self.up_index(prober);
+        let t_down = self.down_index(target);
+        let q1 = self.links[p_up].transfer_wire(now, PROBE_BYTES);
+        let q2 = self.links[t_down].transfer_wire(q1.1, PROBE_BYTES);
+        // Echo flit back to the prober.
+        let t_up = self.up_index(target);
+        let p_down = self.down_index(prober);
+        let e1 = self.links[t_up].transfer_wire(q2.1, PROBE_BYTES);
+        let e2 = self.links[p_down].transfer_wire(e1.1, PROBE_BYTES);
+
+        let unqueued = now + self.profile.bandwidth.time_to_transfer(PROBE_BYTES) * 4;
+        let complete = e2.1 + latency;
+        let queued = e2.1.saturating_duration_since(unqueued);
+        Ok(FabricCompletion {
+            complete,
+            latency,
+            queued,
+        })
+    }
+
     fn path_utilization(&mut self, now: SimTime, a: NodeId, b: NodeId) -> f64 {
         let ids = [
             self.up_index(a),
@@ -374,6 +420,12 @@ impl Fabric {
     /// Total remote writes served.
     pub fn write_count(&self) -> u64 {
         self.writes.get()
+    }
+
+    /// Total heartbeat probes served (kept separate from read/write
+    /// counters so failure detection never skews traffic telemetry).
+    pub fn probe_count(&self) -> u64 {
+        self.probes.get()
     }
 
     /// Distribution of end-to-end read completion times (ns).
@@ -509,6 +561,35 @@ mod tests {
         f.restore_node(NodeId(1));
         let restored = f.read(t(0), NodeId(0), NodeId(1), 64).latency;
         assert_eq!(restored, healthy);
+    }
+
+    #[test]
+    fn probe_round_trips_and_reports_down_side() {
+        let mut f = Fabric::new(LinkProfile::link0(), 3);
+        let c = f.probe(t(0), NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(c.latency.as_nanos(), 163);
+        assert_eq!(f.probe_count(), 1);
+        // Probes never count as reads or writes.
+        assert_eq!(f.read_count(), 0);
+        assert_eq!(f.write_count(), 0);
+        f.set_port_down(NodeId(1), true);
+        assert_eq!(
+            f.probe(t(0), NodeId(0), NodeId(1)),
+            Err(FabricError::HolderDown(NodeId(1)))
+        );
+        assert_eq!(
+            f.probe(t(0), NodeId(1), NodeId(2)),
+            Err(FabricError::RequesterDown(NodeId(1)))
+        );
+        // Failed probes are not counted.
+        assert_eq!(f.probe_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-probe")]
+    fn self_probe_panics() {
+        let mut f = Fabric::new(LinkProfile::link0(), 3);
+        let _ = f.probe(t(0), NodeId(1), NodeId(1));
     }
 
     #[test]

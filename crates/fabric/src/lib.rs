@@ -26,4 +26,4 @@ pub use fabric::{Fabric, FabricCompletion, FabricError};
 pub use link::{Link, LinkTransfer};
 pub use profile::LinkProfile;
 pub use topology::{Hop, LeafSpineFabric, RackCompletion};
-pub use types::{LinkId, MemOp, NodeId, REQUEST_FLIT_BYTES};
+pub use types::{LinkId, MemOp, NodeId, PROBE_BYTES, REQUEST_FLIT_BYTES};

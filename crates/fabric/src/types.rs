@@ -39,6 +39,12 @@ pub enum MemOp {
 /// Size in bytes of a CXL.mem request flit (header-only message).
 pub const REQUEST_FLIT_BYTES: u64 = 64;
 
+/// Size in bytes of a heartbeat probe: one flit out, one flit back.
+/// Probes are deliberately header-only so a detector sweeping the whole
+/// rack every few hundred nanoseconds stays invisible in the bandwidth
+/// accounting of real traffic.
+pub const PROBE_BYTES: u64 = REQUEST_FLIT_BYTES;
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -15,6 +15,15 @@
 //!   update per protected write.
 //! * **Coherence mutual exclusion** — a spinlock on the coherent region
 //!   still excludes under snoop-filter overflow (back-invalidation).
+//! * **Lease confirmation audit** — the failure detector never confirms a
+//!   node Down while any probe of it succeeded inside the lease window,
+//!   verified against the detector's own probe evidence log.
+//! * **Epoch monotonicity** — every confirmed membership transition
+//!   (ConfirmedDown, Rejoined) carries a strictly larger epoch than the
+//!   one before it.
+//! * **Degraded-read identity** — bytes served from a mirror or rebuilt
+//!   on the fly from parity survivors are identical to what the primary
+//!   would have returned.
 
 use lmp_coherence::{CoherenceConfig, CoherentRegion, SpinLock};
 use lmp_core::prelude::*;
@@ -230,6 +239,81 @@ pub fn check_write_amplification(ledger: &WriteLedger) -> CheckResult {
     }
 }
 
+/// Lease confirmation audit: for every `ConfirmedDown { node, at }` in
+/// `events`, no probe of `node` in the detector's evidence log may have
+/// succeeded within the lease window `(at - lease, at]`. A violation means
+/// the detector confirmed a node that was demonstrably alive — the
+/// spurious-recovery bug leases exist to prevent.
+pub fn check_lease_confirmations(
+    probes: &[ProbeOutcome],
+    events: &[HealthEvent],
+    lease: SimDuration,
+) -> CheckResult {
+    const NAME: &str = "lease-confirmation-audit";
+    for ev in events {
+        let HealthEvent::ConfirmedDown { node, at, .. } = ev else {
+            continue;
+        };
+        for p in probes {
+            if p.node == *node && p.ok && p.at <= *at && at.duration_since(p.at) < lease {
+                return CheckResult::fail(
+                    NAME,
+                    format!(
+                        "{node} confirmed Down at {at} but a probe succeeded at {} — \
+                         inside the {} ns lease",
+                        p.at,
+                        lease.as_nanos()
+                    ),
+                );
+            }
+        }
+    }
+    CheckResult::pass(NAME)
+}
+
+/// Epoch monotonicity: membership epochs carried by confirmed transitions
+/// must strictly increase in event order. A repeated or regressing epoch
+/// would let a stale restart be mistaken for current state.
+pub fn check_epoch_monotonic(events: &[HealthEvent]) -> CheckResult {
+    const NAME: &str = "epoch-monotonicity";
+    let mut last = 0u64;
+    for ev in events {
+        let epoch = match ev {
+            HealthEvent::ConfirmedDown { epoch, .. } | HealthEvent::Rejoined { epoch, .. } => {
+                *epoch
+            }
+            _ => continue,
+        };
+        if epoch <= last {
+            return CheckResult::fail(
+                NAME,
+                format!("epoch {epoch} follows epoch {last}; transitions must strictly advance"),
+            );
+        }
+        last = epoch;
+    }
+    CheckResult::pass(NAME)
+}
+
+/// Degraded-read identity: the bytes a [`DegradedRead`] served must be
+/// exactly what the primary would have returned (`expect`, taken from the
+/// workload's shadow model).
+pub fn check_degraded_read(expect: &[u8], got: &DegradedRead) -> CheckResult {
+    const NAME: &str = "degraded-read-identity";
+    if got.bytes == expect {
+        CheckResult::pass(NAME)
+    } else {
+        CheckResult::fail(
+            NAME,
+            format!(
+                "degraded read via {:?} returned {} bytes that differ from the model",
+                got.source,
+                got.bytes.len()
+            ),
+        )
+    }
+}
+
 /// Coherence mutual exclusion under snoop-filter overflow.
 ///
 /// Runs a seeded schedule of lock acquire/release interleaved with enough
@@ -426,6 +510,89 @@ mod tests {
         let mut bad = WriteLedger::new();
         bad.record(amp, false);
         assert!(!check_write_amplification(&bad).passed);
+    }
+
+    #[test]
+    fn lease_audit_passes_when_beats_predate_the_lease() {
+        let lease = SimDuration::from_nanos(3000);
+        let probes = vec![
+            ProbeOutcome {
+                node: NodeId(1),
+                at: SimTime::from_nanos(1000),
+                ok: true,
+            },
+            ProbeOutcome {
+                node: NodeId(1),
+                at: SimTime::from_nanos(1500),
+                ok: false,
+            },
+        ];
+        let events = vec![HealthEvent::ConfirmedDown {
+            node: NodeId(1),
+            at: SimTime::from_nanos(4000),
+            epoch: 1,
+        }];
+        assert!(check_lease_confirmations(&probes, &events, lease).passed);
+    }
+
+    #[test]
+    fn lease_audit_catches_a_confirmation_over_a_live_beat() {
+        let lease = SimDuration::from_nanos(3000);
+        let probes = vec![ProbeOutcome {
+            node: NodeId(2),
+            at: SimTime::from_nanos(2500),
+            ok: true,
+        }];
+        let events = vec![HealthEvent::ConfirmedDown {
+            node: NodeId(2),
+            at: SimTime::from_nanos(4000),
+            epoch: 1,
+        }];
+        let r = check_lease_confirmations(&probes, &events, lease);
+        assert!(!r.passed);
+        assert!(r.detail.contains("inside"), "{r}");
+    }
+
+    #[test]
+    fn epoch_check_requires_strict_advance() {
+        let at = SimTime::from_nanos(1);
+        let good = vec![
+            HealthEvent::ConfirmedDown {
+                node: NodeId(0),
+                at,
+                epoch: 1,
+            },
+            HealthEvent::Rejoined {
+                node: NodeId(0),
+                at,
+                epoch: 2,
+            },
+        ];
+        assert!(check_epoch_monotonic(&good).passed);
+        let bad = vec![
+            HealthEvent::ConfirmedDown {
+                node: NodeId(0),
+                at,
+                epoch: 2,
+            },
+            HealthEvent::Rejoined {
+                node: NodeId(1),
+                at,
+                epoch: 2,
+            },
+        ];
+        assert!(!check_epoch_monotonic(&bad).passed);
+    }
+
+    #[test]
+    fn degraded_read_identity_compares_bytes() {
+        let r = DegradedRead {
+            bytes: b"abc".to_vec(),
+            complete: SimTime::ZERO,
+            source: DegradedSource::MirrorReplica,
+        };
+        assert!(check_degraded_read(b"abc", &r).passed);
+        assert!(!check_degraded_read(b"abd", &r).passed);
     }
 
     #[test]

@@ -14,10 +14,13 @@
 //!   time; transient vs. permanent error classification.
 //! * [`invariants`] — translation consistency, recovery completeness,
 //!   write-amplification accounting, coherence mutual exclusion under
-//!   snoop-filter overflow.
+//!   snoop-filter overflow, lease-confirmation audit, epoch monotonicity,
+//!   and degraded-read byte identity.
 //! * [`trace`] — [`trace::ChaosTrace`]: the append-only run log and its
 //!   digest (same seed ⇒ same digest, byte for byte).
-//! * [`scenario`] — the five shipped chaos scenarios and their runner.
+//! * [`scenario`] — the seven shipped chaos scenarios and their runner,
+//!   including the self-healing pair (autonomous crash recovery, and
+//!   flap absorption without spurious recovery).
 //!
 //! ```
 //! use lmp_harness::prelude::*;
@@ -40,8 +43,9 @@ pub mod trace;
 /// Commonly used items.
 pub mod prelude {
     pub use crate::invariants::{
-        check_coherence_mutex, check_recovery, check_translation, check_write_amplification,
-        CheckResult, ContentModel, WriteLedger,
+        check_coherence_mutex, check_degraded_read, check_epoch_monotonic,
+        check_lease_confirmations, check_recovery, check_translation,
+        check_write_amplification, CheckResult, ContentModel, WriteLedger,
     };
     pub use crate::plan::{Fault, FaultPlan, PlanConfig, PlannedFault};
     pub use crate::retry::{access_with_retry, is_retryable, retry, RetryOutcome, RetryPolicy};

@@ -72,6 +72,12 @@ pub struct PlanConfig {
     pub link_spikes: u32,
     /// Degradation factor for spikes (≥ 1.0).
     pub spike_factor: f64,
+    /// Number of port flaps (NIC down/up pairs) to inject.
+    pub port_flaps: u32,
+    /// How long each flapped port stays down. Keeping this below a
+    /// detector's lease makes flaps the canonical "suspect but never
+    /// confirm" schedule.
+    pub flap_width: SimDuration,
 }
 
 impl Default for PlanConfig {
@@ -83,6 +89,8 @@ impl Default for PlanConfig {
             restarts: true,
             link_spikes: 1,
             spike_factor: 8.0,
+            port_flaps: 0,
+            flap_width: SimDuration::from_micros(1),
         }
     }
 }
@@ -152,6 +160,15 @@ impl FaultPlan {
             );
             let width = 1 + rng.below((hi - at.as_nanos()).max(2) - 1);
             plan.push(at + SimDuration::from_nanos(width), Fault::LinkRestore(node));
+        }
+        // Port flaps are drawn last so plans that request none keep the
+        // exact fault stream older seeds produced.
+        for _ in 0..cfg.port_flaps {
+            let node = NodeId(rng.below(cfg.servers as u64) as u32);
+            let at = draw_at(&mut rng);
+            plan.push(at, Fault::PortDown(node));
+            let width = cfg.flap_width.as_nanos().max(1);
+            plan.push(at + SimDuration::from_nanos(width), Fault::PortUp(node));
         }
         plan
     }
@@ -231,6 +248,49 @@ mod tests {
                 _ => {}
             }
         }
+    }
+
+    #[test]
+    fn port_flaps_pair_up_with_the_requested_width() {
+        let cfg = PlanConfig {
+            crashes: 0,
+            restarts: false,
+            link_spikes: 0,
+            port_flaps: 3,
+            flap_width: SimDuration::from_nanos(1500),
+            ..PlanConfig::default()
+        };
+        let a = FaultPlan::generate(21, &cfg);
+        let b = FaultPlan::generate(21, &cfg);
+        assert_eq!(a, b, "flap draws must replay");
+        let mut downs = Vec::new();
+        let mut ups = Vec::new();
+        for p in a.iter() {
+            match p.fault {
+                Fault::PortDown(n) => downs.push((n, p.at.as_nanos() + 1500)),
+                Fault::PortUp(n) => ups.push((n, p.at.as_nanos())),
+                other => panic!("unexpected fault {other:?}"),
+            }
+        }
+        downs.sort_unstable();
+        ups.sort_unstable();
+        assert_eq!(downs.len(), 3);
+        assert_eq!(downs, ups, "every down must pair with an up one width later");
+    }
+
+    #[test]
+    fn zero_flap_plans_are_unchanged_by_the_new_knobs() {
+        let old = PlanConfig::default();
+        let explicit = PlanConfig {
+            port_flaps: 0,
+            flap_width: SimDuration::from_nanos(999),
+            ..PlanConfig::default()
+        };
+        assert_eq!(
+            FaultPlan::generate(5, &old),
+            FaultPlan::generate(5, &explicit),
+            "flap knobs must not disturb the existing fault stream"
+        );
     }
 
     #[test]

@@ -10,7 +10,8 @@
 //! every rerun.
 
 use crate::invariants::{
-    check_coherence_mutex, check_recovery, check_translation, check_write_amplification,
+    check_coherence_mutex, check_degraded_read, check_epoch_monotonic,
+    check_lease_confirmations, check_recovery, check_translation, check_write_amplification,
     CheckResult, ContentModel, WriteLedger,
 };
 use crate::plan::{Fault, FaultPlan};
@@ -40,17 +41,29 @@ pub enum Scenario {
     /// Crashes, a restart, a port flap, and a link spike in one run, plus
     /// the coherence mutual-exclusion check.
     Combined,
+    /// Crash a server under load with self-healing armed: the lease
+    /// detector confirms the failure on its own, the orchestrator repairs
+    /// it in throttled batches — no manual `recover()` call anywhere — and
+    /// reads in the detection/repair window are served degraded from
+    /// surviving redundancy, byte-identical.
+    CrashAutoHeal,
+    /// Port flaps shorter than the lease with self-healing armed: the
+    /// detector must suspect and then clear, never confirm, and the
+    /// orchestrator must perform zero recoveries.
+    FlapNoHeal,
 }
 
 impl Scenario {
     /// Every scenario, in the order the chaos binary runs them.
-    pub fn all() -> [Scenario; 5] {
+    pub fn all() -> [Scenario; 7] {
         [
             Scenario::CrashUnprotected,
             Scenario::CrashMirrored,
             Scenario::CrashParity,
             Scenario::LinkSpike,
             Scenario::Combined,
+            Scenario::CrashAutoHeal,
+            Scenario::FlapNoHeal,
         ]
     }
 
@@ -62,7 +75,15 @@ impl Scenario {
             Scenario::CrashParity => "crash-parity",
             Scenario::LinkSpike => "link-spike",
             Scenario::Combined => "combined",
+            Scenario::CrashAutoHeal => "crash-auto-heal",
+            Scenario::FlapNoHeal => "flap-no-heal",
         }
+    }
+
+    /// Whether the scenario arms the lease detector and recovery
+    /// orchestrator instead of the harness's manual recovery schedule.
+    pub fn self_healing(&self) -> bool {
+        matches!(self, Scenario::CrashAutoHeal | Scenario::FlapNoHeal)
     }
 }
 
@@ -103,6 +124,14 @@ pub struct ChaosReport {
     pub reprotected: u64,
     /// Segments lost (exceptions raised).
     pub lost: u64,
+    /// Detector suspicions raised (self-healing scenarios; else 0).
+    pub suspicions: u64,
+    /// Detector Down confirmations (self-healing scenarios; else 0).
+    pub confirmations: u64,
+    /// Throttled recovery batches the orchestrator ran on its own.
+    pub auto_recoveries: u64,
+    /// Reads served from surviving redundancy while repair was pending.
+    pub degraded_served: u64,
 }
 
 impl ChaosReport {
@@ -133,6 +162,19 @@ enum Ev {
     Recover(NodeId),
     Op { id: u64, attempt: u32 },
     Probe { idx: usize, seg_idx: usize, requester: NodeId },
+    /// One detector sweep (self-healing scenarios only).
+    HealthTick,
+    /// One throttled orchestrator batch (self-healing scenarios only).
+    RecoveryStep,
+    /// A read pinned inside a fault window that must be served degraded
+    /// (self-healing scenarios only).
+    DegradedProbe { seg_idx: usize, requester: NodeId },
+}
+
+/// The armed self-healing stack: detector plus orchestrator.
+struct Healing {
+    detector: FailureDetector,
+    orchestrator: RecoveryOrchestrator,
 }
 
 struct World {
@@ -152,6 +194,10 @@ struct World {
     /// Crashed node → affected segments (sorted), saved until detection.
     pending_recovery: BTreeMap<u32, Vec<SegmentId>>,
     probe_latencies: Vec<u64>,
+    healing: Option<Healing>,
+    health_events: Vec<HealthEvent>,
+    degraded_served: u64,
+    degraded_mismatches: u64,
     ops_ok: u64,
     ops_failed: u64,
     retries: u64,
@@ -209,6 +255,23 @@ impl World {
                 (1, Prot::Parity),
                 (2, Prot::Parity),
                 (3, Prot::None),
+            ],
+            // Node 0 hosts one mirrored and one parity segment, so its
+            // crash queues two repairs — enough to watch batch-1 throttling
+            // spread recovery over multiple ticks.
+            Scenario::CrashAutoHeal => vec![
+                (0, Prot::Mirror),
+                (0, Prot::Parity),
+                (1, Prot::Parity),
+                (2, Prot::None),
+            ],
+            // The flapped nodes (1 and 3) host protected segments so
+            // degraded reads can route around the flap.
+            Scenario::FlapNoHeal => vec![
+                (1, Prot::Mirror),
+                (3, Prot::Parity),
+                (4, Prot::Parity),
+                (2, Prot::None),
             ],
         };
         for (i, &(home, _)) in layout.iter().enumerate() {
@@ -274,6 +337,21 @@ impl World {
                 plan.push(us(20), Fault::ServerRestart(NodeId(1)));
                 plan.push(us(22), Fault::LinkRestore(NodeId(4)));
             }
+            Scenario::CrashAutoHeal => {
+                plan.push(us(5), Fault::ServerCrash(NodeId(0)));
+                // Cold restart well after the repairs finish; the detector
+                // rejoins the node under a fresh epoch.
+                plan.push(us(24), Fault::ServerRestart(NodeId(0)));
+            }
+            Scenario::FlapNoHeal => {
+                // Both flaps are shorter than the 3 µs lease: long enough
+                // to cross the 2-miss suspicion threshold, never long
+                // enough to confirm.
+                plan.push(us(6), Fault::PortDown(NodeId(1)));
+                plan.push(SimTime::from_nanos(7_500), Fault::PortUp(NodeId(1)));
+                plan.push(us(14), Fault::PortDown(NodeId(3)));
+                plan.push(us(15), Fault::PortUp(NodeId(3)));
+            }
         }
 
         // The seeded workload.
@@ -313,6 +391,17 @@ impl World {
             checks: Vec::new(),
             pending_recovery: BTreeMap::new(),
             probe_latencies: Vec::new(),
+            healing: scenario.self_healing().then(|| Healing {
+                detector: FailureDetector::new(
+                    HealthConfig::default_chaos(),
+                    SERVERS,
+                    SimTime::ZERO,
+                ),
+                orchestrator: RecoveryOrchestrator::new(),
+            }),
+            health_events: Vec::new(),
+            degraded_served: 0,
+            degraded_mismatches: 0,
             ops_ok: 0,
             ops_failed: 0,
             retries: 0,
@@ -337,12 +426,43 @@ impl World {
                         self.fabric.set_port_down(n, true);
                         self.trace
                             .record(now, format!("  affected: {affected:?}"));
-                        self.pending_recovery.insert(n.0, affected);
-                        eng.schedule_after(DETECTION_DELAY, Ev::Recover(n));
+                        if self.healing.is_none() {
+                            // Manual mode: the harness plays the operator
+                            // and schedules recovery itself. With healing
+                            // armed the detector owns the whole response.
+                            self.pending_recovery.insert(n.0, affected);
+                            eng.schedule_after(DETECTION_DELAY, Ev::Recover(n));
+                        }
                     }
                     Fault::ServerRestart(n) => {
-                        self.pool.restart_server(n);
                         self.fabric.set_port_down(n, false);
+                        match &mut self.healing {
+                            Some(h) => {
+                                // A cold restart: memory is gone, so the
+                                // epoch rule drops any leftover mappings
+                                // instead of resurrecting them.
+                                let Healing {
+                                    detector,
+                                    orchestrator,
+                                } = h;
+                                let claimed = detector.membership().incarnation(n);
+                                let out = orchestrator.admit_rejoin(
+                                    &mut self.pool,
+                                    detector.membership(),
+                                    n,
+                                    claimed,
+                                    false,
+                                );
+                                self.trace.record(
+                                    now,
+                                    format!(
+                                        "  cold rejoin {n}: resurrected={} dropped={:?}",
+                                        out.resurrected, out.dropped
+                                    ),
+                                );
+                            }
+                            None => self.pool.restart_server(n),
+                        }
                     }
                     Fault::LinkDegrade { node, factor } => {
                         self.fabric.degrade_node(node, factor);
@@ -422,6 +542,80 @@ impl World {
                     .record(now, format!("probe {idx}: {seg} read in {lat} ns"));
                 self.probe_latencies.push(lat);
             }
+            Ev::HealthTick => {
+                let Some(h) = &mut self.healing else { return };
+                let events = h.detector.probe_tick(&mut self.fabric, now);
+                for hev in &events {
+                    self.trace.record(now, format!("health: {hev:?}"));
+                    if let HealthEvent::ConfirmedDown { node, epoch, .. } = hev {
+                        let queued =
+                            h.orchestrator.on_confirmed_down(&self.pool, *node, *epoch);
+                        self.trace
+                            .record(now, format!("  queued {queued} segments for repair"));
+                        eng.schedule_after(
+                            h.detector.config().recovery_tick,
+                            Ev::RecoveryStep,
+                        );
+                    }
+                }
+                self.health_events.extend(events);
+            }
+            Ev::RecoveryStep => {
+                let Some(h) = &mut self.healing else { return };
+                let batch = h.detector.config().recovery_batch;
+                let done =
+                    h.orchestrator
+                        .step(&mut self.pool, &mut self.fabric, &mut self.pm, now, batch);
+                for t in &done {
+                    self.trace.record(
+                        now,
+                        format!(
+                            "auto-recover {} epoch {}: promoted {:?} reconstructed {:?} \
+                             reprotected {:?} lost {:?}",
+                            t.node,
+                            t.epoch,
+                            t.report.promoted,
+                            t.report.reconstructed,
+                            t.report.reprotected,
+                            t.report.lost
+                        ),
+                    );
+                    self.promoted += t.report.promoted.len() as u64;
+                    self.reconstructed += t.report.reconstructed.len() as u64;
+                    self.reprotected += t.report.reprotected.len() as u64;
+                    self.lost_count += t.report.lost.len() as u64;
+                    for seg in &t.report.lost {
+                        self.model.remove(seg);
+                        self.lost.insert(*seg);
+                    }
+                }
+                if h.orchestrator.has_pending() {
+                    eng.schedule_after(h.detector.config().recovery_tick, Ev::RecoveryStep);
+                }
+            }
+            Ev::DegradedProbe { seg_idx, requester } => {
+                let seg = self.segments[seg_idx];
+                let addr = LogicalAddr::new(seg, 16);
+                match self
+                    .pool
+                    .access(&mut self.fabric, now, requester, addr, 96, MemOp::Read)
+                {
+                    Ok(_) => {
+                        self.trace.record(
+                            now,
+                            format!("degraded probe {seg}: primary healthy"),
+                        );
+                    }
+                    Err(_) => {
+                        if !self.serve_degraded(now, "degraded probe", requester, seg, 16, 96) {
+                            self.checks.push(CheckResult::fail(
+                                "degraded-window-exercised",
+                                format!("probe of {seg} unservable mid-fault"),
+                            ));
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -495,7 +689,18 @@ impl World {
                 }
             }
             Err(e) if is_retryable(&e) => {
-                if self.policy.may_retry(spec.at, now, attempt) {
+                if !spec.write
+                    && self.serve_degraded(
+                        now,
+                        &format!("op {id}"),
+                        spec.requester,
+                        seg,
+                        spec.offset,
+                        spec.len,
+                    )
+                {
+                    self.ops_ok += 1;
+                } else if self.policy.may_retry(spec.at, now, attempt) {
                     self.retries += 1;
                     self.trace.record(
                         now,
@@ -521,6 +726,54 @@ impl World {
         }
     }
 
+    /// Self-healing scenarios only: a read that hit a transient fault is
+    /// served from surviving redundancy (mirror twin or on-the-fly parity
+    /// XOR) instead of waiting out the repair. Returns whether the read
+    /// was served; the bytes are compared against the shadow model.
+    fn serve_degraded(
+        &mut self,
+        now: SimTime,
+        what: &str,
+        requester: NodeId,
+        seg: SegmentId,
+        offset: u64,
+        len: u64,
+    ) -> bool {
+        if self.healing.is_none() || !self.pm.is_protected(seg) {
+            return false;
+        }
+        let Some(m) = self.model.get(&seg) else {
+            return false;
+        };
+        let expect = m[offset as usize..(offset + len) as usize].to_vec();
+        match self.pm.read_degraded(
+            &self.pool,
+            &mut self.fabric,
+            now,
+            requester,
+            LogicalAddr::new(seg, offset),
+            len,
+        ) {
+            Ok(r) => {
+                let check = check_degraded_read(&expect, &r);
+                if !check.passed {
+                    self.degraded_mismatches += 1;
+                    self.checks.push(check);
+                }
+                self.degraded_served += 1;
+                self.trace.record(
+                    now,
+                    format!(
+                        "{what} read {seg}+{offset} served degraded via {:?}",
+                        r.source
+                    ),
+                );
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
     fn final_checks(&mut self) {
         let t = check_translation(&mut self.pool, &self.model);
         self.checks.push(t);
@@ -532,6 +785,19 @@ impl World {
                 CheckResult::fail(name, detail)
             }
         };
+        if let Some(h) = &self.healing {
+            self.checks.push(check_lease_confirmations(
+                h.detector.probe_log(),
+                &self.health_events,
+                h.detector.config().lease,
+            ));
+            self.checks.push(check_epoch_monotonic(&self.health_events));
+            self.checks.push(expect(
+                "degraded-read-identity",
+                self.degraded_mismatches == 0,
+                format!("{} degraded reads diverged from the model", self.degraded_mismatches),
+            ));
+        }
         match self.scenario {
             Scenario::CrashUnprotected => {
                 self.checks.push(expect(
@@ -583,6 +849,63 @@ impl World {
                 self.checks
                     .push(check_coherence_mutex(self.seed, 4, 300));
             }
+            Scenario::CrashAutoHeal => {
+                let h = self.healing.as_ref().expect("self-healing armed");
+                self.checks.push(expect(
+                    "autonomous-detection-and-repair",
+                    h.detector.confirmation_count() >= 1
+                        && h.orchestrator.recovery_count() >= 2
+                        && self.promoted >= 1
+                        && self.reconstructed >= 1
+                        && self.lost_count == 0,
+                    format!(
+                        "confirmations={} batches={} promoted={} reconstructed={} lost={}",
+                        h.detector.confirmation_count(),
+                        h.orchestrator.recovery_count(),
+                        self.promoted,
+                        self.reconstructed,
+                        self.lost_count
+                    ),
+                ));
+                self.checks.push(expect(
+                    "rejoin-under-fresh-epoch",
+                    h.detector.epoch() == 2 && !self.pool.node(NodeId(0)).is_failed(),
+                    format!(
+                        "epoch={} node0 failed={}",
+                        h.detector.epoch(),
+                        self.pool.node(NodeId(0)).is_failed()
+                    ),
+                ));
+                self.checks.push(expect(
+                    "degraded-window-exercised",
+                    self.degraded_served >= 2,
+                    format!("degraded_served={}", self.degraded_served),
+                ));
+            }
+            Scenario::FlapNoHeal => {
+                let h = self.healing.as_ref().expect("self-healing armed");
+                self.checks.push(expect(
+                    "flaps-never-confirm",
+                    h.detector.suspicion_count() >= 2
+                        && h.detector.confirmation_count() == 0
+                        && h.orchestrator.recovery_count() == 0
+                        && h.detector.epoch() == 0
+                        && self.lost_count == 0,
+                    format!(
+                        "suspicions={} confirmations={} batches={} epoch={} lost={}",
+                        h.detector.suspicion_count(),
+                        h.detector.confirmation_count(),
+                        h.orchestrator.recovery_count(),
+                        h.detector.epoch(),
+                        self.lost_count
+                    ),
+                ));
+                self.checks.push(expect(
+                    "degraded-routes-around-flap",
+                    self.degraded_served >= 2,
+                    format!("degraded_served={}", self.degraded_served),
+                ));
+            }
         }
     }
 }
@@ -600,6 +923,40 @@ pub fn run_scenario(scenario: Scenario, seed: u64) -> ChaosReport {
             id: id as u64,
             attempt: 0,
         });
+    }
+    if scenario.self_healing() {
+        // Detector sweeps at the configured cadence across the horizon.
+        // Faults are scheduled first, so a fault and a sweep landing on
+        // the same instant resolve fault-first (FIFO tie-break).
+        let interval = HealthConfig::default_chaos().probe_interval;
+        let end = SimTime::ZERO + HORIZON;
+        let mut t = SimTime::ZERO + interval;
+        while t <= end {
+            eng.schedule_at(t, Ev::HealthTick);
+            t += interval;
+        }
+    }
+    if scenario == Scenario::CrashAutoHeal {
+        // Reads pinned inside the crash→repair window, issued from a
+        // healthy requester, must be served from surviving redundancy:
+        // seg0 via its mirror twin, seg1 via on-the-fly parity XOR.
+        for (at_ns, seg_idx) in [(6_200u64, 0usize), (7_200, 1)] {
+            eng.schedule_at(SimTime::from_nanos(at_ns), Ev::DegradedProbe {
+                seg_idx,
+                requester: NodeId(4),
+            });
+        }
+    }
+    if scenario == Scenario::FlapNoHeal {
+        // One read inside each sub-lease flap window: the primary's port
+        // is down, so the read must route around the flap degraded even
+        // though no recovery ever runs.
+        for (at_ns, seg_idx) in [(6_700u64, 0usize), (14_700, 1)] {
+            eng.schedule_at(SimTime::from_nanos(at_ns), Ev::DegradedProbe {
+                seg_idx,
+                requester: NodeId(0),
+            });
+        }
     }
     if scenario == Scenario::LinkSpike {
         // Latency probes before, during, and after the spike window; the
@@ -629,6 +986,19 @@ pub fn run_scenario(scenario: Scenario, seed: u64) -> ChaosReport {
         reconstructed: world.reconstructed,
         reprotected: world.reprotected,
         lost: world.lost_count,
+        suspicions: world
+            .healing
+            .as_ref()
+            .map_or(0, |h| h.detector.suspicion_count()),
+        confirmations: world
+            .healing
+            .as_ref()
+            .map_or(0, |h| h.detector.confirmation_count()),
+        auto_recoveries: world
+            .healing
+            .as_ref()
+            .map_or(0, |h| h.orchestrator.recovery_count()),
+        degraded_served: world.degraded_served,
     }
 }
 

@@ -81,6 +81,45 @@ fn combined_exercises_all_paths() {
     assert!(r.retries > 0, "port flaps must force retries");
 }
 
+/// Self-healing closes the loop on its own: the lease detector confirms
+/// the crash, the orchestrator repairs in throttled batches (no manual
+/// `recover()` anywhere), degraded reads bridge the window byte-identically,
+/// and nothing protected is lost.
+#[test]
+fn auto_heal_closes_the_loop_without_manual_recovery() {
+    for seed in [11, 42, 2024] {
+        let r = run_twice(Scenario::CrashAutoHeal, seed);
+        assert!(r.confirmations >= 1, "seed {seed}: crash never confirmed");
+        assert!(
+            r.auto_recoveries >= 2,
+            "seed {seed}: repair was not throttled across batches"
+        );
+        assert_eq!(r.lost, 0, "seed {seed}: protected data must self-heal");
+        assert!(r.promoted >= 1 && r.reconstructed >= 1, "seed {seed}");
+        assert!(
+            r.degraded_served >= 2,
+            "seed {seed}: reads in the repair window must be served degraded"
+        );
+    }
+}
+
+/// Port flaps shorter than the lease are absorbed: suspicion, then a
+/// clearing beat — never a confirmation, never a recovery.
+#[test]
+fn flaps_do_not_trigger_spurious_recovery() {
+    for seed in [7, 42, 555] {
+        let r = run_twice(Scenario::FlapNoHeal, seed);
+        assert!(r.suspicions >= 2, "seed {seed}: flaps must raise suspicion");
+        assert_eq!(r.confirmations, 0, "seed {seed}: flap confirmed as crash");
+        assert_eq!(r.auto_recoveries, 0, "seed {seed}: spurious recovery ran");
+        assert_eq!(r.lost, 0, "seed {seed}");
+        assert!(
+            r.degraded_served >= 2,
+            "seed {seed}: flapped reads must route around the down port"
+        );
+    }
+}
+
 /// Fault plans themselves replay: same seed and config produce the same
 /// schedule, different seeds produce a different one.
 #[test]

@@ -1,0 +1,124 @@
+//! Property test for the lease failure detector (`lmp-core::health`).
+//!
+//! Over randomized port-flap schedules — generated as seeded
+//! [`FaultPlan`]s, so every failing case replays from its seed — the
+//! detector must never confirm a node Down while any probe of that node
+//! succeeded inside the lease window. The property is checked two ways:
+//! directly against the detector's probe-evidence log, and through the
+//! harness's `lease-confirmation-audit` invariant checker. Each run is
+//! also executed twice to pin the determinism contract.
+
+use lmp_core::prelude::*;
+use lmp_fabric::{Fabric, LinkProfile};
+use lmp_harness::prelude::*;
+use lmp_sim::prelude::*;
+use proptest::prelude::*;
+
+const SERVERS: u32 = 4;
+const HORIZON: SimDuration = SimDuration::from_micros(30);
+
+/// Drive a detector over a seeded flap schedule; sweeps run at the
+/// configured probe cadence and faults apply before any sweep sharing
+/// their instant (matching the chaos harness's fault-first tie-break).
+fn run_detector(
+    seed: u64,
+    flaps: u32,
+    width_ns: u64,
+) -> (Vec<HealthEvent>, Vec<ProbeOutcome>, u64, u64) {
+    let cfg = PlanConfig {
+        servers: SERVERS,
+        horizon: HORIZON,
+        crashes: 0,
+        restarts: false,
+        link_spikes: 0,
+        port_flaps: flaps,
+        flap_width: SimDuration::from_nanos(width_ns),
+        ..PlanConfig::default()
+    };
+    let plan = FaultPlan::generate(seed, &cfg);
+    let faults: Vec<PlannedFault> = plan.iter().collect();
+    let mut fabric = Fabric::new(LinkProfile::link1(), SERVERS);
+    let hc = HealthConfig::default_chaos();
+    let interval = hc.probe_interval;
+    let mut det = FailureDetector::new(hc, SERVERS, SimTime::ZERO);
+    let mut events = Vec::new();
+    let mut fi = 0;
+    let end = SimTime::ZERO + HORIZON;
+    let mut t = SimTime::ZERO + interval;
+    while t <= end {
+        while fi < faults.len() && faults[fi].at <= t {
+            match faults[fi].fault {
+                Fault::PortDown(n) => fabric.set_port_down(n, true),
+                Fault::PortUp(n) => fabric.set_port_down(n, false),
+                other => panic!("flap-only plan produced {other:?}"),
+            }
+            fi += 1;
+        }
+        events.extend(det.probe_tick(&mut fabric, t));
+        t += interval;
+    }
+    let log = det.probe_log().to_vec();
+    (
+        events,
+        log,
+        det.confirmation_count(),
+        det.suspicion_count(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// No confirmation may stand over a successful probe inside the lease
+    /// window, for any flap count and width — including widths past the
+    /// lease, where confirmations are legitimate and the property still
+    /// binds their timing.
+    #[test]
+    fn no_confirmation_while_a_lease_beat_succeeded(
+        seed in any::<u64>(),
+        flaps in 0u32..6,
+        width_ns in 100u64..6_000,
+    ) {
+        let hc = HealthConfig::default_chaos();
+        let lease = hc.lease;
+        let (events, log, confirmations, _) = run_detector(seed, flaps, width_ns);
+        // Direct form: scan the evidence log around every confirmation.
+        for ev in &events {
+            let HealthEvent::ConfirmedDown { node, at, .. } = ev else { continue };
+            for p in &log {
+                let live = p.node == *node
+                    && p.ok
+                    && p.at <= *at
+                    && at.duration_since(p.at) < lease;
+                prop_assert!(
+                    !live,
+                    "{node} confirmed at {at} over a live beat at {} (seed {seed})",
+                    p.at
+                );
+            }
+        }
+        // Checker form: the shipped invariant must agree.
+        let audit = check_lease_confirmations(&log, &events, lease);
+        prop_assert!(audit.passed, "{audit}");
+        // A single flap with at least one probe interval of slack under
+        // the lease can never confirm. (Multiple flaps may chain into a
+        // longer effective outage, so the bound only binds one flap.)
+        if flaps == 1 && width_ns + hc.probe_interval.as_nanos() <= lease.as_nanos() {
+            prop_assert_eq!(confirmations, 0, "sub-lease flap confirmed (seed {})", seed);
+        }
+    }
+
+    /// Same seed ⇒ identical events, identical evidence log.
+    #[test]
+    fn detector_runs_replay_from_their_seed(
+        seed in any::<u64>(),
+        flaps in 0u32..6,
+        width_ns in 100u64..6_000,
+    ) {
+        let a = run_detector(seed, flaps, width_ns);
+        let b = run_detector(seed, flaps, width_ns);
+        prop_assert_eq!(a.0, b.0, "health events diverged");
+        prop_assert_eq!(a.1, b.1, "probe logs diverged");
+        prop_assert_eq!((a.2, a.3), (b.2, b.3));
+    }
+}
