@@ -28,6 +28,7 @@ struct Row {
     scenario: String,
     seed: u64,
     digest: String,
+    telemetry_digest: String,
     events: u64,
     ops_ok: u64,
     ops_failed: u64,
@@ -78,7 +79,7 @@ fn main() {
     for scenario in Scenario::all() {
         let a = run_scenario(scenario, seed);
         let b = run_scenario(scenario, seed);
-        let deterministic = a.digest == b.digest;
+        let deterministic = a.digest == b.digest && a.telemetry_digest == b.telemetry_digest;
         let checks_passed = a.checks.iter().filter(|c| c.passed).count();
         let ok = a.passed() && deterministic;
         all_ok &= ok;
@@ -86,6 +87,7 @@ fn main() {
             scenario: a.scenario.to_string(),
             seed,
             digest: format!("{:016x}", a.digest),
+            telemetry_digest: format!("{:016x}", a.telemetry_digest),
             events: a.events,
             ops_ok: a.ops_ok,
             ops_failed: a.ops_failed,

@@ -1,0 +1,241 @@
+//! **Telemetry runs** — rack-wide observability plus the adaptive sizing
+//! control loop, end to end.
+//!
+//! A skewed mixed workload (zipfian KV from two clients, BFS pointer
+//! chasing from a third) hammers segments all homed on server 0. Two
+//! configurations run under the same seed:
+//!
+//! * **static** — no controller; segments stay where they were placed;
+//! * **adaptive** — a [`SizingController`] ticks between rounds, reading
+//!   rack telemetry snapshots, re-deriving demands from observed hotness,
+//!   re-solving the sizing plan, and migrating hot segments toward their
+//!   clients.
+//!
+//! Verified here, exit non-zero on any failure:
+//!
+//! * each configuration's final telemetry snapshot JSON is byte-identical
+//!   across two same-seed runs (the determinism contract);
+//! * the adaptive run's local-access ratio is *strictly* higher than the
+//!   static run's, with at least one migration issued;
+//! * the span-attributed latency breakdown (dram + fabric self-time) sums
+//!   exactly to the end-to-end access latency total.
+//!
+//! Results land in `BENCH_telemetry.json` beside the human table.
+//!
+//! ```text
+//! cargo run --release -p lmp-bench --bin telemetry -- --seed 42
+//! ```
+
+use lmp_bench::{emit_header, emit_row};
+use lmp_core::prelude::*;
+use lmp_fabric::{Fabric, LinkProfile, NodeId};
+use lmp_mem::{DramProfile, FRAME_BYTES};
+use lmp_sim::prelude::*;
+use lmp_workloads::graph::{bfs, PoolGraph};
+use lmp_workloads::kv::{KvConfig, KvStore, KvWorkload};
+use serde::Serialize;
+
+const SERVERS: u32 = 4;
+const ROUNDS: u32 = 6;
+const KV_OPS_HEAVY: u64 = 300;
+const KV_OPS_LIGHT: u64 = 150;
+
+#[derive(Serialize)]
+struct Row {
+    config: String,
+    seed: u64,
+    local_access_ratio: f64,
+    p99_access_ns: u64,
+    migrations: u64,
+    controller_ticks: u64,
+    span_total_ns: u64,
+    span_dram_ns: u64,
+    span_fabric_ns: u64,
+    snapshot_digest: String,
+    deterministic: bool,
+    spans_balance: bool,
+}
+
+struct Outcome {
+    local_ratio: f64,
+    p99_ns: u64,
+    migrations: u64,
+    ticks: u64,
+    span_total_ns: u64,
+    span_dram_ns: u64,
+    span_fabric_ns: u64,
+    span_sum_ns: u64,
+    snapshot_json: String,
+    digest: u64,
+}
+
+/// One full run of the mixed workload under one seed. Pure: same inputs
+/// produce the identical final snapshot, byte for byte.
+fn run(seed: u64, adaptive: bool) -> Outcome {
+    let mut pool = LogicalPool::new(PoolConfig {
+        servers: SERVERS,
+        capacity_per_server: 32 * FRAME_BYTES,
+        shared_per_server: 24 * FRAME_BYTES,
+        dram: DramProfile::xeon_gold_5120(),
+        tlb_capacity: 64,
+    });
+    pool.attach_telemetry();
+    let mut fabric = Fabric::new(LinkProfile::link1(), SERVERS);
+
+    // Everything is born on server 0; the clients live elsewhere. The
+    // static run pays a fabric hop for nearly every access.
+    let kv_cfg = KvConfig {
+        slots: 2048,
+        slots_per_segment: 256,
+        zipf_exponent: 1.2,
+        write_fraction: 0.1,
+        placement: Placement::On(NodeId(0)),
+    };
+    let mut kv = KvStore::create(&mut pool, kv_cfg.clone()).expect("kv capacity");
+    let graph = PoolGraph::ring_with_chords(&mut pool, 600, Placement::On(NodeId(0)))
+        .expect("graph capacity");
+
+    let rng = DetRng::new(seed);
+    let mut heavy = KvWorkload::new(&kv_cfg, rng.fork("kv-heavy"));
+    let mut light = KvWorkload::new(&kv_cfg, rng.fork("kv-light"));
+    let mut ctl = SizingController::new(ControllerConfig::default());
+
+    let mut now = SimTime::ZERO;
+    let mut ticks = 0u64;
+    for _ in 0..ROUNDS {
+        let (e1, _) = heavy
+            .run(&mut kv, &mut pool, &mut fabric, now, NodeId(1), KV_OPS_HEAVY)
+            .expect("kv heavy round");
+        let (e2, _) = light
+            .run(&mut kv, &mut pool, &mut fabric, e1, NodeId(2), KV_OPS_LIGHT)
+            .expect("kv light round");
+        let b = bfs(&graph, &mut pool, &mut fabric, e2, NodeId(3), 0).expect("bfs round");
+        now = b.complete;
+        if adaptive {
+            let snap = rack_snapshot(&mut pool, &mut fabric, now);
+            let report = ctl.tick(&mut pool, &mut fabric, now, &snap);
+            if report.acted {
+                ticks += 1;
+            }
+        }
+    }
+
+    let snap = rack_snapshot(&mut pool, &mut fabric, now);
+    let t = pool.telemetry().expect("telemetry attached");
+    let breakdown = t.latency_breakdown();
+    let dram = breakdown.get("dram").copied().unwrap_or(0);
+    let fab = breakdown.get("fabric").copied().unwrap_or(0);
+    Outcome {
+        local_ratio: t.local_access_ratio(),
+        p99_ns: snap
+            .histogram("pool.access_latency", &[])
+            .map_or(0, |h| h.p99()),
+        migrations: ctl.migration_count(),
+        ticks,
+        span_total_ns: t.latency_total_ns(),
+        span_dram_ns: dram,
+        span_fabric_ns: fab,
+        span_sum_ns: breakdown.values().sum(),
+        snapshot_json: snap.to_json(),
+        digest: snap.digest(),
+    }
+}
+
+fn main() {
+    let mut seed = 42u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seed" => {
+                seed = match args.next().and_then(|v| v.parse().ok()) {
+                    Some(v) => v,
+                    None => {
+                        eprintln!("usage: telemetry [--seed N] (--seed takes an integer)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            other => {
+                eprintln!("usage: telemetry [--seed N] (unknown arg {other:?})");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    emit_header(
+        "telemetry",
+        "rack observability + adaptive sizing on a skewed KV/graph mix",
+        "identical seeds reproduce byte-identical snapshots; the controller \
+         strictly raises the local-access ratio; spans sum to end-to-end latency",
+    );
+
+    let mut rows = Vec::new();
+    let mut all_ok = true;
+    let mut outcomes = Vec::new();
+    for adaptive in [false, true] {
+        let config = if adaptive { "adaptive" } else { "static" };
+        let a = run(seed, adaptive);
+        let b = run(seed, adaptive);
+        let deterministic = a.snapshot_json == b.snapshot_json && a.digest == b.digest;
+        let spans_balance = a.span_sum_ns == a.span_total_ns;
+        let ok = deterministic && spans_balance;
+        all_ok &= ok;
+        let row = Row {
+            config: config.to_string(),
+            seed,
+            local_access_ratio: a.local_ratio,
+            p99_access_ns: a.p99_ns,
+            migrations: a.migrations,
+            controller_ticks: a.ticks,
+            span_total_ns: a.span_total_ns,
+            span_dram_ns: a.span_dram_ns,
+            span_fabric_ns: a.span_fabric_ns,
+            snapshot_digest: format!("{:016x}", a.digest),
+            deterministic,
+            spans_balance,
+        };
+        emit_row(
+            &format!(
+                "{config:9} local {:5.1}%  p99 {:6} ns  migrations {:3}  \
+                 spans {}  {}",
+                row.local_access_ratio * 100.0,
+                row.p99_access_ns,
+                row.migrations,
+                if spans_balance { "balance" } else { "IMBALANCED" },
+                if deterministic { "deterministic" } else { "DIVERGED" },
+            ),
+            &row,
+        );
+        if !spans_balance {
+            println!(
+                "   span self-times sum to {} ns but pool.latency_ns is {} ns",
+                a.span_sum_ns, a.span_total_ns
+            );
+        }
+        rows.push(row);
+        outcomes.push(a);
+    }
+
+    let gain = outcomes[1].local_ratio - outcomes[0].local_ratio;
+    if outcomes[1].local_ratio <= outcomes[0].local_ratio {
+        println!(
+            "FAIL: adaptive local ratio {:.3} not above static {:.3}",
+            outcomes[1].local_ratio, outcomes[0].local_ratio
+        );
+        all_ok = false;
+    }
+    if outcomes[1].migrations == 0 {
+        println!("FAIL: controller issued no migrations on a skewed mix");
+        all_ok = false;
+    }
+    println!(
+        "   controller gain: +{:.1} percentage points local access",
+        gain * 100.0
+    );
+
+    let json = serde_json::to_string(&rows).expect("rows serialize");
+    std::fs::write("BENCH_telemetry.json", json).expect("write BENCH_telemetry.json");
+    if !all_ok {
+        std::process::exit(1);
+    }
+}

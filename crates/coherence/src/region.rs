@@ -177,6 +177,31 @@ impl CoherentRegion {
         self.ops
     }
 
+    /// Export directory and filter traffic into a telemetry registry,
+    /// labelling every instrument with `region`.
+    pub fn export_into(&self, region: &str, reg: &mut lmp_telemetry::MetricRegistry) {
+        let labels = [("region", region)];
+        reg.fill_counter_value("coherence.ops", &labels, self.ops);
+        reg.fill_counter_value("coherence.dir.reads", &labels, self.dir.read_count());
+        reg.fill_counter_value("coherence.dir.writes", &labels, self.dir.write_count());
+        reg.fill_counter_value(
+            "coherence.dir.invalidations",
+            &labels,
+            self.dir.invalidation_count(),
+        );
+        reg.fill_counter_value(
+            "coherence.dir.downgrades",
+            &labels,
+            self.dir.downgrade_count(),
+        );
+        reg.fill_counter_value(
+            "coherence.filter.back_invalidations",
+            &labels,
+            self.filter.back_invalidation_count(),
+        );
+        reg.fill_counter_value("coherence.messages", &labels, self.total_cost.messages);
+    }
+
     fn check(&self, addr: u64) -> Result<(), OutOfRegion> {
         if addr + 8 > self.size_bytes {
             Err(OutOfRegion {

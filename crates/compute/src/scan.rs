@@ -68,6 +68,14 @@ impl ScanOutcome {
             self.complete.saturating_duration_since(start),
         )
     }
+
+    /// Export this scan's byte accounting into a telemetry registry,
+    /// labelled with `scan` (e.g. a workload phase name).
+    pub fn export_into(&self, scan: &str, reg: &mut lmp_telemetry::MetricRegistry) {
+        let labels = [("scan", scan)];
+        reg.fill_counter_value("scan.bytes.local", &labels, self.local_bytes);
+        reg.fill_counter_value("scan.bytes.remote", &labels, self.remote_bytes);
+    }
 }
 
 /// Scan `len` bytes of `seg` starting at `offset`, from `server`, with

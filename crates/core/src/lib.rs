@@ -13,6 +13,10 @@
 //! * [`balance`] — the locality-balancing daemon driven by access-bit
 //!   telemetry.
 //! * [`sizing`] — the periodic global optimizer for private/shared splits.
+//! * [`observe`] — pool instruments, access spans, and the rack-level
+//!   telemetry roll-up.
+//! * [`controller`] — the telemetry-driven adaptive sizing loop
+//!   (observe → decide → act).
 //! * [`failure`] — crash masking by mirroring or XOR erasure coding, and
 //!   memory exceptions for unprotected segments.
 //! * [`health`] — lease/heartbeat failure detection (Healthy → Suspected
@@ -43,10 +47,12 @@
 
 pub mod addr;
 pub mod balance;
+pub mod controller;
 pub mod failure;
 pub mod heal;
 pub mod health;
 pub mod migrate;
+pub mod observe;
 pub mod pool;
 pub mod runtime;
 pub mod share;
@@ -65,7 +71,9 @@ pub mod prelude {
     pub use crate::health::{
         FailureDetector, HealthConfig, HealthEvent, Membership, NodeHealth, ProbeOutcome,
     };
+    pub use crate::controller::{ControllerConfig, SizingController, TickReport};
     pub use crate::migrate::{migrate_segment, MigrationReport};
+    pub use crate::observe::{rack_snapshot, PoolTelemetry};
     pub use crate::pool::{LogicalPool, Placement, PoolAccess, PoolConfig, PoolError};
     pub use crate::runtime::{
         RackRuntime, RuntimeConfig, RuntimeError, ServerRuntime, VirtAddr,

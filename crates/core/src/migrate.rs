@@ -101,14 +101,18 @@ pub fn migrate_segment(
         }
     }
     let new_loc = pool.global_mut().relocate(seg, dst);
-    Ok(MigrationReport {
+    let report = MigrationReport {
         segment: seg,
         from: src,
         to: dst,
         bytes: n * FRAME_BYTES,
         complete,
         new_epoch: new_loc.epoch,
-    })
+    };
+    if let Some(t) = pool.telemetry_mut() {
+        t.on_migration(&report);
+    }
+    Ok(report)
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@
 //! private/shared split of every server can be resized at runtime (§4.5).
 
 use crate::addr::{frame_chunks, LogicalAddr, SegmentId};
+use crate::observe::PoolTelemetry;
 use crate::translate::{GlobalMap, LocalMap, SegmentLoc, TranslationCache};
 use lmp_fabric::{Fabric, FabricError, MemOp, NodeId};
 use lmp_mem::{DramProfile, MemoryNode, RegionKind, FRAME_BYTES};
@@ -132,6 +133,7 @@ pub struct LogicalPool {
     rr_cursor: u32,
     local_accesses: Counter,
     remote_accesses: Counter,
+    telemetry: Option<Box<PoolTelemetry>>,
 }
 
 impl LogicalPool {
@@ -173,7 +175,26 @@ impl LogicalPool {
             rr_cursor: 0,
             local_accesses: Counter::new(),
             remote_accesses: Counter::new(),
+            telemetry: None,
         }
+    }
+
+    /// Attach per-access telemetry (instruments + spans). Idempotent; the
+    /// pool runs un-instrumented until this is called.
+    pub fn attach_telemetry(&mut self) {
+        if self.telemetry.is_none() {
+            self.telemetry = Some(Box::new(PoolTelemetry::new(self.config.servers)));
+        }
+    }
+
+    /// The attached telemetry, if any.
+    pub fn telemetry(&self) -> Option<&PoolTelemetry> {
+        self.telemetry.as_deref()
+    }
+
+    /// Mutable attached telemetry, if any.
+    pub fn telemetry_mut(&mut self) -> Option<&mut PoolTelemetry> {
+        self.telemetry.as_deref_mut()
     }
 
     /// Number of servers.
@@ -391,6 +412,7 @@ impl LogicalPool {
             return Err(PoolError::SegmentLost(addr.segment));
         }
         let mut complete = now;
+        let mut dram_done = now;
         let mut local_bytes = 0;
         let mut remote_bytes = 0;
         for (frame_idx, _, chunk) in frame_chunks(addr, len) {
@@ -407,6 +429,7 @@ impl LogicalPool {
                     true,
                     Some(frame),
                 );
+                dram_done = dram_done.max(c.complete);
                 complete = complete.max(c.complete);
             } else {
                 self.remote_accesses.inc();
@@ -424,15 +447,20 @@ impl LogicalPool {
                     FabricError::RequesterDown(n) => PoolError::ServerDown(n),
                     FabricError::HolderDown(_) => PoolError::SegmentLost(addr.segment),
                 })?;
+                dram_done = dram_done.max(d.complete);
                 complete = complete.max(d.complete).max(f.complete);
             }
         }
-        Ok(PoolAccess {
+        let result = PoolAccess {
             complete,
             local_bytes,
             remote_bytes,
             faults,
-        })
+        };
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.on_access(now, requester, op, dram_done, &result);
+        }
+        Ok(result)
     }
 
     /// Materialized write of `data` at `addr` (correctness path; no timing).

@@ -432,6 +432,40 @@ impl Fabric {
     pub fn read_latency_histogram(&self) -> &Histogram {
         &self.read_latency
     }
+
+    /// Export the fabric's state into a telemetry registry: rack-level op
+    /// counters plus per-node, per-direction link gauges and counters. Fill
+    /// a fresh registry per export — values are published absolutely.
+    pub fn export_into(&mut self, now: SimTime, reg: &mut lmp_telemetry::MetricRegistry) {
+        reg.fill_counter("fabric.reads", &[], self.reads);
+        reg.fill_counter("fabric.writes", &[], self.writes);
+        reg.fill_counter("fabric.probes", &[], self.probes);
+        reg.merge_histogram("fabric.read_latency", &[], &self.read_latency);
+        for n in 0..self.node_count {
+            let node = NodeId(n);
+            let label = n.to_string();
+            for (dir, idx) in [("up", self.up_index(node)), ("down", self.down_index(node))] {
+                let labels = [("node", label.as_str()), ("dir", dir)];
+                let util = self.links[idx].utilization(now);
+                let queue_ns = self.links[idx]
+                    .free_at(now)
+                    .saturating_duration_since(now)
+                    .as_nanos();
+                reg.set_gauge_value("fabric.link.utilization", &labels, util);
+                reg.set_gauge_value("fabric.link.queue_ns", &labels, queue_ns as f64);
+                reg.fill_counter_value(
+                    "fabric.link.bytes",
+                    &labels,
+                    self.links[idx].bytes_sent(),
+                );
+                reg.fill_counter_value(
+                    "fabric.link.transfers",
+                    &labels,
+                    self.links[idx].transfer_count(),
+                );
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -314,6 +314,57 @@ pub fn check_degraded_read(expect: &[u8], got: &DegradedRead) -> CheckResult {
     }
 }
 
+/// Telemetry conservation: the pool's instruments must balance.
+///
+/// Three books have to agree in any rack snapshot:
+/// * every access is either local or remote, so
+///   `pool.accesses.local + pool.accesses.remote` equals
+///   `pool.ops.read + pool.ops.write`;
+/// * the per-server `by_server` breakdowns sum exactly to their totals;
+/// * every remote access crossed the fabric at least once, so
+///   `fabric.reads + fabric.writes` is at least `pool.accesses.remote`
+///   (the fabric also carries protection and migration traffic, hence ≥).
+///
+/// An imbalance means an instrument was skipped or double-counted
+/// somewhere between the pool hook and the exporters.
+pub fn check_telemetry_conservation(snap: &lmp_telemetry::TelemetrySnapshot) -> CheckResult {
+    const NAME: &str = "telemetry-conservation";
+    let local = snap.counter("pool.accesses.local", &[]);
+    let remote = snap.counter("pool.accesses.remote", &[]);
+    let reads = snap.counter("pool.ops.read", &[]);
+    let writes = snap.counter("pool.ops.write", &[]);
+    if local + remote != reads + writes {
+        return CheckResult::fail(
+            NAME,
+            format!(
+                "local {local} + remote {remote} != reads {reads} + writes {writes}"
+            ),
+        );
+    }
+    let local_by = snap.counter_total("pool.accesses.local.by_server");
+    if local_by != local {
+        return CheckResult::fail(
+            NAME,
+            format!("by_server local sum {local_by} != total {local}"),
+        );
+    }
+    let remote_by = snap.counter_total("pool.accesses.remote.by_server");
+    if remote_by != remote {
+        return CheckResult::fail(
+            NAME,
+            format!("by_server remote sum {remote_by} != total {remote}"),
+        );
+    }
+    let fabric_ops = snap.counter("fabric.reads", &[]) + snap.counter("fabric.writes", &[]);
+    if fabric_ops < remote {
+        return CheckResult::fail(
+            NAME,
+            format!("fabric carried {fabric_ops} transfers for {remote} remote accesses"),
+        );
+    }
+    CheckResult::pass(NAME)
+}
+
 /// Coherence mutual exclusion under snoop-filter overflow.
 ///
 /// Runs a seeded schedule of lock acquire/release interleaved with enough
@@ -427,7 +478,8 @@ pub fn check_coherence_mutex(seed: u64, nodes: u32, rounds: u32) -> CheckResult 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lmp_fabric::{Fabric, LinkProfile, NodeId};
+    use lmp_fabric::{Fabric, LinkProfile, MemOp, NodeId};
+    use lmp_telemetry::{CounterValue, MetricKey, TelemetrySnapshot};
     use lmp_mem::{DramProfile, FRAME_BYTES};
 
     fn world(servers: u32) -> (LogicalPool, Fabric, ProtectionManager) {
@@ -593,6 +645,38 @@ mod tests {
         };
         assert!(check_degraded_read(b"abc", &r).passed);
         assert!(!check_degraded_read(b"abd", &r).passed);
+    }
+
+    #[test]
+    fn telemetry_conservation_balances_on_instrumented_pool() {
+        let (mut p, mut f, _) = world(3);
+        p.attach_telemetry();
+        let seg = p.alloc(FRAME_BYTES, Placement::On(NodeId(0))).unwrap();
+        let addr = LogicalAddr::new(seg, 0);
+        p.access(&mut f, SimTime::ZERO, NodeId(0), addr, 64, MemOp::Read)
+            .unwrap();
+        p.access(&mut f, SimTime::ZERO, NodeId(1), addr, 64, MemOp::Write)
+            .unwrap();
+        let snap = rack_snapshot(&mut p, &mut f, SimTime::ZERO);
+        let r = check_telemetry_conservation(&snap);
+        assert!(r.passed, "{r}");
+    }
+
+    #[test]
+    fn telemetry_conservation_catches_imbalanced_books() {
+        let mut bad = TelemetrySnapshot::new();
+        let one = CounterValue {
+            value: 1,
+            overflowed: false,
+        };
+        bad.insert_counter(MetricKey::new("pool.ops.read", &[]), CounterValue {
+            value: 2,
+            overflowed: false,
+        });
+        bad.insert_counter(MetricKey::new("pool.accesses.local", &[]), one);
+        let r = check_telemetry_conservation(&bad);
+        assert!(!r.passed);
+        assert!(r.detail.contains("!="), "{r}");
     }
 
     #[test]

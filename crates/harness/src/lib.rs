@@ -15,7 +15,8 @@
 //! * [`invariants`] — translation consistency, recovery completeness,
 //!   write-amplification accounting, coherence mutual exclusion under
 //!   snoop-filter overflow, lease-confirmation audit, epoch monotonicity,
-//!   and degraded-read byte identity.
+//!   degraded-read byte identity, and telemetry conservation (the
+//!   instrument books must balance in every rack snapshot).
 //! * [`trace`] — [`trace::ChaosTrace`]: the append-only run log and its
 //!   digest (same seed ⇒ same digest, byte for byte).
 //! * [`scenario`] — the seven shipped chaos scenarios and their runner,
@@ -44,8 +45,8 @@ pub mod trace;
 pub mod prelude {
     pub use crate::invariants::{
         check_coherence_mutex, check_degraded_read, check_epoch_monotonic,
-        check_lease_confirmations, check_recovery, check_translation,
-        check_write_amplification, CheckResult, ContentModel, WriteLedger,
+        check_lease_confirmations, check_recovery, check_telemetry_conservation,
+        check_translation, check_write_amplification, CheckResult, ContentModel, WriteLedger,
     };
     pub use crate::plan::{Fault, FaultPlan, PlanConfig, PlannedFault};
     pub use crate::retry::{access_with_retry, is_retryable, retry, RetryOutcome, RetryPolicy};

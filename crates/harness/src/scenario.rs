@@ -11,8 +11,8 @@
 
 use crate::invariants::{
     check_coherence_mutex, check_degraded_read, check_epoch_monotonic,
-    check_lease_confirmations, check_recovery, check_translation, check_write_amplification,
-    CheckResult, ContentModel, WriteLedger,
+    check_lease_confirmations, check_recovery, check_telemetry_conservation,
+    check_translation, check_write_amplification, CheckResult, ContentModel, WriteLedger,
 };
 use crate::plan::{Fault, FaultPlan};
 use crate::retry::{is_retryable, RetryPolicy};
@@ -102,6 +102,9 @@ pub struct ChaosReport {
     pub seed: u64,
     /// Digest of the full event trace (same seed ⇒ same digest).
     pub digest: u64,
+    /// Digest of the final rack telemetry snapshot. Fed into the trace as
+    /// well, so a drifting instrument breaks `digest` too.
+    pub telemetry_digest: u64,
     /// Events the engine processed.
     pub events: u64,
     /// The full trace (for diffing divergent runs).
@@ -196,6 +199,7 @@ struct World {
     probe_latencies: Vec<u64>,
     healing: Option<Healing>,
     health_events: Vec<HealthEvent>,
+    telemetry_digest: u64,
     degraded_served: u64,
     degraded_mismatches: u64,
     ops_ok: u64,
@@ -224,6 +228,7 @@ impl World {
             tlb_capacity: 16,
         };
         let mut pool = LogicalPool::new(config);
+        pool.attach_telemetry();
         let mut fabric = Fabric::new(LinkProfile::link1(), SERVERS);
         let mut pm = ProtectionManager::new();
         let mut model = ContentModel::new();
@@ -400,6 +405,7 @@ impl World {
                 orchestrator: RecoveryOrchestrator::new(),
             }),
             health_events: Vec::new(),
+            telemetry_digest: 0,
             degraded_served: 0,
             degraded_mismatches: 0,
             ops_ok: 0,
@@ -761,6 +767,9 @@ impl World {
                     self.checks.push(check);
                 }
                 self.degraded_served += 1;
+                if let Some(t) = self.pool.telemetry_mut() {
+                    t.note_degraded_read();
+                }
                 self.trace.record(
                     now,
                     format!(
@@ -907,6 +916,25 @@ impl World {
                 ));
             }
         }
+        // Telemetry roll-up: the snapshot digest becomes part of the trace
+        // (and therefore of the determinism contract), and the instrument
+        // books must balance.
+        let end = SimTime::ZERO + HORIZON;
+        let snap = rack_snapshot(&mut self.pool, &mut self.fabric, end);
+        self.telemetry_digest = snap.digest();
+        self.trace
+            .record(end, format!("telemetry digest {:016x}", self.telemetry_digest));
+        self.checks.push(check_telemetry_conservation(&snap));
+        let counted_degraded = snap.counter("pool.degraded_reads", &[]);
+        if counted_degraded != self.degraded_served {
+            self.checks.push(CheckResult::fail(
+                "telemetry-conservation",
+                format!(
+                    "pool.degraded_reads {counted_degraded} != served {}",
+                    self.degraded_served
+                ),
+            ));
+        }
     }
 }
 
@@ -975,6 +1003,7 @@ pub fn run_scenario(scenario: Scenario, seed: u64) -> ChaosReport {
         scenario: scenario.name(),
         seed,
         digest: world.trace.digest(),
+        telemetry_digest: world.telemetry_digest,
         events: eng.events_processed(),
         trace: world.trace,
         checks: world.checks,
@@ -1015,6 +1044,11 @@ mod tests {
             }
             let b = run_scenario(s, 42);
             assert_eq!(a.digest, b.digest, "{}: same seed, different trace", a.scenario);
+            assert_eq!(
+                a.telemetry_digest, b.telemetry_digest,
+                "{}: same seed, different telemetry",
+                a.scenario
+            );
             assert!(a.trace.diff(&b.trace).is_none());
         }
     }

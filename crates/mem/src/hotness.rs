@@ -123,6 +123,27 @@ impl HotnessMap {
     pub fn forget(&mut self, frame: FrameId) {
         self.counts.remove(&frame);
     }
+
+    /// Observed load attributed to one accessor across every frame on this
+    /// node: `(frames touched, decayed access count)`. Commutative sums
+    /// over the map, so the result is deterministic despite `HashMap`
+    /// iteration order.
+    pub fn accessor_load(&self, accessor: AccessorId) -> (u64, u64) {
+        let mut frames = 0;
+        let mut accesses = 0;
+        for per_acc in self.counts.values() {
+            if let Some(c) = per_acc.get(&accessor) {
+                frames += 1;
+                accesses += c;
+            }
+        }
+        (frames, accesses)
+    }
+
+    /// Number of live (frame, accessor) pairs currently tracked.
+    pub fn live_pairs(&self) -> usize {
+        self.counts.values().map(|per_acc| per_acc.len()).sum()
+    }
 }
 
 #[cfg(test)]

@@ -221,6 +221,50 @@ impl MemoryNode {
     fn ensure_alive(&self) {
         assert!(!self.failed, "operation on crashed node {}", self.name);
     }
+
+    /// Export this node's state into a telemetry registry, labelling every
+    /// instrument with `server`. Fill a fresh registry per export — values
+    /// are published absolutely, and per-node registries merge to rack
+    /// level in the snapshot layer.
+    pub fn export_into(
+        &mut self,
+        now: SimTime,
+        server: &str,
+        reg: &mut lmp_telemetry::MetricRegistry,
+    ) {
+        let labels = [("server", server)];
+        reg.fill_counter("mem.accesses.local", &labels, self.local_accesses);
+        reg.fill_counter("mem.accesses.remote", &labels, self.remote_accesses);
+        reg.fill_counter_value("mem.dram.bytes", &labels, self.dram.bytes_accessed());
+        reg.fill_counter_value("mem.dram.accesses", &labels, self.dram.access_count());
+        reg.merge_histogram("mem.dram.latency", &labels, self.dram.latency_histogram());
+        reg.set_gauge_value("mem.dram.utilization", &labels, self.dram.utilization(now));
+        reg.set_gauge_value(
+            "mem.frames.shared_used",
+            &labels,
+            self.split.shared_used() as f64,
+        );
+        reg.set_gauge_value(
+            "mem.frames.shared_free",
+            &labels,
+            self.split.available(RegionKind::Shared) as f64,
+        );
+        reg.set_gauge_value(
+            "mem.frames.private_used",
+            &labels,
+            self.split.private_used() as f64,
+        );
+        reg.set_gauge_value(
+            "mem.hotness.live_pairs",
+            &labels,
+            self.hotness.live_pairs() as f64,
+        );
+        reg.set_gauge_value(
+            "mem.failed",
+            &labels,
+            if self.failed { 1.0 } else { 0.0 },
+        );
+    }
 }
 
 #[cfg(test)]

@@ -9,17 +9,37 @@ use crate::time::{SimDuration, SimTime};
 use std::fmt;
 
 /// A monotonically increasing event/byte counter.
+///
+/// Additions saturate at `u64::MAX` instead of panicking, so a week-long
+/// chaos run degrades (the value pins, the [`Counter::overflowed`] flag
+/// sticks) rather than aborting. Snapshot layers surface the flag so a
+/// pinned counter is never mistaken for an exact count.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct Counter(u64);
+pub struct Counter {
+    value: u64,
+    overflowed: bool,
+}
 
 impl Counter {
     /// A zeroed counter.
     pub fn new() -> Self {
-        Counter(0)
+        Counter::default()
     }
-    /// Add `n`.
+    /// Reconstruct a counter from snapshot parts (value + sticky flag).
+    /// Used by telemetry layers that merge exported counters.
+    pub fn from_parts(value: u64, overflowed: bool) -> Self {
+        Counter { value, overflowed }
+    }
+    /// Add `n`, saturating at `u64::MAX`. On saturation the sticky
+    /// [`Counter::overflowed`] flag is set.
     pub fn add(&mut self, n: u64) {
-        self.0 = self.0.checked_add(n).expect("counter overflow");
+        match self.value.checked_add(n) {
+            Some(v) => self.value = v,
+            None => {
+                self.value = u64::MAX;
+                self.overflowed = true;
+            }
+        }
     }
     /// Add one.
     pub fn inc(&mut self) {
@@ -27,11 +47,17 @@ impl Counter {
     }
     /// Current value.
     pub fn get(&self) -> u64 {
-        self.0
+        self.value
     }
-    /// Reset to zero, returning the previous value.
+    /// Whether the counter ever saturated. Sticky: survives [`Counter::take`].
+    pub fn overflowed(&self) -> bool {
+        self.overflowed
+    }
+    /// Reset the value to zero, returning the previous value. The sticky
+    /// overflow flag is preserved — a counter that lost events once cannot
+    /// regain exactness by being reset.
     pub fn take(&mut self) -> u64 {
-        std::mem::take(&mut self.0)
+        std::mem::take(&mut self.value)
     }
 }
 
@@ -312,6 +338,25 @@ mod tests {
         assert_eq!(c.get(), 5);
         assert_eq!(c.take(), 5);
         assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn counter_saturates_with_sticky_flag() {
+        let mut c = Counter::new();
+        c.add(u64::MAX - 1);
+        assert!(!c.overflowed());
+        c.add(5); // would exceed u64::MAX
+        assert_eq!(c.get(), u64::MAX);
+        assert!(c.overflowed());
+        // Further additions stay pinned.
+        c.inc();
+        assert_eq!(c.get(), u64::MAX);
+        // The flag survives a reset: the history is tainted.
+        assert_eq!(c.take(), u64::MAX);
+        assert_eq!(c.get(), 0);
+        assert!(c.overflowed());
+        c.inc();
+        assert_eq!(c.get(), 1);
     }
 
     #[test]

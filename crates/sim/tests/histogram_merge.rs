@@ -1,0 +1,120 @@
+//! Histogram merge and quantile contracts.
+//!
+//! The telemetry subsystem rolls per-node histograms up to rack level by
+//! merging, so merging must be exactly equivalent to having recorded the
+//! union of samples into one histogram, and quantiles must stay within the
+//! log-linear bucketing error (32 sub-buckets per octave ⇒ ≤ 1/32 ≈ 3.2%
+//! relative error above the linear range).
+
+use lmp_sim::prelude::*;
+
+/// Deterministic pseudo-random sample stream (no external RNG needed).
+fn samples(seed: u64, n: usize, span: u64) -> Vec<u64> {
+    let mut rng = DetRng::new(seed);
+    (0..n).map(|_| 1 + rng.below(span)).collect()
+}
+
+#[test]
+fn merge_equals_recording_the_union() {
+    let a_samples = samples(1, 5_000, 2_000_000);
+    let b_samples = samples(2, 3_000, 80);
+    let mut a = Histogram::new();
+    let mut b = Histogram::new();
+    let mut union = Histogram::new();
+    for &v in &a_samples {
+        a.record(v);
+        union.record(v);
+    }
+    for &v in &b_samples {
+        b.record(v);
+        union.record(v);
+    }
+    a.merge(&b);
+    assert_eq!(a.count(), union.count());
+    assert_eq!(a.min(), union.min());
+    assert_eq!(a.max(), union.max());
+    assert!((a.mean() - union.mean()).abs() < 1e-9);
+    // Same bucket contents ⇒ identical quantiles at every probe point.
+    for q in [0.0, 0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 0.999, 1.0] {
+        assert_eq!(
+            a.quantile(q),
+            union.quantile(q),
+            "quantile {q} diverged after merge"
+        );
+    }
+}
+
+#[test]
+fn merge_is_commutative_on_summaries() {
+    let xs = samples(3, 2_000, 1_000_000);
+    let ys = samples(4, 2_000, 500);
+    let ab = {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        xs.iter().for_each(|&v| a.record(v));
+        ys.iter().for_each(|&v| b.record(v));
+        a.merge(&b);
+        a
+    };
+    let ba = {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        xs.iter().for_each(|&v| a.record(v));
+        ys.iter().for_each(|&v| b.record(v));
+        b.merge(&a);
+        b
+    };
+    assert_eq!(ab.count(), ba.count());
+    assert_eq!(ab.min(), ba.min());
+    assert_eq!(ab.max(), ba.max());
+    for q in [0.5, 0.95, 0.99] {
+        assert_eq!(ab.quantile(q), ba.quantile(q));
+    }
+}
+
+#[test]
+fn merge_with_empty_is_identity() {
+    let mut h = Histogram::new();
+    for &v in &samples(5, 1_000, 10_000) {
+        h.record(v);
+    }
+    let before = (h.count(), h.min(), h.max(), h.p50(), h.p99());
+    h.merge(&Histogram::new());
+    assert_eq!((h.count(), h.min(), h.max(), h.p50(), h.p99()), before);
+
+    let mut empty = Histogram::new();
+    let mut full = Histogram::new();
+    samples(5, 1_000, 10_000).iter().for_each(|&v| full.record(v));
+    empty.merge(&full);
+    assert_eq!(empty.count(), full.count());
+    assert_eq!(empty.min(), full.min());
+    assert_eq!(empty.p99(), full.p99());
+}
+
+#[test]
+fn merged_quantiles_within_bucket_error_bounds() {
+    // Two disjoint uniform populations recorded on "different nodes", then
+    // merged at "rack level". True quantiles of the union are known in
+    // closed form; the log-linear bucketing allows ≤ 1/32 relative error
+    // (plus interpolation slack — assert 5%).
+    let mut a = Histogram::new();
+    let mut b = Histogram::new();
+    for v in 1..=50_000u64 {
+        a.record(v);
+    }
+    for v in 50_001..=100_000u64 {
+        b.record(v);
+    }
+    a.merge(&b);
+    assert_eq!(a.count(), 100_000);
+    for (q, expect) in [(0.50, 50_000.0), (0.95, 95_000.0), (0.99, 99_000.0)] {
+        let got = a.quantile(q) as f64;
+        let err = (got - expect).abs() / expect;
+        assert!(
+            err < 0.05,
+            "q={q}: got {got}, want {expect} (relative error {err:.4})"
+        );
+    }
+    assert_eq!(a.quantile(1.0), 100_000);
+    assert_eq!(a.min(), 1);
+}

@@ -1,0 +1,38 @@
+//! # lmp-telemetry — rack-wide observability
+//!
+//! The paper's sizing and locality challenges presuppose a live, rack-wide
+//! view of per-node, per-link, and per-app behaviour that a periodic global
+//! optimizer can consume. This crate is that view, in three layers:
+//!
+//! - **[`MetricRegistry`]** — named, labelled instruments (counters, gauges,
+//!   log-linear histograms, reusing `lmp-sim::stats`). Hot paths record
+//!   through `Copy` handles: one array write, no string hashing per event.
+//! - **[`SpanRecorder`]** — structured sim-time spans with parent links, so
+//!   a pool access can be attributed across translate → fabric hop → remote
+//!   DRAM and the per-phase breakdown sums exactly to end-to-end latency.
+//! - **[`TelemetrySnapshot`]** — frozen, mergeable views: per-node registries
+//!   roll up to rack level, serialize to deterministic JSON (same seed ⇒
+//!   byte-identical output), and fold to an FNV-1a digest that pairs with
+//!   the harness's trace digest as a determinism witness.
+//!
+//! The consumer that turns this from dashboards into a control plane — the
+//! `SizingController` that re-derives demands from observed hotness and
+//! re-runs the solver — lives in `lmp-core`, next to the solver it drives.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod registry;
+pub mod snapshot;
+pub mod span;
+
+pub use registry::{CounterId, GaugeId, HistogramId, MetricKey, MetricRegistry};
+pub use snapshot::{CounterValue, TelemetrySnapshot};
+pub use span::{Span, SpanId, SpanRecorder};
+
+/// Convenient single-line import for downstream crates.
+pub mod prelude {
+    pub use crate::registry::{CounterId, GaugeId, HistogramId, MetricKey, MetricRegistry};
+    pub use crate::snapshot::{CounterValue, TelemetrySnapshot};
+    pub use crate::span::{Span, SpanId, SpanRecorder};
+}

@@ -1,0 +1,351 @@
+//! Immutable, mergeable, deterministically serializable telemetry snapshots.
+//!
+//! A [`TelemetrySnapshot`] is a frozen view of one registry. Snapshots from
+//! different nodes merge commutatively — counters saturate-add, gauges sum,
+//! histograms bucket-merge — so per-node registries roll up to a rack-level
+//! view. Serialization is hand-written over `BTreeMap` iteration order, so
+//! the JSON (and therefore the [`digest`](TelemetrySnapshot::digest)) is a
+//! pure function of the recorded values: same seed, same bytes.
+
+use crate::registry::MetricKey;
+use lmp_sim::prelude::*;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A counter's exported state: its value and the sticky overflow flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CounterValue {
+    /// Saturating accumulated value.
+    pub value: u64,
+    /// True if the counter ever saturated (here or before a merge).
+    pub overflowed: bool,
+}
+
+/// Frozen, mergeable view of a [`MetricRegistry`](crate::MetricRegistry).
+#[derive(Debug, Clone, Default)]
+pub struct TelemetrySnapshot {
+    counters: BTreeMap<MetricKey, CounterValue>,
+    gauges: BTreeMap<MetricKey, f64>,
+    histograms: BTreeMap<MetricKey, Histogram>,
+}
+
+impl TelemetrySnapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // ----- construction (used by `MetricRegistry::snapshot`) -----
+
+    /// Insert (or merge into) a counter entry.
+    pub fn insert_counter(&mut self, key: MetricKey, v: CounterValue) {
+        let slot = self.counters.entry(key).or_default();
+        let mut merged = Counter::from_parts(slot.value, slot.overflowed || v.overflowed);
+        merged.add(v.value);
+        *slot = CounterValue {
+            value: merged.get(),
+            overflowed: merged.overflowed(),
+        };
+    }
+
+    /// Insert a gauge entry (summing with any existing entry).
+    pub fn insert_gauge(&mut self, key: MetricKey, v: f64) {
+        *self.gauges.entry(key).or_insert(0.0) += v;
+    }
+
+    /// Insert (or bucket-merge into) a histogram entry.
+    pub fn insert_histogram(&mut self, key: MetricKey, h: Histogram) {
+        match self.histograms.entry(key) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(h);
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                e.get_mut().merge(&h);
+            }
+        }
+    }
+
+    // ----- merge: per-node snapshots roll up to rack level -----
+
+    /// Merge `other` into `self`. Counters saturate-add and OR their
+    /// overflow flags, gauges sum (export per-node gauges with a `node`
+    /// label if a sum is not meaningful), histograms bucket-merge.
+    pub fn merge(&mut self, other: &TelemetrySnapshot) {
+        for (key, &v) in &other.counters {
+            self.insert_counter(key.clone(), v);
+        }
+        for (key, &v) in &other.gauges {
+            self.insert_gauge(key.clone(), v);
+        }
+        for (key, h) in &other.histograms {
+            self.insert_histogram(key.clone(), h.clone());
+        }
+    }
+
+    // ----- accessors -----
+
+    /// Counter value for an exact `name{labels}` key (0 if absent).
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        self.counters
+            .get(&MetricKey::new(name, labels))
+            .map_or(0, |c| c.value)
+    }
+
+    /// Counter value plus overflow flag, if the key exists.
+    pub fn counter_with_flag(&self, name: &str, labels: &[(&str, &str)]) -> Option<(u64, bool)> {
+        self.counters
+            .get(&MetricKey::new(name, labels))
+            .map(|c| (c.value, c.overflowed))
+    }
+
+    /// Sum of a counter across all label sets sharing `name`.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        let mut total = Counter::new();
+        for (key, v) in &self.counters {
+            if key.name == name {
+                total.add(v.value);
+            }
+        }
+        total.get()
+    }
+
+    /// Gauge value for an exact key.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.gauges.get(&MetricKey::new(name, labels)).copied()
+    }
+
+    /// Maximum gauge value across all label sets sharing `name`.
+    pub fn gauge_max(&self, name: &str) -> Option<f64> {
+        self.gauges
+            .iter()
+            .filter(|(key, _)| key.name == name)
+            .map(|(_, &v)| v)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+
+    /// Histogram for an exact key.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Histogram> {
+        self.histograms.get(&MetricKey::new(name, labels))
+    }
+
+    /// Number of instruments across all three kinds.
+    pub fn len(&self) -> usize {
+        self.counters.len() + self.gauges.len() + self.histograms.len()
+    }
+
+    /// True if no instruments were exported.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterate counter entries in deterministic key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&MetricKey, &CounterValue)> {
+        self.counters.iter()
+    }
+
+    /// Iterate gauge entries in deterministic key order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&MetricKey, &f64)> {
+        self.gauges.iter()
+    }
+
+    /// Iterate histogram entries in deterministic key order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&MetricKey, &Histogram)> {
+        self.histograms.iter()
+    }
+
+    // ----- deterministic export -----
+
+    /// Deterministic JSON rendering. Keys appear in `BTreeMap` order;
+    /// histograms serialize as a fixed summary (count/min/max/mean and
+    /// p50/p95/p99) so the output is byte-stable across runs of the same
+    /// seed.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\"counters\":{");
+        for (i, (key, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_key(&mut out, key);
+            if v.overflowed {
+                out.push_str(&format!(
+                    "{{\"value\":{},\"overflowed\":true}}",
+                    v.value
+                ));
+            } else {
+                out.push_str(&v.value.to_string());
+            }
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (key, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_key(&mut out, key);
+            out.push_str(&format_f64(*v));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (key, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_key(&mut out, key);
+            out.push_str(&format!(
+                "{{\"count\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                h.count(),
+                h.min(),
+                h.max(),
+                format_f64(h.mean()),
+                h.p50(),
+                h.p95(),
+                h.p99(),
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// FNV-1a digest over the JSON bytes — a compact determinism witness
+    /// that pairs with the harness's trace digest.
+    pub fn digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        for b in self.to_json().bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        h
+    }
+}
+
+/// `"name{a=1,b=2}":` — the Display form of the key, JSON-escaped, plus the
+/// colon separator.
+fn push_json_key(out: &mut String, key: &MetricKey) {
+    out.push('"');
+    for ch in key.to_string().chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push_str("\":");
+}
+
+/// Deterministic float formatting: integers render without a fraction,
+/// everything else through Rust's shortest-roundtrip `{}`.
+fn format_f64(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+impl fmt::Display for TelemetrySnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<48} {:>16}", "counter", "value")?;
+        for (key, v) in &self.counters {
+            let flag = if v.overflowed { " (overflowed)" } else { "" };
+            writeln!(f, "{:<48} {:>16}{flag}", key.to_string(), v.value)?;
+        }
+        writeln!(f, "{:<48} {:>16}", "gauge", "value")?;
+        for (key, v) in &self.gauges {
+            writeln!(f, "{:<48} {:>16.3}", key.to_string(), v)?;
+        }
+        writeln!(
+            f,
+            "{:<40} {:>9} {:>10} {:>10} {:>10}",
+            "histogram", "count", "p50", "p99", "max"
+        )?;
+        for (key, h) in &self.histograms {
+            writeln!(
+                f,
+                "{:<40} {:>9} {:>10} {:>10} {:>10}",
+                key.to_string(),
+                h.count(),
+                h.p50(),
+                h.p99(),
+                h.max()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricRegistry;
+
+    fn sample_registry(offset: u64) -> MetricRegistry {
+        let mut r = MetricRegistry::new();
+        let c = r.counter("pool.reads", &[("server", "0")]);
+        r.add(c, 10 + offset);
+        let g = r.gauge("link.util", &[("node", "0")]);
+        r.set(g, 0.5);
+        let h = r.histogram("lat", &[]);
+        for v in 1..=100u64 {
+            r.record(h, v * (offset + 1));
+        }
+        r
+    }
+
+    #[test]
+    fn merge_rolls_up_counters_gauges_histograms() {
+        let a = sample_registry(0).snapshot();
+        let b = sample_registry(5).snapshot();
+        let mut rack = a.clone();
+        rack.merge(&b);
+        assert_eq!(rack.counter("pool.reads", &[("server", "0")]), 25);
+        assert_eq!(rack.gauge("link.util", &[("node", "0")]), Some(1.0));
+        assert_eq!(rack.histogram("lat", &[]).unwrap().count(), 200);
+    }
+
+    #[test]
+    fn merge_is_commutative_on_json() {
+        let a = sample_registry(1).snapshot();
+        let b = sample_registry(7).snapshot();
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.to_json(), ba.to_json());
+        assert_eq!(ab.digest(), ba.digest());
+    }
+
+    #[test]
+    fn json_is_deterministic_and_digest_tracks_content() {
+        let a = sample_registry(0).snapshot();
+        let b = sample_registry(0).snapshot();
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.digest(), b.digest());
+        let c = sample_registry(1).snapshot();
+        assert_ne!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn overflowed_counter_survives_merge_and_json() {
+        let mut r = MetricRegistry::new();
+        r.fill_counter("big", &[], Counter::from_parts(u64::MAX, true));
+        let snap = r.snapshot();
+        let mut rack = TelemetrySnapshot::new();
+        rack.merge(&snap);
+        assert_eq!(rack.counter_with_flag("big", &[]), Some((u64::MAX, true)));
+        assert!(rack.to_json().contains("\"overflowed\":true"));
+    }
+
+    #[test]
+    fn totals_and_maxima_aggregate_across_labels() {
+        let mut r = MetricRegistry::new();
+        r.fill_counter_value("hits", &[("server", "0")], 3);
+        r.fill_counter_value("hits", &[("server", "1")], 4);
+        r.set_gauge_value("util", &[("node", "0")], 0.2);
+        r.set_gauge_value("util", &[("node", "1")], 0.9);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter_total("hits"), 7);
+        assert_eq!(snap.gauge_max("util"), Some(0.9));
+    }
+}

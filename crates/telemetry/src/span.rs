@@ -1,0 +1,188 @@
+//! Structured sim-time spans for flamegraph-style latency attribution.
+//!
+//! A pool access decomposes into phases — translate, DRAM service, fabric
+//! hop — and the question "where did the nanoseconds go?" needs more than a
+//! histogram: it needs parent/child structure. A [`SpanRecorder`] collects
+//! closed intervals of sim-time with optional parent links; *self time*
+//! (a span's duration minus its children's) attributes every nanosecond of
+//! a root span to exactly one phase, so the breakdown sums back to the
+//! end-to-end latency.
+
+use lmp_sim::prelude::*;
+use std::collections::BTreeMap;
+
+/// Handle to a recorded span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SpanId(u64);
+
+/// One closed interval of sim-time with an optional parent.
+#[derive(Debug, Clone)]
+pub struct Span {
+    /// This span's id.
+    pub id: SpanId,
+    /// Enclosing span, if any.
+    pub parent: Option<SpanId>,
+    /// Phase name (`access`, `dram`, `fabric`, ...).
+    pub name: &'static str,
+    /// Start of the interval.
+    pub start: SimTime,
+    /// End of the interval (== `start` while still open).
+    pub end: SimTime,
+}
+
+impl Span {
+    /// Duration in nanoseconds (0 while open).
+    pub fn duration_ns(&self) -> u64 {
+        self.end.duration_since(self.start).as_nanos()
+    }
+}
+
+/// Collects spans; answers self-time and root-time queries.
+#[derive(Debug, Default)]
+pub struct SpanRecorder {
+    spans: Vec<Span>,
+}
+
+impl SpanRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Open a span at `start`. Close it with [`span_end`](Self::span_end).
+    pub fn span_start(
+        &mut self,
+        name: &'static str,
+        parent: Option<SpanId>,
+        start: SimTime,
+    ) -> SpanId {
+        let id = SpanId(self.spans.len() as u64);
+        self.spans.push(Span {
+            id,
+            parent,
+            name,
+            start,
+            end: start,
+        });
+        id
+    }
+
+    /// Close a span at `end`.
+    pub fn span_end(&mut self, id: SpanId, end: SimTime) {
+        let span = &mut self.spans[id.0 as usize];
+        debug_assert!(end >= span.start, "span {id:?} ends before it starts");
+        span.end = end;
+    }
+
+    /// Record an already-closed interval in one call.
+    pub fn record_closed(
+        &mut self,
+        name: &'static str,
+        parent: Option<SpanId>,
+        start: SimTime,
+        end: SimTime,
+    ) -> SpanId {
+        let id = self.span_start(name, parent, start);
+        self.span_end(id, end);
+        id
+    }
+
+    /// Number of recorded spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// All recorded spans, in recording order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Drop all recorded spans (registries persist; spans are per-window).
+    pub fn clear(&mut self) {
+        self.spans.clear();
+    }
+
+    /// Self time per phase name: each span's duration minus the summed
+    /// durations of its direct children (clamped at zero if children
+    /// overlap), keyed by name. Because children partition their parent,
+    /// the values sum to [`total_root_ns`](Self::total_root_ns).
+    pub fn self_time_by_name(&self) -> BTreeMap<&'static str, u64> {
+        let mut child_ns = vec![0u64; self.spans.len()];
+        for span in &self.spans {
+            if let Some(parent) = span.parent {
+                child_ns[parent.0 as usize] =
+                    child_ns[parent.0 as usize].saturating_add(span.duration_ns());
+            }
+        }
+        let mut by_name: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for span in &self.spans {
+            let own = span.duration_ns().saturating_sub(child_ns[span.id.0 as usize]);
+            *by_name.entry(span.name).or_insert(0) += own;
+        }
+        by_name
+    }
+
+    /// Total duration of all root (parentless) spans, in nanoseconds.
+    pub fn total_root_ns(&self) -> u64 {
+        self.spans
+            .iter()
+            .filter(|s| s.parent.is_none())
+            .map(|s| s.duration_ns())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_nanos(ns)
+    }
+
+    #[test]
+    fn self_time_partitions_the_root() {
+        let mut rec = SpanRecorder::new();
+        // access [0, 100) = dram [0, 30) + fabric [30, 100)
+        let root = rec.span_start("access", None, t(0));
+        rec.record_closed("dram", Some(root), t(0), t(30));
+        rec.record_closed("fabric", Some(root), t(30), t(100));
+        rec.span_end(root, t(100));
+
+        let own = rec.self_time_by_name();
+        assert_eq!(own.get("dram"), Some(&30));
+        assert_eq!(own.get("fabric"), Some(&70));
+        assert_eq!(own.get("access"), Some(&0), "fully covered by children");
+        let total: u64 = own.values().sum();
+        assert_eq!(total, rec.total_root_ns());
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn uncovered_parent_time_is_parent_self_time() {
+        let mut rec = SpanRecorder::new();
+        let root = rec.record_closed("access", None, t(0), t(50));
+        rec.record_closed("dram", Some(root), t(0), t(20));
+        let own = rec.self_time_by_name();
+        assert_eq!(own.get("access"), Some(&30));
+        assert_eq!(own.get("dram"), Some(&20));
+        assert_eq!(own.values().sum::<u64>(), rec.total_root_ns());
+    }
+
+    #[test]
+    fn multiple_roots_accumulate() {
+        let mut rec = SpanRecorder::new();
+        rec.record_closed("access", None, t(0), t(10));
+        rec.record_closed("access", None, t(10), t(25));
+        assert_eq!(rec.total_root_ns(), 25);
+        assert_eq!(rec.self_time_by_name().get("access"), Some(&25));
+        assert_eq!(rec.len(), 2);
+        rec.clear();
+        assert!(rec.is_empty());
+    }
+}

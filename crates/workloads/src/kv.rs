@@ -29,6 +29,8 @@ pub struct KvConfig {
     pub zipf_exponent: f64,
     /// Fraction of operations that are writes.
     pub write_fraction: f64,
+    /// Where slot segments are placed at creation time.
+    pub placement: Placement,
 }
 
 impl Default for KvConfig {
@@ -38,6 +40,7 @@ impl Default for KvConfig {
             slots_per_segment: 256,
             zipf_exponent: 1.0,
             write_fraction: 0.1,
+            placement: Placement::RoundRobin,
         }
     }
 }
@@ -55,8 +58,8 @@ pub struct KvStore {
 }
 
 impl KvStore {
-    /// Create the store, spreading slot segments round-robin across
-    /// servers.
+    /// Create the store, placing slot segments per `config.placement`
+    /// (round-robin across servers by default).
     pub fn create(pool: &mut LogicalPool, config: KvConfig) -> Result<Self, PoolError> {
         assert!(config.slots > 0 && config.slots_per_segment > 0);
         let nsegs = config.slots.div_ceil(config.slots_per_segment);
@@ -64,7 +67,7 @@ impl KvStore {
         for _ in 0..nsegs {
             segments.push(pool.alloc(
                 config.slots_per_segment * SLOT_BYTES,
-                Placement::RoundRobin,
+                config.placement,
             )?);
         }
         Ok(KvStore {
@@ -150,6 +153,14 @@ impl KvStore {
     /// The segment that backs `key` (for tests and balancing checks).
     pub fn segment_of(&self, key: u64) -> SegmentId {
         self.addr_of(key).segment
+    }
+
+    /// Export store counters into a telemetry registry.
+    pub fn export_into(&self, reg: &mut lmp_telemetry::MetricRegistry) {
+        reg.fill_counter("kv.gets", &[], self.gets);
+        reg.fill_counter("kv.puts", &[], self.puts);
+        reg.fill_counter("kv.ops.local", &[], self.local_ops);
+        reg.fill_counter("kv.ops.remote", &[], self.remote_ops);
     }
 }
 
@@ -290,6 +301,7 @@ mod tests {
             slots_per_segment: 64,
             zipf_exponent: 1.2,
             write_fraction: 0.0,
+            ..KvConfig::default()
         };
         let mut kv = KvStore::create(&mut p, cfg.clone()).unwrap();
         let mut w = KvWorkload::new(&cfg, DetRng::new(3));

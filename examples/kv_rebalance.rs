@@ -25,6 +25,7 @@ fn main() {
         slots_per_segment: 512,
         zipf_exponent: 1.1,
         write_fraction: 0.1,
+        ..KvConfig::default()
     };
     let mut store = KvStore::create(&mut pool, cfg.clone()).expect("store fits");
     let mut workload = KvWorkload::new(&cfg, DetRng::new(2024));

@@ -19,6 +19,7 @@
 //! | [`compute`] | `lmp-compute` | scans, data placement, compute shipping |
 //! | [`cluster`] | `lmp-cluster` | the three §4.1 deployments behind one interface |
 //! | [`workloads`] | `lmp-workloads` | vector aggregation, zipfian KV, BFS, traces |
+//! | [`telemetry`] | `lmp-telemetry` | metric registry, sim-time spans, deterministic snapshots |
 //!
 //! ## Quickstart
 //!
@@ -48,4 +49,5 @@ pub use lmp_fabric as fabric;
 pub use lmp_mem as mem;
 pub use lmp_physical as physical;
 pub use lmp_sim as sim;
+pub use lmp_telemetry as telemetry;
 pub use lmp_workloads as workloads;
