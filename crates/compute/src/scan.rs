@@ -8,7 +8,7 @@
 //! and fabric models rather than being computed in closed form.
 
 use lmp_core::prelude::*;
-use lmp_fabric::{Fabric, MemOp, NodeId};
+use lmp_fabric::{Fabric, NodeId};
 use lmp_sim::prelude::*;
 
 /// Default chunk size a core keeps in flight. 2 MiB ≈ one frame: large
@@ -81,6 +81,9 @@ impl ScanOutcome {
 /// Scan `len` bytes of `seg` starting at `offset`, from `server`, with
 /// `params.cores` parallel paced streams of `params.chunk`-byte accesses.
 ///
+/// A single-stripe special case of [`scan_ranges`], sharing its wave-batched
+/// issue loop.
+///
 /// # Panics
 /// Panics for zero cores or a zero chunk size.
 #[allow(clippy::too_many_arguments)]
@@ -94,58 +97,21 @@ pub fn scan_segment(
     len: u64,
     params: ScanParams,
 ) -> Result<ScanOutcome, PoolError> {
-    let ScanParams { cores, chunk, per_core } = params;
-    assert!(cores > 0, "scan needs cores");
-    assert!(chunk > 0, "scan needs a chunk size");
-    let mut outcome = ScanOutcome {
-        complete: start,
-        local_bytes: 0,
-        remote_bytes: 0,
-    };
-    // Slice the range across cores as evenly as possible.
-    let per_core_len = len / cores as u64;
-    let remainder = len % cores as u64;
-    let mut cursor = offset;
-    // Per-core state: (next issue time, position, bytes left). Issues must
-    // be admitted in global timestamp order — the link/DRAM busy trackers
-    // model FIFO resources — so cores merge through a min-heap rather than
-    // each running to completion.
-    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(SimTime, u64, u64, u64)>> =
-        std::collections::BinaryHeap::new();
-    for c in 0..cores as u64 {
-        let slice = per_core_len + if c < remainder { 1 } else { 0 };
-        if slice > 0 {
-            heap.push(std::cmp::Reverse((start, c, cursor, slice)));
-        }
-        cursor += slice;
-    }
-    while let Some(std::cmp::Reverse((now, c, pos, left))) = heap.pop() {
-        let this = left.min(chunk);
-        let a = pool.access(
-            fabric,
-            now,
-            server,
-            LogicalAddr::new(seg, pos),
-            this,
-            MemOp::Read,
-        )?;
-        outcome.local_bytes += a.local_bytes;
-        outcome.remote_bytes += a.remote_bytes;
-        outcome.complete = outcome.complete.max(a.complete);
-        if left > this {
-            // Closed loop with pacing: the core issues its next chunk once
-            // the data lands *and* it has finished consuming this chunk.
-            let next = a.complete.max(now + per_core.time_to_transfer(this));
-            heap.push(std::cmp::Reverse((next, c, pos + this, left - this)));
-        }
-    }
-    Ok(outcome)
+    scan_ranges(pool, fabric, start, server, &[(seg, offset, len)], params)
 }
 
 /// Scan a list of `(segment, offset, len)` ranges as one logical byte
 /// stream — the shape of a vector striped across servers. Cores divide the
 /// **concatenated** byte range evenly, so a core's slice may span stripes,
 /// exactly like the paper's "each core sums part of the vector".
+///
+/// Cores that become ready at the same instant issue their chunks as one
+/// scatter-gather batch ([`LogicalPool::access_batch`]): the opening wave —
+/// every core's first chunk — rides one pipelined fabric stream per holder
+/// instead of `cores` serialized transfers, and later waves re-form
+/// whenever completions align. Pacing is per core: a core issues its next
+/// chunk once its previous data has landed *and* it has finished
+/// stream-summing it (closed loop).
 pub fn scan_ranges(
     pool: &mut LogicalPool,
     fabric: &mut Fabric,
@@ -166,12 +132,12 @@ pub fn scan_ranges(
     if total == 0 {
         return Ok(outcome);
     }
-    // Map a global byte position to (segment, offset).
-    let locate = |pos: u64| -> (SegmentId, u64) {
+    // Map a global byte position to (segment, offset, bytes left in stripe).
+    let locate = |pos: u64| -> (SegmentId, u64, u64) {
         let mut acc = 0;
         for (seg, off, len) in ranges {
             if pos < acc + len {
-                return (*seg, off + (pos - acc));
+                return (*seg, off + (pos - acc), acc + len - pos);
             }
             acc += len;
         }
@@ -179,6 +145,10 @@ pub fn scan_ranges(
     };
     let per_core_len = total / cores as u64;
     let remainder = total % cores as u64;
+    // Per-core state: (next issue time, core, position, bytes left). Issues
+    // must be admitted in global timestamp order — the link/DRAM busy
+    // trackers model FIFO resources — so cores merge through a min-heap
+    // rather than each running to completion.
     let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(SimTime, u64, u64, u64)>> =
         std::collections::BinaryHeap::new();
     let mut cursor = 0u64;
@@ -190,36 +160,38 @@ pub fn scan_ranges(
         cursor += slice;
     }
     while let Some(std::cmp::Reverse((now, c, pos, left))) = heap.pop() {
-        let (seg, seg_off) = locate(pos);
-        // Clamp the chunk to this stripe's end.
-        let stripe_left = {
-            let mut acc = 0;
-            let mut rest = 0;
-            for (s, o, l) in ranges {
-                if *s == seg && seg_off >= *o && seg_off < o + l {
-                    rest = o + l - seg_off;
-                    break;
-                }
-                acc += l;
+        // Gather the wave: every core ready at exactly `now` scans together.
+        let mut wave = vec![(c, pos, left)];
+        while let Some(std::cmp::Reverse((t, ..))) = heap.peek() {
+            if *t != now {
+                break;
             }
-            let _ = acc;
-            rest
-        };
-        let this = left.min(chunk).min(stripe_left);
-        let a = pool.access(
-            fabric,
-            now,
-            server,
-            LogicalAddr::new(seg, seg_off),
-            this,
-            MemOp::Read,
-        )?;
-        outcome.local_bytes += a.local_bytes;
-        outcome.remote_bytes += a.remote_bytes;
-        outcome.complete = outcome.complete.max(a.complete);
-        if left > this {
-            let next = a.complete.max(now + per_core.time_to_transfer(this));
-            heap.push(std::cmp::Reverse((next, c, pos + this, left - this)));
+            let std::cmp::Reverse((_, c2, pos2, left2)) = heap.pop().unwrap();
+            wave.push((c2, pos2, left2));
+        }
+        let mut ops = Vec::with_capacity(wave.len());
+        let mut sizes = Vec::with_capacity(wave.len());
+        for &(_, pos, left) in &wave {
+            let (seg, seg_off, stripe_left) = locate(pos);
+            let this = left.min(chunk).min(stripe_left);
+            ops.push(BatchOp::read(LogicalAddr::new(seg, seg_off), this));
+            sizes.push(this);
+        }
+        let batch = pool.access_batch(fabric, now, server, &ops)?;
+        outcome.local_bytes += batch.local_bytes;
+        outcome.remote_bytes += batch.remote_bytes;
+        outcome.complete = outcome.complete.max(batch.complete);
+        for (i, &(c, pos, left)) in wave.iter().enumerate() {
+            let this = sizes[i];
+            if left > this {
+                // Closed loop with pacing: the core issues its next chunk
+                // once the data lands *and* it has finished consuming this
+                // chunk.
+                let next = batch.ops[i]
+                    .complete
+                    .max(now + per_core.time_to_transfer(this));
+                heap.push(std::cmp::Reverse((next, c, pos + this, left - this)));
+            }
         }
     }
     Ok(outcome)

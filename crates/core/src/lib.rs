@@ -8,6 +8,8 @@
 //! * [`addr`] / [`translate`] — `(segment, offset)` logical addresses and
 //!   the two-level translation scheme (coarse replicated map → server,
 //!   fine local map → frame) with per-server translation caches.
+//! * [`batch`] — scatter-gather batches: one translation per distinct
+//!   segment, per-holder coalescing, and pipelined fabric streams.
 //! * [`migrate`] — pointer-safe buffer migration via epoch-bumped
 //!   translations.
 //! * [`balance`] — the locality-balancing daemon driven by access-bit
@@ -47,6 +49,7 @@
 
 pub mod addr;
 pub mod balance;
+pub mod batch;
 pub mod controller;
 pub mod failure;
 pub mod heal;
@@ -63,6 +66,7 @@ pub mod translate;
 pub mod prelude {
     pub use crate::addr::{frame_chunks, LogicalAddr, SegmentId};
     pub use crate::balance::{BalanceRound, BalancerConfig, LocalityBalancer, MigrationPlan};
+    pub use crate::batch::{BatchOp, BatchResult};
     pub use crate::failure::{
         DegradedRead, DegradedSource, GroupId, ProtectionManager, RecoveryReport,
         WriteAmplification,

@@ -197,6 +197,35 @@ mod tests {
     }
 
     #[test]
+    fn round_trip_migration_still_faults_stale_entries() {
+        // Regression: the TLB fast path used to verify only that the cached
+        // server still *holds* the segment. After an A→B→A round trip that
+        // is true again, so an entry cached before the trip (epoch 0)
+        // validated silently even though the segment is now at epoch 2 —
+        // the fault went uncounted and the balancer's cost model undercounted
+        // migration churn. The fast path now compares epochs too.
+        let (mut p, mut f) = setup();
+        let seg = p.alloc(FRAME_BYTES, Placement::On(NodeId(0))).unwrap();
+        let addr = LogicalAddr::new(seg, 0);
+        // Server 1 caches (server 0, epoch 0).
+        p.access(&mut f, SimTime::ZERO, NodeId(1), addr, 64, MemOp::Read)
+            .unwrap();
+        migrate_segment(&mut p, &mut f, SimTime::ZERO, seg, NodeId(2)).unwrap();
+        migrate_segment(&mut p, &mut f, SimTime::ZERO, seg, NodeId(0)).unwrap();
+        assert_eq!(p.holder_of(seg), Some(NodeId(0)), "back home at epoch 2");
+        let a = p
+            .access(&mut f, SimTime::ZERO, NodeId(1), addr, 64, MemOp::Read)
+            .unwrap();
+        assert_eq!(a.faults, 1, "epoch mismatch must fault, not validate");
+        assert_eq!(p.tlb(NodeId(1)).unwrap().stale_count(), 1);
+        // The refill healed the entry: the next access is fault-free.
+        let b = p
+            .access(&mut f, SimTime::ZERO, NodeId(1), addr, 64, MemOp::Read)
+            .unwrap();
+        assert_eq!(b.faults, 0);
+    }
+
+    #[test]
     fn migration_making_access_local() {
         let (mut p, mut f) = setup();
         let seg = p.alloc(FRAME_BYTES, Placement::On(NodeId(0))).unwrap();

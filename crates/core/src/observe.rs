@@ -85,45 +85,57 @@ impl PoolTelemetry {
         }
     }
 
-    /// Record one completed pool access. `dram_done` is the instant the
-    /// last DRAM chunk finished; the tail up to `access.complete` is
-    /// attributed to the fabric (remote accesses only — for local accesses
-    /// the two coincide).
-    pub(crate) fn on_access(
+    /// Record one completed batch of pool accesses (a single op is a batch
+    /// of one). `dram_done` is the instant the last DRAM run finished; the
+    /// tail up to `complete` is attributed to the fabric (present only when
+    /// the batch moved remote bytes — for all-local batches the two
+    /// coincide). Per-op counters are bumped exactly as a one-by-one issue
+    /// order would, but the span tree gets **one** root — `access` for a
+    /// single op, `batch` for more — whose children partition the batch's
+    /// end-to-end `[now, complete]` window.
+    pub(crate) fn on_batch(
         &mut self,
         now: SimTime,
         requester: NodeId,
-        op: MemOp,
+        ops: &[(MemOp, PoolAccess)],
         dram_done: SimTime,
-        access: &PoolAccess,
+        complete: SimTime,
     ) {
-        match op {
-            MemOp::Read => self.registry.inc(self.ops_read),
-            MemOp::Write => self.registry.inc(self.ops_write),
+        let mut remote_bytes = 0;
+        for (op, access) in ops {
+            match op {
+                MemOp::Read => self.registry.inc(self.ops_read),
+                MemOp::Write => self.registry.inc(self.ops_write),
+            }
+            let remote = access.remote_bytes > 0;
+            if remote {
+                self.registry.inc(self.acc_remote);
+                self.registry.inc(self.per_server_remote[requester.0 as usize]);
+            } else {
+                self.registry.inc(self.acc_local);
+                self.registry.inc(self.per_server_local[requester.0 as usize]);
+            }
+            self.registry.add(self.bytes_local, access.local_bytes);
+            self.registry.add(self.bytes_remote, access.remote_bytes);
+            self.registry.add(self.faults, access.faults as u64);
+            remote_bytes += access.remote_bytes;
         }
-        let remote = access.remote_bytes > 0;
-        if remote {
-            self.registry.inc(self.acc_remote);
-            self.registry.inc(self.per_server_remote[requester.0 as usize]);
-        } else {
-            self.registry.inc(self.acc_local);
-            self.registry.inc(self.per_server_local[requester.0 as usize]);
-        }
-        self.registry.add(self.bytes_local, access.local_bytes);
-        self.registry.add(self.bytes_remote, access.remote_bytes);
-        self.registry.add(self.faults, access.faults as u64);
-        let total = access.complete.duration_since(now);
+        // One latency sample per batch: the span roots below cover
+        // [now, complete] once, and `latency_breakdown` promises its
+        // self-times sum back to `latency_total_ns` exactly.
+        let total = complete.duration_since(now);
         self.registry.add(self.latency_ns, total.as_nanos());
         self.registry.record_duration(self.access_latency, total);
 
         // Span tree: the children partition [now, complete] exactly.
-        let root = self.spans.span_start("access", None, now);
+        let name = if ops.len() == 1 { "access" } else { "batch" };
+        let root = self.spans.span_start(name, None, now);
         self.spans.record_closed("dram", Some(root), now, dram_done);
-        if remote {
+        if remote_bytes > 0 {
             self.spans
-                .record_closed("fabric", Some(root), dram_done, access.complete);
+                .record_closed("fabric", Some(root), dram_done, complete);
         }
-        self.spans.span_end(root, access.complete);
+        self.spans.span_end(root, complete);
     }
 
     /// Record one executed migration.

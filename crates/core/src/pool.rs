@@ -8,6 +8,7 @@
 //! private/shared split of every server can be resized at runtime (§4.5).
 
 use crate::addr::{frame_chunks, LogicalAddr, SegmentId};
+use crate::batch::{BatchOp, BatchResult};
 use crate::observe::PoolTelemetry;
 use crate::translate::{GlobalMap, LocalMap, SegmentLoc, TranslationCache};
 use lmp_fabric::{Fabric, FabricError, MemOp, NodeId};
@@ -344,8 +345,15 @@ impl LogicalPool {
         let tlb = &mut self.tlbs[requester.0 as usize];
         if let Some(tlb) = tlb {
             if let Some(loc) = tlb.lookup(seg) {
-                // Fast path: verify against the holder's fine map.
-                if self.locals[loc.server.0 as usize].holds(seg) {
+                // Fast path: the cached entry must still match the coarse
+                // map — same holder *and* same epoch (an uncounted peek,
+                // modelling the local check hardware does for free). The
+                // epoch comparison catches A→B→A round trips, where the
+                // original holder's fine map holds the segment again and
+                // would otherwise validate a stale-epoch entry as fresh.
+                if self.global.peek(seg) == Some(loc)
+                    && self.locals[loc.server.0 as usize].holds(seg)
+                {
                     return Ok((loc, 0));
                 }
                 tlb.note_stale(seg);
@@ -377,14 +385,16 @@ impl LogicalPool {
             .get(&addr.segment)
             .copied()
             .ok_or(PoolError::UnknownSegment(addr.segment))?;
-        if addr.offset + len > seg_len {
-            return Err(PoolError::OutOfBounds {
+        // `offset + len` can wrap on a hostile `len`, which would slip a
+        // huge access past the check — saturate the reported end instead.
+        match addr.offset.checked_add(len) {
+            Some(end) if end <= seg_len => Ok(()),
+            overflowed_or_past_end => Err(PoolError::OutOfBounds {
                 segment: addr.segment,
-                end: addr.offset + len,
+                end: overflowed_or_past_end.unwrap_or(u64::MAX),
                 len: seg_len,
-            });
+            }),
         }
-        Ok(())
     }
 
     /// Timed access: `requester` reads or writes `len` bytes at `addr`.
@@ -393,6 +403,10 @@ impl LogicalPool {
     /// pays the fabric plus the holder's DRAM. Multi-frame accesses issue
     /// all chunks at `now` (hardware pipelines independent cache-line
     /// streams) and complete when the last chunk does.
+    ///
+    /// A single op is a batch of one: this delegates to
+    /// [`LogicalPool::access_batch`], so both paths share one frame walk,
+    /// one validation order, and one commit discipline.
     pub fn access(
         &mut self,
         fabric: &mut Fabric,
@@ -402,63 +416,240 @@ impl LogicalPool {
         len: u64,
         op: MemOp,
     ) -> Result<PoolAccess, PoolError> {
-        self.check_bounds(addr, len)?;
+        let batch = [BatchOp { addr, len, op }];
+        let mut r = self.access_batch(fabric, now, requester, &batch)?;
+        Ok(r.ops.pop().expect("one op in, one op out"))
+    }
+
+    /// Batched scatter-gather access: `requester` issues every op in `ops`
+    /// at `now`, as one pipelined wave.
+    ///
+    /// * Each distinct segment is translated **once** (one TLB or global
+    ///   lookup), with any stale-entry fault attributed to the first op
+    ///   that touches the segment — exactly the faults a one-by-one issue
+    ///   order would take.
+    /// * Adjacent frame chunks on the same holder and direction coalesce
+    ///   into single DRAM runs and single fabric transfers, up to one
+    ///   frame ([`FRAME_BYTES`]) per run so long payloads still pipeline
+    ///   across the two-wire fabric path.
+    /// * Each (holder, direction) pair carries one pipelined fabric stream
+    ///   charged per-stream overheads once; the batch completes at the max
+    ///   over streams, not the sum of serialized ops.
+    ///
+    /// Failure semantics are atomic: every op is validated (bounds, liveness
+    /// of requester and holders, fabric ports) before anything commits, so
+    /// an error means no counter, DRAM occupancy, or fabric traffic was
+    /// charged. Translation-cache refills from the validation phase do
+    /// persist, as they would for a failed single op.
+    pub fn access_batch(
+        &mut self,
+        fabric: &mut Fabric,
+        now: SimTime,
+        requester: NodeId,
+        ops: &[BatchOp],
+    ) -> Result<BatchResult, PoolError> {
+        if ops.is_empty() {
+            return Ok(BatchResult {
+                complete: now,
+                ops: Vec::new(),
+                local_bytes: 0,
+                remote_bytes: 0,
+                faults: 0,
+            });
+        }
+        // ---- validate: nothing is charged until every op clears ----
+        for o in ops {
+            self.check_bounds(o.addr, o.len)?;
+        }
         if self.nodes[requester.0 as usize].is_failed() {
             return Err(PoolError::ServerDown(requester));
         }
-        let (loc, faults) = self.translate(requester, addr.segment)?;
-        let holder = loc.server;
-        if self.nodes[holder.0 as usize].is_failed() {
-            return Err(PoolError::SegmentLost(addr.segment));
-        }
-        let mut complete = now;
-        let mut dram_done = now;
-        let mut local_bytes = 0;
-        let mut remote_bytes = 0;
-        for (frame_idx, _, chunk) in frame_chunks(addr, len) {
-            let frame = self.locals[holder.0 as usize]
-                .resolve(addr.segment, frame_idx)
-                .expect("fine map covers live segment");
-            if holder == requester {
-                self.local_accesses.inc();
-                local_bytes += chunk;
-                let c = self.nodes[holder.0 as usize].access(
-                    now,
-                    chunk,
-                    requester.0,
-                    true,
-                    Some(frame),
-                );
-                dram_done = dram_done.max(c.complete);
-                complete = complete.max(c.complete);
-            } else {
-                self.remote_accesses.inc();
-                remote_bytes += chunk;
-                let d =
-                    self.nodes[holder.0 as usize].access(now, chunk, requester.0, false, Some(frame));
-                // The fabric's port state can lag the pool's crash state by
-                // a simulated detection delay under fault injection, so take
-                // the fallible path and surface a recoverable error.
-                let f = match op {
-                    MemOp::Read => fabric.try_read(now, requester, holder, chunk),
-                    MemOp::Write => fabric.try_write(now, requester, holder, chunk),
+        let mut locs: HashMap<SegmentId, SegmentLoc> = HashMap::new();
+        let mut op_faults = vec![0u32; ops.len()];
+        for (i, o) in ops.iter().enumerate() {
+            if locs.contains_key(&o.addr.segment) {
+                continue;
+            }
+            let (loc, faults) = self.translate(requester, o.addr.segment)?;
+            if self.nodes[loc.server.0 as usize].is_failed() {
+                return Err(PoolError::SegmentLost(o.addr.segment));
+            }
+            // The fabric's port state can lag the pool's crash state by a
+            // simulated detection delay under fault injection. Checking
+            // ports up front keeps the commit below infallible, so a failed
+            // access never leaves partially-bumped counters behind.
+            if loc.server != requester {
+                if fabric.is_port_down(requester) {
+                    return Err(PoolError::ServerDown(requester));
                 }
-                .map_err(|e| match e {
-                    FabricError::RequesterDown(n) => PoolError::ServerDown(n),
-                    FabricError::HolderDown(_) => PoolError::SegmentLost(addr.segment),
-                })?;
-                dram_done = dram_done.max(d.complete);
-                complete = complete.max(d.complete).max(f.complete);
+                if fabric.is_port_down(loc.server) {
+                    return Err(PoolError::SegmentLost(o.addr.segment));
+                }
+            }
+            locs.insert(o.addr.segment, loc);
+            op_faults[i] = faults;
+        }
+
+        // ---- plan: shared frame walk, then (holder, direction) streams ----
+        struct Chunk {
+            op: usize,
+            seg: SegmentId,
+            /// Byte offset within the segment (for adjacency detection).
+            start: u64,
+            bytes: u64,
+            frame: lmp_mem::FrameId,
+        }
+        let mut chunks: Vec<Chunk> = Vec::new();
+        let mut streams: std::collections::BTreeMap<(u32, bool), Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for (i, o) in ops.iter().enumerate() {
+            let holder = locs[&o.addr.segment].server;
+            for (frame_idx, within, chunk) in frame_chunks(o.addr, o.len) {
+                let frame = self.locals[holder.0 as usize]
+                    .resolve(o.addr.segment, frame_idx)
+                    .expect("fine map covers live segment");
+                streams
+                    .entry((holder.0, matches!(o.op, MemOp::Write)))
+                    .or_default()
+                    .push(chunks.len());
+                chunks.push(Chunk {
+                    op: i,
+                    seg: o.addr.segment,
+                    start: frame_idx * FRAME_BYTES + within,
+                    bytes: chunk,
+                    frame,
+                });
             }
         }
-        let result = PoolAccess {
-            complete,
-            local_bytes,
-            remote_bytes,
-            faults,
+
+        // ---- commit: per-stream runs, DRAM, then the fabric stream ----
+        let mut per_op = vec![
+            PoolAccess {
+                complete: now,
+                local_bytes: 0,
+                remote_bytes: 0,
+                faults: 0,
+            };
+            ops.len()
+        ];
+        let mut dram_done = now;
+        for ((holder_idx, is_write), mut members) in streams {
+            let holder = NodeId(holder_idx);
+            let local = holder == requester;
+            // Coalesce byte-contiguous chunks (ordered by segment position)
+            // into runs of at most one frame, so a run is a realistic DRAM
+            // burst and fabric streams keep chunk-level wire pipelining.
+            members.sort_by_key(|&ci| (chunks[ci].seg, chunks[ci].start, chunks[ci].op));
+            struct Run {
+                seg: SegmentId,
+                end: u64,
+                bytes: u64,
+                frames: Vec<lmp_mem::FrameId>,
+                members: Vec<usize>,
+            }
+            let mut runs: Vec<Run> = Vec::new();
+            for &ci in &members {
+                let c = &chunks[ci];
+                match runs.last_mut() {
+                    Some(r)
+                        if r.seg == c.seg
+                            && r.end == c.start
+                            && r.bytes + c.bytes <= FRAME_BYTES =>
+                    {
+                        r.end += c.bytes;
+                        r.bytes += c.bytes;
+                        r.frames.push(c.frame);
+                        r.members.push(ci);
+                    }
+                    _ => runs.push(Run {
+                        seg: c.seg,
+                        end: c.start + c.bytes,
+                        bytes: c.bytes,
+                        frames: vec![c.frame],
+                        members: vec![ci],
+                    }),
+                }
+            }
+
+            // One DRAM occupancy per run, all issued at `now` (independent
+            // cache-line streams pipeline in hardware); each pre-coalescing
+            // chunk still contributes its hotness sample and pool counter,
+            // so accounting matches a one-by-one issue order exactly.
+            let mut run_dram: Vec<SimTime> = Vec::with_capacity(runs.len());
+            for r in &runs {
+                let d = self.nodes[holder_idx as usize].access_run(
+                    now,
+                    r.bytes,
+                    requester.0,
+                    local,
+                    &r.frames,
+                );
+                run_dram.push(d.complete);
+            }
+            for _ in &members {
+                if local {
+                    self.local_accesses.inc();
+                } else {
+                    self.remote_accesses.inc();
+                }
+            }
+            let mut run_complete = run_dram.clone();
+            if !local {
+                let sizes: Vec<u64> = runs.iter().map(|r| r.bytes).collect();
+                let mut stream_ops: Vec<usize> =
+                    members.iter().map(|&ci| chunks[ci].op).collect();
+                stream_ops.sort_unstable();
+                stream_ops.dedup();
+                let op = if is_write { MemOp::Write } else { MemOp::Read };
+                // Unreachable after the port pre-flight (port state cannot
+                // change mid-call); kept as defence in depth.
+                let bt = fabric
+                    .transfer_batch(now, requester, holder, op, &sizes, stream_ops.len() as u64)
+                    .map_err(|e| match e {
+                        FabricError::RequesterDown(n) => PoolError::ServerDown(n),
+                        FabricError::HolderDown(_) => PoolError::SegmentLost(runs[0].seg),
+                    })?;
+                for (ri, &done) in bt.chunk_done.iter().enumerate() {
+                    run_complete[ri] = run_complete[ri].max(done);
+                }
+            }
+            for (ri, r) in runs.iter().enumerate() {
+                dram_done = dram_done.max(run_dram[ri]);
+                for &ci in &r.members {
+                    let c = &chunks[ci];
+                    let a = &mut per_op[c.op];
+                    a.complete = a.complete.max(run_complete[ri]);
+                    if local {
+                        a.local_bytes += c.bytes;
+                    } else {
+                        a.remote_bytes += c.bytes;
+                    }
+                }
+            }
+        }
+
+        let mut result = BatchResult {
+            complete: now,
+            ops: Vec::with_capacity(ops.len()),
+            local_bytes: 0,
+            remote_bytes: 0,
+            faults: 0,
         };
+        for (i, mut a) in per_op.into_iter().enumerate() {
+            a.faults = op_faults[i];
+            result.complete = result.complete.max(a.complete);
+            result.local_bytes += a.local_bytes;
+            result.remote_bytes += a.remote_bytes;
+            result.faults += a.faults;
+            result.ops.push(a);
+        }
         if let Some(t) = self.telemetry.as_deref_mut() {
-            t.on_access(now, requester, op, dram_done, &result);
+            let pairs: Vec<(MemOp, PoolAccess)> = ops
+                .iter()
+                .zip(&result.ops)
+                .map(|(o, a)| (o.op, *a))
+                .collect();
+            t.on_batch(now, requester, &pairs, dram_done, result.complete);
         }
         Ok(result)
     }
@@ -882,5 +1073,165 @@ mod tests {
         assert_eq!(tlb.hit_count(), 9);
         // Global map consulted exactly once by this requester.
         assert_eq!(p.global_map().lookup_count(), 1);
+    }
+
+    #[test]
+    fn huge_len_overflow_is_out_of_bounds() {
+        // Regression: `offset + len` used to wrap, letting a hostile `len`
+        // slip a near-2^64-byte access past the bounds check.
+        let (mut p, mut f) = small_pool();
+        let seg = p.alloc(FRAME_BYTES, Placement::On(NodeId(0))).unwrap();
+        let r = p.access(
+            &mut f,
+            SimTime::ZERO,
+            NodeId(0),
+            LogicalAddr::new(seg, 1),
+            u64::MAX,
+            MemOp::Read,
+        );
+        assert!(
+            matches!(r, Err(PoolError::OutOfBounds { .. })),
+            "wrapping length must be rejected, got {r:?}"
+        );
+        assert_eq!(p.access_counts(), (0, 0), "nothing may be charged");
+    }
+
+    #[test]
+    fn failed_multi_frame_access_charges_nothing() {
+        // Regression: counters and DRAM accounting used to be bumped chunk
+        // by chunk *before* the fabric could refuse a later chunk, so a
+        // port dropping mid-access inflated the books. The access is now
+        // atomic: validate everything, then commit.
+        let (mut p, mut f) = small_pool();
+        let seg = p.alloc(3 * FRAME_BYTES, Placement::On(NodeId(1))).unwrap();
+        // Warm the translation so the failed attempt takes the fast path.
+        p.access(
+            &mut f,
+            SimTime::ZERO,
+            NodeId(0),
+            LogicalAddr::new(seg, 0),
+            64,
+            MemOp::Read,
+        )
+        .unwrap();
+        let counts_before = p.access_counts();
+        let dram_before = p.node(NodeId(1)).dram().access_count();
+        f.set_port_down(NodeId(1), true);
+        let r = p.access(
+            &mut f,
+            SimTime::ZERO,
+            NodeId(0),
+            LogicalAddr::new(seg, 0),
+            3 * FRAME_BYTES,
+            MemOp::Write,
+        );
+        assert_eq!(r, Err(PoolError::SegmentLost(seg)));
+        assert_eq!(p.access_counts(), counts_before, "no counter inflation");
+        assert_eq!(
+            p.node(NodeId(1)).dram().access_count(),
+            dram_before,
+            "no DRAM occupancy charged for the failed access"
+        );
+        // The fabric saw no traffic from the refused access either.
+        let (reads, writes) = (f.read_count(), f.write_count());
+        f.set_port_down(NodeId(1), false);
+        p.access(
+            &mut f,
+            SimTime::ZERO,
+            NodeId(0),
+            LogicalAddr::new(seg, 0),
+            3 * FRAME_BYTES,
+            MemOp::Write,
+        )
+        .unwrap();
+        assert_eq!(f.read_count(), reads);
+        assert!(f.write_count() > writes);
+    }
+
+    #[test]
+    fn batch_coalesces_and_splits_per_holder() {
+        let (mut p, mut f) = small_pool();
+        let near = p.alloc(2 * FRAME_BYTES, Placement::On(NodeId(0))).unwrap();
+        let far = p.alloc(2 * FRAME_BYTES, Placement::On(NodeId(2))).unwrap();
+        let ops = [
+            // Two adjacent chunks on the local holder: coalesce to one run.
+            BatchOp::read(LogicalAddr::new(near, 0), 512),
+            BatchOp::read(LogicalAddr::new(near, 512), 512),
+            // One remote op spanning a frame boundary: two chunks.
+            BatchOp::read(LogicalAddr::new(far, FRAME_BYTES - 256), 512),
+            // A remote write: separate stream (direction differs).
+            BatchOp::write(LogicalAddr::new(far, 0), 128),
+        ];
+        let r = p
+            .access_batch(&mut f, SimTime::ZERO, NodeId(0), &ops)
+            .unwrap();
+        assert_eq!(r.ops.len(), 4);
+        assert_eq!(r.local_bytes, 1024);
+        assert_eq!(r.remote_bytes, 640);
+        assert_eq!(r.ops[0].local_bytes, 512);
+        assert_eq!(r.ops[2].remote_bytes, 512);
+        assert_eq!(r.ops[3].remote_bytes, 128);
+        // Pool counters count pre-coalescing chunks, exactly as a
+        // one-by-one issue order would: 2 local + 3 remote.
+        assert_eq!(p.access_counts(), (2, 3));
+        // DRAM runs after coalescing: 1 local (adjacent pair merged); the
+        // remote read's two frame chunks are byte-contiguous so they merge
+        // too — 1 read run + 1 write run on the far holder.
+        assert_eq!(p.node(NodeId(0)).dram().access_count(), 1);
+        assert_eq!(p.node(NodeId(2)).dram().access_count(), 2);
+        // One fabric stream per (holder, direction), charging the logical
+        // op count: 1 read op + 1 write op.
+        assert_eq!(f.read_count(), 1);
+        assert_eq!(f.write_count(), 1);
+        // The batch completes when its slowest op does.
+        let slowest = r.ops.iter().map(|a| a.complete).max().unwrap();
+        assert_eq!(r.complete, slowest);
+        assert!(r.complete > SimTime::ZERO);
+    }
+
+    #[test]
+    fn empty_batch_is_free() {
+        let (mut p, mut f) = small_pool();
+        let now = SimTime::from_nanos(42);
+        let r = p.access_batch(&mut f, now, NodeId(0), &[]).unwrap();
+        assert_eq!(r.complete, now);
+        assert!(r.ops.is_empty());
+        assert_eq!(p.access_counts(), (0, 0));
+    }
+
+    #[test]
+    fn batch_beats_serialized_singles_on_remote_streams() {
+        // The pipelining claim: a batch of remote reads completes earlier
+        // than the same ops issued back-to-back, each waiting on the last.
+        let ops_of = |segs: &[SegmentId]| -> Vec<BatchOp> {
+            segs.iter()
+                .map(|&s| BatchOp::read(LogicalAddr::new(s, 0), 256 * 1024))
+                .collect()
+        };
+        let (mut p, mut f) = small_pool();
+        let segs: Vec<_> = (1..4)
+            .map(|s| p.alloc(FRAME_BYTES, Placement::On(NodeId(s))).unwrap())
+            .collect();
+        let batch = p
+            .access_batch(&mut f, SimTime::ZERO, NodeId(0), &ops_of(&segs))
+            .unwrap();
+
+        let (mut p2, mut f2) = small_pool();
+        let segs2: Vec<_> = (1..4)
+            .map(|s| p2.alloc(FRAME_BYTES, Placement::On(NodeId(s))).unwrap())
+            .collect();
+        let mut serial = SimTime::ZERO;
+        for op in ops_of(&segs2) {
+            let a = p2
+                .access(&mut f2, serial, NodeId(0), op.addr, op.len, op.op)
+                .unwrap();
+            serial = a.complete;
+        }
+        assert!(
+            batch.complete < serial,
+            "pipelined batch {:?} must beat serialized singles {:?}",
+            batch.complete,
+            serial
+        );
     }
 }

@@ -1,0 +1,146 @@
+//! Batch/single-op equivalence (`batch.rs` + `pool.rs`).
+//!
+//! The batched scatter-gather path reuses the single-op frame walk, so —
+//! timing aside — a batch must be indistinguishable from issuing its ops
+//! one by one: byte-identical data, identical per-op local/remote byte
+//! splits and fault counts, and identical pool accounting, including the
+//! telemetry registry. The generated op mixes include frame-spanning
+//! lengths, mixed local/remote holders, duplicate segments, and stale
+//! translations from both a plain migration and an A→B→A round trip.
+
+use lmp_core::prelude::*;
+use lmp_fabric::{Fabric, LinkProfile, MemOp, NodeId};
+use lmp_mem::{DramProfile, FRAME_BYTES};
+use lmp_sim::prelude::*;
+use proptest::prelude::*;
+
+const SERVERS: u32 = 4;
+const SEGS: usize = 4;
+const SEG_BYTES: u64 = 2 * FRAME_BYTES;
+
+/// A pool with one two-frame segment per server, the requester's (node 0)
+/// TLB warmed on all of them, and two kinds of staleness injected: segment
+/// 1 migrated away, segment 2 round-tripped back to its original holder.
+fn setup() -> (LogicalPool, Fabric, Vec<SegmentId>) {
+    let cfg = PoolConfig {
+        servers: SERVERS,
+        capacity_per_server: 16 * FRAME_BYTES,
+        shared_per_server: 12 * FRAME_BYTES,
+        dram: DramProfile::xeon_gold_5120(),
+        // No eviction pressure: the batch path translates each distinct
+        // segment once, so under a tiny TLB the two issue orders would
+        // legitimately diverge in eviction victims.
+        tlb_capacity: 16,
+    };
+    let mut pool = LogicalPool::new(cfg);
+    pool.attach_telemetry();
+    let mut fabric = Fabric::new(LinkProfile::link1(), SERVERS);
+    let mut segs = Vec::new();
+    for s in 0..SEGS as u32 {
+        let seg = pool.alloc(SEG_BYTES, Placement::On(NodeId(s))).unwrap();
+        let data: Vec<u8> = (0..SEG_BYTES).map(|b| (b as u8) ^ (s as u8)).collect();
+        pool.write_bytes(LogicalAddr::new(seg, 0), &data).unwrap();
+        segs.push(seg);
+    }
+    for &seg in &segs {
+        pool.access(
+            &mut fabric,
+            SimTime::ZERO,
+            NodeId(0),
+            LogicalAddr::new(seg, 0),
+            8,
+            MemOp::Read,
+        )
+        .unwrap();
+    }
+    migrate_segment(&mut pool, &mut fabric, SimTime::ZERO, segs[1], NodeId(3)).unwrap();
+    migrate_segment(&mut pool, &mut fabric, SimTime::ZERO, segs[2], NodeId(1)).unwrap();
+    migrate_segment(&mut pool, &mut fabric, SimTime::ZERO, segs[2], NodeId(2)).unwrap();
+    (pool, fabric, segs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    fn batch_is_equivalent_to_one_by_one_issue(
+        spec in proptest::collection::vec(
+            (0..SEGS, 0..SEG_BYTES, 1..=SEG_BYTES, any::<bool>()),
+            1..12,
+        )
+    ) {
+        let (mut pa, mut fa, segs) = setup();
+        let (mut pb, mut fb, segs_b) = setup();
+        prop_assert_eq!(&segs, &segs_b, "identical setup, identical ids");
+
+        let ops: Vec<BatchOp> = spec
+            .iter()
+            .map(|&(si, off, len, write)| {
+                let len = len.min(SEG_BYTES - off);
+                let addr = LogicalAddr::new(segs[si], off);
+                if write {
+                    BatchOp::write(addr, len)
+                } else {
+                    BatchOp::read(addr, len)
+                }
+            })
+            .collect();
+
+        let batch = pa
+            .access_batch(&mut fa, SimTime::ZERO, NodeId(0), &ops)
+            .unwrap();
+        let singles: Vec<PoolAccess> = ops
+            .iter()
+            .map(|o| {
+                pb.access(&mut fb, SimTime::ZERO, NodeId(0), o.addr, o.len, o.op)
+                    .unwrap()
+            })
+            .collect();
+
+        // Per-op accounting matches, op for op (timing aside).
+        prop_assert_eq!(batch.ops.len(), singles.len());
+        for (i, (b, s)) in batch.ops.iter().zip(&singles).enumerate() {
+            prop_assert_eq!(b.local_bytes, s.local_bytes, "op {} local bytes", i);
+            prop_assert_eq!(b.remote_bytes, s.remote_bytes, "op {} remote bytes", i);
+            prop_assert_eq!(b.faults, s.faults, "op {} faults", i);
+        }
+        prop_assert_eq!(
+            batch.faults,
+            singles.iter().map(|s| s.faults).sum::<u32>()
+        );
+
+        // Pool chunk counters and telemetry books match exactly.
+        prop_assert_eq!(pa.access_counts(), pb.access_counts());
+        let sa = pa.telemetry().unwrap().snapshot();
+        let sb = pb.telemetry().unwrap().snapshot();
+        for name in [
+            "pool.ops.read",
+            "pool.ops.write",
+            "pool.accesses.local",
+            "pool.accesses.remote",
+            "pool.bytes.local",
+            "pool.bytes.remote",
+            "pool.faults",
+        ] {
+            prop_assert_eq!(
+                sa.counter(name, &[]),
+                sb.counter(name, &[]),
+                "telemetry counter {} diverged",
+                name
+            );
+        }
+        prop_assert_eq!(
+            sa.counter_total("pool.accesses.local.by_server"),
+            sb.counter_total("pool.accesses.local.by_server")
+        );
+        prop_assert_eq!(
+            sa.counter_total("pool.accesses.remote.by_server"),
+            sb.counter_total("pool.accesses.remote.by_server")
+        );
+
+        // Byte-identical data through both pools' translation paths.
+        for &seg in &segs {
+            let a = pa.read_bytes(LogicalAddr::new(seg, 0), SEG_BYTES).unwrap();
+            let b = pb.read_bytes(LogicalAddr::new(seg, 0), SEG_BYTES).unwrap();
+            prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -51,7 +51,7 @@ proptest! {
         let mut migrations = 0u64;
         for _ in 0..300 {
             let i = rng.below(SEGS as u64) as usize;
-            match rng.below(4) {
+            match rng.below(5) {
                 0 | 1 => {
                     // Read through the translation path from a random
                     // requester, then verify the bytes against the model.
@@ -77,7 +77,7 @@ proptest! {
                     pool.write_bytes(LogicalAddr::new(segs[i], off), &data).unwrap();
                     model[i][off as usize..(off + len) as usize].copy_from_slice(&data);
                 }
-                _ => {
+                3 => {
                     // Migrate, then immediately recycle the freed source
                     // frame with a poison segment: any translation still
                     // pointing at the old frame now reads poison, which
@@ -93,6 +93,33 @@ proptest! {
                             pool.write_bytes(LogicalAddr::new(poison, 0), &[0xAA; 256])
                                 .unwrap();
                         }
+                    }
+                }
+                _ => {
+                    // A→B→A round trip. Afterwards the coarse map names the
+                    // pre-trip holder again, so a `holds`-only fast path
+                    // would happily validate a translation cached before
+                    // the trip — the fault would go uncounted. The epoch
+                    // comparison must fault it exactly once.
+                    let req = NodeId(rng.below(SERVERS as u64) as u32);
+                    let addr = LogicalAddr::new(segs[i], 0);
+                    pool.access(&mut fabric, SimTime::ZERO, req, addr, 64, MemOp::Read)
+                        .unwrap();
+                    let home = pool.holder_of(segs[i]).unwrap();
+                    let via = NodeId(rng.below(SERVERS as u64) as u32);
+                    if via != home && pool.free_shared_frames(via) >= 1 {
+                        migrate_segment(&mut pool, &mut fabric, SimTime::ZERO, segs[i], via)
+                            .unwrap();
+                        migrate_segment(&mut pool, &mut fabric, SimTime::ZERO, segs[i], home)
+                            .unwrap();
+                        migrations += 2;
+                        let a = pool
+                            .access(&mut fabric, SimTime::ZERO, req, addr, 64, MemOp::Read)
+                            .unwrap();
+                        prop_assert_eq!(
+                            a.faults, 1,
+                            "round trip left the entry stale at the old epoch"
+                        );
                     }
                 }
             }

@@ -15,7 +15,7 @@
 
 use crate::link::Link;
 use crate::profile::LinkProfile;
-use crate::types::{LinkId, NodeId, PROBE_BYTES, REQUEST_FLIT_BYTES};
+use crate::types::{LinkId, MemOp, NodeId, PROBE_BYTES, REQUEST_FLIT_BYTES};
 use lmp_sim::prelude::*;
 
 /// Completion report for one fabric operation.
@@ -27,6 +27,21 @@ pub struct FabricCompletion {
     pub latency: SimDuration,
     /// Time spent queued behind other traffic (serialization backlog).
     pub queued: SimDuration,
+}
+
+/// Completion report for one coalesced batch stream
+/// ([`Fabric::transfer_batch`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchTransfer {
+    /// Instant the whole stream is complete at the requester. For writes
+    /// this includes the stream's single trailing completion flit.
+    pub complete: SimTime,
+    /// Per-chunk completion instants, in chunk order. For writes every
+    /// entry equals [`BatchTransfer::complete`]: stores are acknowledged
+    /// collectively by the trailing flit, not chunk by chunk.
+    pub chunk_done: Vec<SimTime>,
+    /// Loaded-latency component, sampled once for the stream.
+    pub latency: SimDuration,
 }
 
 /// Why a fabric operation could not be served. Fault injection (crashed
@@ -356,6 +371,90 @@ impl Fabric {
         })
     }
 
+    /// A coalesced batch stream: `ops` logical operations, already merged
+    /// into `chunks` contiguous transfers, move between `requester` and
+    /// `holder` as one pipelined stream.
+    ///
+    /// The stream pays per-stream overheads **once** — one request flit
+    /// (reads) or one completion flit (writes), one loaded-latency sample —
+    /// while the payload chunks pipeline through the two-wire path: chunk
+    /// `i+1` occupies the holder's up wire while chunk `i` drains down to
+    /// the requester. With a single chunk the wire schedule is identical to
+    /// [`Fabric::try_read`]/[`Fabric::try_write`], so a batch of one costs
+    /// exactly one single op.
+    ///
+    /// `ops` (not `chunks.len()`) is charged to the read/write counters:
+    /// the counters track logical operations served, which upper layers'
+    /// conservation checks compare against per-op access counts.
+    ///
+    /// # Panics
+    /// Panics if `requester == holder`, on an empty chunk list, or when
+    /// `ops` is zero.
+    pub fn transfer_batch(
+        &mut self,
+        now: SimTime,
+        requester: NodeId,
+        holder: NodeId,
+        op: MemOp,
+        chunks: &[u64],
+        ops: u64,
+    ) -> Result<BatchTransfer, FabricError> {
+        assert!(
+            requester != holder,
+            "local access on the fabric: {requester}"
+        );
+        assert!(!chunks.is_empty(), "empty batch stream");
+        assert!(ops > 0, "batch stream must carry at least one op");
+        self.check_ports(requester, holder)?;
+        match op {
+            MemOp::Read => self.reads.add(ops),
+            MemOp::Write => self.writes.add(ops),
+        }
+        let u = self.path_utilization(now, requester, holder);
+        let latency = (self.profile.curve.at(u) + self.switch_latency * 2)
+            .mul_f64(self.path_latency_factor(requester, holder));
+
+        let r_up = self.up_index(requester);
+        let r_down = self.down_index(requester);
+        let h_up = self.up_index(holder);
+        let h_down = self.down_index(holder);
+        let mut chunk_done = Vec::with_capacity(chunks.len());
+        let complete = match op {
+            MemOp::Read => {
+                // One request flit describes the whole scatter list.
+                let q1 = self.links[r_up].transfer_wire(now, REQUEST_FLIT_BYTES);
+                let q2 = self.links[h_down].transfer_wire(q1.1, REQUEST_FLIT_BYTES);
+                for &bytes in chunks {
+                    let d1 = self.links[h_up].transfer_wire(q2.1, bytes);
+                    let d2 = self.links[r_down].transfer_wire(d1.1, bytes);
+                    chunk_done.push(d2.1 + latency);
+                }
+                let complete = *chunk_done.last().expect("non-empty stream");
+                self.read_latency.record_duration(complete.duration_since(now));
+                complete
+            }
+            MemOp::Write => {
+                let mut last_down = now;
+                for &bytes in chunks {
+                    let d1 = self.links[r_up].transfer_wire(now, bytes);
+                    let d2 = self.links[h_down].transfer_wire(d1.1, bytes);
+                    last_down = last_down.max(d2.1);
+                }
+                // One completion flit acknowledges the whole stream.
+                let c1 = self.links[h_up].transfer_wire(last_down, REQUEST_FLIT_BYTES);
+                let c2 = self.links[r_down].transfer_wire(c1.1, REQUEST_FLIT_BYTES);
+                let complete = c2.1 + latency;
+                chunk_done.resize(chunks.len(), complete);
+                complete
+            }
+        };
+        Ok(BatchTransfer {
+            complete,
+            chunk_done,
+            latency,
+        })
+    }
+
     /// A heartbeat probe: `prober` pings `target` and waits for the echo.
     /// A probe is two header-only flits (out on `up[prober]`/`down[target]`,
     /// back on `up[target]`/`down[prober]`) and experiences the loaded
@@ -624,6 +723,86 @@ mod tests {
     fn self_probe_panics() {
         let mut f = Fabric::new(LinkProfile::link0(), 3);
         let _ = f.probe(t(0), NodeId(1), NodeId(1));
+    }
+
+    #[test]
+    fn single_chunk_batch_matches_single_op() {
+        let mut a = Fabric::new(LinkProfile::link1(), 3);
+        let mut b = Fabric::new(LinkProfile::link1(), 3);
+        let single = a.try_read(t(0), NodeId(0), NodeId(1), 4096).unwrap();
+        let batch = b
+            .transfer_batch(t(0), NodeId(0), NodeId(1), MemOp::Read, &[4096], 1)
+            .unwrap();
+        assert_eq!(batch.complete, single.complete);
+        assert_eq!(batch.latency, single.latency);
+        assert_eq!(batch.chunk_done, vec![single.complete]);
+
+        let ws = a.try_write(t(0), NodeId(0), NodeId(2), 4096).unwrap();
+        let wb = b
+            .transfer_batch(t(0), NodeId(0), NodeId(2), MemOp::Write, &[4096], 1)
+            .unwrap();
+        assert_eq!(wb.complete, ws.complete);
+    }
+
+    #[test]
+    fn batched_stream_beats_serialized_ops() {
+        let chunk = 256 * 1024u64;
+        let n = 8usize;
+        let mut looped = Fabric::new(LinkProfile::link1(), 2);
+        let mut now = t(0);
+        for _ in 0..n {
+            now = looped.read(now, NodeId(0), NodeId(1), chunk).complete;
+        }
+        let mut batched = Fabric::new(LinkProfile::link1(), 2);
+        let bt = batched
+            .transfer_batch(
+                t(0),
+                NodeId(0),
+                NodeId(1),
+                MemOp::Read,
+                &vec![chunk; n],
+                n as u64,
+            )
+            .unwrap();
+        assert!(
+            bt.complete < now,
+            "pipelined stream {} not faster than serialized {}",
+            bt.complete,
+            now
+        );
+        // Chunk completions are monotone and the last one is the stream's.
+        assert!(bt.chunk_done.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*bt.chunk_done.last().unwrap(), bt.complete);
+    }
+
+    #[test]
+    fn batch_counters_track_logical_ops() {
+        let mut f = Fabric::new(LinkProfile::link0(), 3);
+        f.transfer_batch(t(0), NodeId(0), NodeId(1), MemOp::Read, &[64, 64], 5)
+            .unwrap();
+        f.transfer_batch(t(0), NodeId(0), NodeId(2), MemOp::Write, &[64], 3)
+            .unwrap();
+        assert_eq!(f.read_count(), 5, "reads counter carries the op count");
+        assert_eq!(f.write_count(), 3);
+        // One stream, one latency record.
+        assert_eq!(f.read_latency_histogram().count(), 1);
+    }
+
+    #[test]
+    fn batch_respects_down_ports() {
+        let mut f = Fabric::new(LinkProfile::link0(), 3);
+        f.set_port_down(NodeId(1), true);
+        assert_eq!(
+            f.transfer_batch(t(0), NodeId(0), NodeId(1), MemOp::Read, &[64], 1),
+            Err(FabricError::HolderDown(NodeId(1)))
+        );
+        assert_eq!(
+            f.transfer_batch(t(0), NodeId(1), NodeId(2), MemOp::Write, &[64], 1),
+            Err(FabricError::RequesterDown(NodeId(1)))
+        );
+        // Failed streams leave the counters untouched.
+        assert_eq!(f.read_count(), 0);
+        assert_eq!(f.write_count(), 0);
     }
 
     #[test]

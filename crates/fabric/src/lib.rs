@@ -22,7 +22,7 @@ pub mod profile;
 pub mod topology;
 pub mod types;
 
-pub use fabric::{Fabric, FabricCompletion, FabricError};
+pub use fabric::{BatchTransfer, Fabric, FabricCompletion, FabricError};
 pub use link::{Link, LinkTransfer};
 pub use profile::LinkProfile;
 pub use topology::{Hop, LeafSpineFabric, RackCompletion};

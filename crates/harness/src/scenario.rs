@@ -51,11 +51,16 @@ pub enum Scenario {
     /// detector must suspect and then clear, never confirm, and the
     /// orchestrator must perform zero recoveries.
     FlapNoHeal,
+    /// A port drops in the middle of a stream of frame-spanning accesses
+    /// and scatter-gather batches: accesses that hit the downed holder must
+    /// fail whole — no counter, DRAM, or fabric accounting charged for a
+    /// refused access — and the telemetry books must still balance.
+    PortDropMidAccess,
 }
 
 impl Scenario {
     /// Every scenario, in the order the chaos binary runs them.
-    pub fn all() -> [Scenario; 7] {
+    pub fn all() -> [Scenario; 8] {
         [
             Scenario::CrashUnprotected,
             Scenario::CrashMirrored,
@@ -64,6 +69,7 @@ impl Scenario {
             Scenario::Combined,
             Scenario::CrashAutoHeal,
             Scenario::FlapNoHeal,
+            Scenario::PortDropMidAccess,
         ]
     }
 
@@ -77,6 +83,7 @@ impl Scenario {
             Scenario::Combined => "combined",
             Scenario::CrashAutoHeal => "crash-auto-heal",
             Scenario::FlapNoHeal => "flap-no-heal",
+            Scenario::PortDropMidAccess => "port-drop-mid-access",
         }
     }
 
@@ -172,6 +179,9 @@ enum Ev {
     /// A read pinned inside a fault window that must be served degraded
     /// (self-healing scenarios only).
     DegradedProbe { seg_idx: usize, requester: NodeId },
+    /// One scatter-gather batch of frame-spanning reads across every
+    /// application segment ([`Scenario::PortDropMidAccess`] only).
+    BatchWave { idx: usize },
 }
 
 /// The armed self-healing stack: detector plus orchestrator.
@@ -202,6 +212,9 @@ struct World {
     telemetry_digest: u64,
     degraded_served: u64,
     degraded_mismatches: u64,
+    batch_ok: u64,
+    batch_failed: u64,
+    atomicity_violations: u64,
     ops_ok: u64,
     ops_failed: u64,
     retries: u64,
@@ -278,6 +291,11 @@ impl World {
                 (4, Prot::Parity),
                 (2, Prot::None),
             ],
+            // Every segment remote to the batch requester (node 0); node 1
+            // is the one whose port drops mid-run.
+            Scenario::PortDropMidAccess => {
+                vec![(1, Prot::None), (2, Prot::None), (3, Prot::None)]
+            }
         };
         for (i, &(home, _)) in layout.iter().enumerate() {
             let seg = pool
@@ -357,6 +375,10 @@ impl World {
                 plan.push(us(14), Fault::PortDown(NodeId(3)));
                 plan.push(us(15), Fault::PortUp(NodeId(3)));
             }
+            Scenario::PortDropMidAccess => {
+                plan.push(us(10), Fault::PortDown(NodeId(1)));
+                plan.push(us(18), Fault::PortUp(NodeId(1)));
+            }
         }
 
         // The seeded workload.
@@ -366,7 +388,15 @@ impl World {
                 let at = SimTime::from_nanos(wl.below(HORIZON.as_nanos()));
                 let requester = NodeId(wl.below(SERVERS as u64) as u32);
                 let seg_idx = wl.below(segments.len() as u64) as usize;
-                let len = 8 + wl.below(120);
+                // The port-drop scenario issues only frame-spanning ops
+                // (len > FRAME_BYTES guarantees a two-chunk walk), so every
+                // refused access is a multi-frame one — the shape whose
+                // accounting used to be inflated on partial failure.
+                let len = if scenario == Scenario::PortDropMidAccess {
+                    FRAME_BYTES + 8 + wl.below(FRAME_BYTES - 16)
+                } else {
+                    8 + wl.below(120)
+                };
                 let offset = wl.below(SEG_BYTES - len);
                 let write = wl.chance(0.5);
                 OpSpec {
@@ -408,6 +438,9 @@ impl World {
             telemetry_digest: 0,
             degraded_served: 0,
             degraded_mismatches: 0,
+            batch_ok: 0,
+            batch_failed: 0,
+            atomicity_violations: 0,
             ops_ok: 0,
             ops_failed: 0,
             retries: 0,
@@ -622,6 +655,47 @@ impl World {
                     }
                 }
             }
+            Ev::BatchWave { idx } => {
+                // One scatter-gather batch of frame-spanning reads over
+                // every application segment. Waves inside the port-down
+                // window must fail whole: one downed holder refuses the
+                // entire batch, and not a single counter, DRAM access, or
+                // fabric transfer may have been charged for it.
+                let counts = self.pool.access_counts();
+                let fab = (self.fabric.read_count(), self.fabric.write_count());
+                let ops: Vec<BatchOp> = self
+                    .segments
+                    .iter()
+                    .map(|&s| BatchOp::read(LogicalAddr::new(s, FRAME_BYTES - 512), 1024))
+                    .collect();
+                match self
+                    .pool
+                    .access_batch(&mut self.fabric, now, NodeId(0), &ops)
+                {
+                    Ok(r) => {
+                        self.batch_ok += 1;
+                        self.trace.record(
+                            now,
+                            format!(
+                                "batch wave {idx}: {} ops, {} remote bytes, done {}",
+                                r.ops.len(),
+                                r.remote_bytes,
+                                r.complete
+                            ),
+                        );
+                    }
+                    Err(e) => {
+                        self.batch_failed += 1;
+                        if self.pool.access_counts() != counts
+                            || (self.fabric.read_count(), self.fabric.write_count()) != fab
+                        {
+                            self.atomicity_violations += 1;
+                        }
+                        self.trace
+                            .record(now, format!("batch wave {idx}: failed whole ({e})"));
+                    }
+                }
+            }
         }
     }
 
@@ -652,6 +726,9 @@ impl World {
                     })
             }
         } else {
+            // Accounting snapshot: a refused access must charge nothing.
+            let counts = self.pool.access_counts();
+            let fab = (self.fabric.read_count(), self.fabric.write_count());
             self.pool
                 .access(
                     &mut self.fabric,
@@ -661,6 +738,13 @@ impl World {
                     spec.len,
                     MemOp::Read,
                 )
+                .inspect_err(|_| {
+                    if self.pool.access_counts() != counts
+                        || (self.fabric.read_count(), self.fabric.write_count()) != fab
+                    {
+                        self.atomicity_violations += 1;
+                    }
+                })
                 .map(|a| {
                     match self.model.get(&seg) {
                         Some(m) => {
@@ -915,6 +999,24 @@ impl World {
                     format!("degraded_served={}", self.degraded_served),
                 ));
             }
+            Scenario::PortDropMidAccess => {
+                self.checks.push(expect(
+                    "batch-window-exercised",
+                    self.batch_ok >= 2 && self.batch_failed >= 1,
+                    format!(
+                        "batch_ok={} batch_failed={}",
+                        self.batch_ok, self.batch_failed
+                    ),
+                ));
+                self.checks.push(expect(
+                    "atomic-failure-accounting",
+                    self.atomicity_violations == 0,
+                    format!(
+                        "{} refused accesses left charged counters behind",
+                        self.atomicity_violations
+                    ),
+                ));
+            }
         }
         // Telemetry roll-up: the snapshot digest becomes part of the trace
         // (and therefore of the determinism contract), and the instrument
@@ -984,6 +1086,13 @@ pub fn run_scenario(scenario: Scenario, seed: u64) -> ChaosReport {
                 seg_idx,
                 requester: NodeId(0),
             });
+        }
+    }
+    if scenario == Scenario::PortDropMidAccess {
+        // Scatter-gather waves before, twice inside, and after the
+        // port-down window (10–18 µs).
+        for (idx, at_us) in [5u64, 12, 14, 20].into_iter().enumerate() {
+            eng.schedule_at(SimTime::from_nanos(at_us * 1000), Ev::BatchWave { idx });
         }
     }
     if scenario == Scenario::LinkSpike {

@@ -127,6 +127,67 @@ impl KvStore {
         Ok(a.complete)
     }
 
+    /// Batched multi-key GET: one scatter-gather pool access for every key,
+    /// so slots sharing a holder ride one pipelined fabric stream (and
+    /// adjacent slots coalesce into single DRAM runs). Returns the values
+    /// in `keys` order and the batch completion time. Counts one get per
+    /// key — accounting is identical to issuing [`KvStore::get`] per key.
+    pub fn multi_get(
+        &mut self,
+        pool: &mut LogicalPool,
+        fabric: &mut Fabric,
+        now: SimTime,
+        client: NodeId,
+        keys: &[u64],
+    ) -> Result<(Vec<Vec<u8>>, SimTime), PoolError> {
+        let ops: Vec<BatchOp> = keys
+            .iter()
+            .map(|&k| BatchOp::read(self.addr_of(k), SLOT_BYTES))
+            .collect();
+        let r = pool.access_batch(fabric, now, client, &ops)?;
+        self.gets.add(keys.len() as u64);
+        for a in &r.ops {
+            self.account(a);
+        }
+        let mut values = Vec::with_capacity(keys.len());
+        for &k in keys {
+            values.push(pool.read_bytes(self.addr_of(k), SLOT_BYTES)?);
+        }
+        Ok((values, r.complete))
+    }
+
+    /// Batched multi-key PUT; the write analogue of [`KvStore::multi_get`].
+    ///
+    /// # Panics
+    /// Panics when any value exceeds [`SLOT_BYTES`].
+    pub fn multi_put(
+        &mut self,
+        pool: &mut LogicalPool,
+        fabric: &mut Fabric,
+        now: SimTime,
+        client: NodeId,
+        entries: &[(u64, &[u8])],
+    ) -> Result<SimTime, PoolError> {
+        let ops: Vec<BatchOp> = entries
+            .iter()
+            .map(|&(k, v)| {
+                assert!(v.len() as u64 <= SLOT_BYTES, "value too large");
+                BatchOp::write(self.addr_of(k), SLOT_BYTES)
+            })
+            .collect();
+        let r = pool.access_batch(fabric, now, client, &ops)?;
+        self.puts.add(entries.len() as u64);
+        for a in &r.ops {
+            self.account(a);
+        }
+        for &(k, v) in entries {
+            let mut padded = vec![0u8; SLOT_BYTES as usize];
+            padded[..v.len()].copy_from_slice(v);
+            pool.write_bytes(self.addr_of(k), &padded)?;
+        }
+        Ok(r.complete)
+    }
+
     fn account(&mut self, a: &PoolAccess) {
         if a.remote_bytes == 0 {
             self.local_ops.inc();
@@ -245,6 +306,65 @@ mod tests {
         let (v, _) = kv.get(&mut p, &mut f, SimTime::ZERO, NodeId(1), 42).unwrap();
         assert_eq!(&v[..5], b"hello");
         assert_eq!(kv.op_counts(), (1, 1));
+    }
+
+    #[test]
+    fn multi_get_matches_single_gets() {
+        let (mut p, mut f) = setup();
+        let cfg = KvConfig {
+            slots: 512,
+            slots_per_segment: 64,
+            ..KvConfig::default()
+        };
+        let mut kv = KvStore::create(&mut p, cfg).unwrap();
+        let keys = [0u64, 1, 63, 64, 200, 511];
+        let entries: Vec<(u64, Vec<u8>)> = keys
+            .iter()
+            .map(|&k| (k, format!("value-{k}").into_bytes()))
+            .collect();
+        let borrowed: Vec<(u64, &[u8])> =
+            entries.iter().map(|(k, v)| (*k, v.as_slice())).collect();
+        let end = kv
+            .multi_put(&mut p, &mut f, SimTime::ZERO, NodeId(1), &borrowed)
+            .unwrap();
+        assert!(end > SimTime::ZERO);
+
+        let (values, batch_end) = kv
+            .multi_get(&mut p, &mut f, SimTime::ZERO, NodeId(1), &keys)
+            .unwrap();
+        assert!(batch_end > SimTime::ZERO);
+        for ((k, want), got) in entries.iter().zip(&values) {
+            assert_eq!(&got[..want.len()], &want[..], "key {k}");
+            let (single, _) = kv.get(&mut p, &mut f, SimTime::ZERO, NodeId(1), *k).unwrap();
+            assert_eq!(got, &single, "batched and single reads agree");
+        }
+        // Accounting: 6 batched puts + 6 batched gets + 6 verify gets.
+        assert_eq!(kv.op_counts(), (12, 6));
+    }
+
+    #[test]
+    fn multi_get_batches_fabric_streams() {
+        let (mut p, mut f) = setup();
+        let cfg = KvConfig {
+            slots: 512,
+            slots_per_segment: 64,
+            ..KvConfig::default()
+        };
+        let mut kv = KvStore::create(&mut p, cfg).unwrap();
+        // All keys in one remote segment: the batch should cross the fabric
+        // as one coalesced stream, not one transfer per key.
+        let keys: Vec<u64> = (0..8).collect();
+        let client = (0..4)
+            .map(NodeId)
+            .find(|c| p.holder_of(kv.segment_of(0)) != Some(*c))
+            .unwrap();
+        kv.multi_get(&mut p, &mut f, SimTime::ZERO, client, &keys)
+            .unwrap();
+        assert_eq!(f.read_count(), 8, "one logical read op per key");
+        assert_eq!(kv.op_counts(), (8, 0));
+        // 8 adjacent 256 B slots coalesce into one 2 KiB DRAM run.
+        let holder = p.holder_of(kv.segment_of(0)).unwrap();
+        assert_eq!(p.node(holder).dram().access_count(), 1);
     }
 
     #[test]
