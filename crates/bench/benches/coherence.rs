@@ -1,3 +1,6 @@
+// Test/driver code: unwrap/expect on known-good setup is acceptable here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! Ablations: coherence granularity and snoop-filter capacity (§3.2, §5
 //! "Cache coherence").
 //!

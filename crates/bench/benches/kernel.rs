@@ -1,3 +1,6 @@
+// Test/driver code: unwrap/expect on known-good setup is acceptable here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! Substrate micro-benchmarks: event-engine throughput, frame allocation,
 //! coherent-region ops, and the fabric hot path. These guard against
 //! regressions in the simulator itself — the evaluation's run time is

@@ -1,3 +1,6 @@
+// Test/driver code: unwrap/expect on known-good setup is acceptable here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! Ablation: two-level translation with and without the per-server
 //! translation cache (§5 "Address translation").
 //!

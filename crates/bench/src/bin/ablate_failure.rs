@@ -1,3 +1,6 @@
+// Test/driver code: unwrap/expect on known-good setup is acceptable here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! **Ablation: replication vs erasure coding** (§5 "Failure domains").
 //!
 //! Protects a working set with (a) nothing, (b) mirroring, (c) XOR parity

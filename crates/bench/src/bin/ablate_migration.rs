@@ -1,3 +1,6 @@
+// Test/driver code: unwrap/expect on known-good setup is acceptable here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! **Ablation: locality balancing on/off** (§5 "Locality balancing").
 //!
 //! A client server repeatedly scans buffers that were all placed on

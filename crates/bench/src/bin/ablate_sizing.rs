@@ -1,3 +1,6 @@
+// Test/driver code: unwrap/expect on known-good setup is acceptable here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! **Ablation: shared-region sizing, static vs optimizer** (§5 "Sizing
 //! the shared regions").
 //!

@@ -1,3 +1,6 @@
+// Test/driver code: unwrap/expect on known-good setup is acceptable here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! **Batch runs** — batched scatter-gather KV reads vs. the same keys
 //! issued one by one.
 //!

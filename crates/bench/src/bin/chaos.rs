@@ -1,3 +1,6 @@
+// Test/driver code: unwrap/expect on known-good setup is acceptable here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! **Chaos runs** — deterministic fault injection over the whole stack.
 //!
 //! Runs every [`Scenario`] under one seed, twice each, and verifies:

@@ -1,3 +1,6 @@
+// Test/driver code: unwrap/expect on known-good setup is acceptable here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! **§4.2 Benefit 1** — lower entry barrier: deployment cost comparison.
 //!
 //! Prints the bill of materials for the logical and physical deployments

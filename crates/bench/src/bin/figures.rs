@@ -1,3 +1,6 @@
+// Test/driver code: unwrap/expect on known-good setup is acceptable here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! **Figures 2–5** — aggregation bandwidth on the three deployments.
 //!
 //! The paper's core evaluation: one server sums a vector of 8/24/64/96 GB

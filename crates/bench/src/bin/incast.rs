@@ -1,3 +1,6 @@
+// Test/driver code: unwrap/expect on known-good setup is acceptable here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! **Incast** — §4.2's provisioning concern, measured.
 //!
 //! When every server streams from disaggregated memory at once, a physical

@@ -1,3 +1,6 @@
+// Test/driver code: unwrap/expect on known-good setup is acceptable here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! **§4.3 latency analysis** — loaded-latency ratios, remote vs local.
 //!
 //! The paper: "the maximum remote loaded latency is 2.8× and 3.6× higher

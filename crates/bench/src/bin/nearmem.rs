@@ -1,3 +1,6 @@
+// Test/driver code: unwrap/expect on known-good setup is acceptable here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! **§4.4 Benefit 3** — near-memory computing via compute shipping.
 //!
 //! The paper distributes the sum across LMP servers so every access is

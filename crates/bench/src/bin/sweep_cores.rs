@@ -1,3 +1,6 @@
+// Test/driver code: unwrap/expect on known-good setup is acceptable here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! **Core sweep** — bandwidth saturation vs core count.
 //!
 //! Supports the paper's 14-core methodology: a single core cannot saturate

@@ -1,3 +1,6 @@
+// Test/driver code: unwrap/expect on known-good setup is acceptable here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! **Ratio sweep** — the fixed local:pooled ratio drawback (§1, §4.5).
 //!
 //! "Physical pools impose a fixed ratio of local to pooled memory: once

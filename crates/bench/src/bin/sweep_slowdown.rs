@@ -1,3 +1,6 @@
+// Test/driver code: unwrap/expect on known-good setup is acceptable here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! **Slowdown sweep** — the paper's fabric parameterization (§1/§4.1).
 //!
 //! "As CXL fabrics for disaggregated memory are not yet available, we

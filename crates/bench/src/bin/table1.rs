@@ -1,3 +1,6 @@
+// Test/driver code: unwrap/expect on known-good setup is acceptable here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! **Table 1** — latency and bandwidth for different memory types.
 //!
 //! Paper values: local memory 82 ns / 97 GB/s (their testbed); CXL remote

@@ -1,3 +1,6 @@
+// Test/driver code: unwrap/expect on known-good setup is acceptable here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! **Table 2** — min/max latency under load and bandwidth for the two
 //! emulated CXL links.
 //!

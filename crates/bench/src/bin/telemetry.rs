@@ -1,3 +1,6 @@
+// Test/driver code: unwrap/expect on known-good setup is acceptable here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! **Telemetry runs** — rack-wide observability plus the adaptive sizing
 //! control loop, end to end.
 //!

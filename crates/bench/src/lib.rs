@@ -1,3 +1,6 @@
+// Tests may unwrap/expect freely; production code must not (see crates/lint).
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 //! # lmp-bench — harness utilities
 //!
 //! Shared table/JSON output helpers for the per-table and per-figure
@@ -12,6 +15,8 @@
 use serde::Serialize;
 
 /// Print one experiment row: aligned text plus a `#json` trailer line.
+// Experiment rows are plain data structs; serialization cannot fail.
+#[allow(clippy::expect_used)]
 pub fn emit_row<T: Serialize>(text: &str, row: &T) {
     println!("{text}");
     println!(

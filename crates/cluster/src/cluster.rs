@@ -101,6 +101,8 @@ struct SelfHealing {
 }
 
 /// One of the paper's deployments, ready to run workloads.
+// Manual impl below: the backend holds full memory images, which are not
+// useful (or cheap) to format.
 pub struct Cluster {
     config: ClusterConfig,
     fabric: Fabric,
@@ -109,6 +111,16 @@ pub struct Cluster {
     pool_node: Option<NodeId>,
     /// Present once [`Cluster::enable_self_healing`] ran (Logical only).
     healing: Option<SelfHealing>,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("arch", &self.config.arch)
+            .field("pool_node", &self.pool_node)
+            .field("self_healing", &self.healing.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl Cluster {
@@ -230,6 +242,8 @@ impl Cluster {
     }
 
     /// Free a vector.
+    // Handles are created by alloc_vector, so their frames are allocated.
+    #[allow(clippy::expect_used)]
     pub fn free_vector(&mut self, handle: VectorHandle) -> Result<(), ClusterError> {
         match (&mut self.backend, handle) {
             (Backend::Logical(pool), VectorHandle::Logical(v)) => {
@@ -253,6 +267,8 @@ impl Cluster {
 
     /// Scan the whole vector from `server` with `params.cores` parallel
     /// streams — the §4.1 aggregation microbenchmark's access pattern.
+    // Physical clusters always construct with a pool node (Cluster::new).
+    #[allow(clippy::expect_used)]
     pub fn scan_vector(
         &mut self,
         start: SimTime,

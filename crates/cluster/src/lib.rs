@@ -1,3 +1,6 @@
+// Tests may unwrap/expect freely; production code must not (see crates/lint).
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 //! # lmp-cluster — runnable deployments
 //!
 //! Wires the substrates into the three §4.1 deployments (Logical,

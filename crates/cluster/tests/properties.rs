@@ -1,3 +1,6 @@
+// Test/driver code: unwrap/expect on known-good setup is acceptable here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! Property tests over whole deployments: physical resource caps and
 //! architecture orderings hold for arbitrary configurations.
 

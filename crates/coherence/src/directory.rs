@@ -8,7 +8,7 @@
 //! count and price.
 
 use crate::config::{BlockId, NodeId};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Global sharing state of one block.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,7 +55,7 @@ pub struct DirAccess {
 /// The MSI directory.
 #[derive(Debug, Default)]
 pub struct Directory {
-    entries: HashMap<BlockId, DirState>,
+    entries: BTreeMap<BlockId, DirState>,
     reads: u64,
     writes: u64,
     invalidations: u64,

@@ -9,7 +9,7 @@
 //! filter capacity to show the back-invalidation cliff.
 
 use crate::config::BlockId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Result of touching a block in the filter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,7 +27,7 @@ pub enum FilterOutcome {
 pub struct SnoopFilter {
     capacity: usize,
     /// block → LRU stamp (monotone counter).
-    entries: HashMap<BlockId, u64>,
+    entries: BTreeMap<BlockId, u64>,
     clock: u64,
     back_invalidations: u64,
 }
@@ -41,7 +41,7 @@ impl SnoopFilter {
         assert!(capacity > 0, "snoop filter needs capacity");
         SnoopFilter {
             capacity,
-            entries: HashMap::with_capacity(capacity),
+            entries: BTreeMap::new(),
             clock: 0,
             back_invalidations: 0,
         }
@@ -70,6 +70,8 @@ impl SnoopFilter {
     /// Touch `block` (it is being cached somewhere). May evict a victim —
     /// the caller must then invalidate the victim's sharers via the
     /// directory.
+    // Eviction only runs at capacity (> 0), so a victim always exists.
+    #[allow(clippy::expect_used)]
     pub fn touch(&mut self, block: BlockId) -> FilterOutcome {
         self.clock += 1;
         if let Some(stamp) = self.entries.get_mut(&block) {

@@ -1,3 +1,6 @@
+// Tests may unwrap/expect freely; production code must not (see crates/lint).
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 //! # lmp-coherence — the coherent region and its protocol machinery
 //!
 //! The paper's position (§3.2, §5): LMPs should **not** make all shared

@@ -12,7 +12,7 @@ use crate::config::{BlockId, CoherenceConfig, EnginePlacement, NodeId};
 use crate::directory::{CohMessage, Directory};
 use crate::filter::{FilterOutcome, SnoopFilter};
 use lmp_sim::time::SimDuration;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Cost of one coherent operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -58,7 +58,7 @@ pub struct CoherentRegion {
     size_bytes: u64,
     dir: Directory,
     filter: SnoopFilter,
-    words: HashMap<u64, u64>,
+    words: BTreeMap<u64, u64>,
     total_cost: CoherenceCost,
     ops: u64,
 }
@@ -72,7 +72,7 @@ impl CoherentRegion {
             size_bytes,
             dir: Directory::new(),
             filter,
-            words: HashMap::new(),
+            words: BTreeMap::new(),
             total_cost: CoherenceCost::default(),
             ops: 0,
         }

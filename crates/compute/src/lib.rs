@@ -1,3 +1,6 @@
+// Tests may unwrap/expect freely; production code must not (see crates/lint).
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 //! # lmp-compute — near-memory computing on logical pools
 //!
 //! §4.4's third benefit: in an LMP, every byte of pooled memory sits next

@@ -40,6 +40,8 @@ impl DistVector {
     ///
     /// Every server gets `len / servers.len()` (the last stripe absorbs the
     /// remainder). Fails when any server lacks shared capacity.
+    // Rollback frees only segments this function just allocated.
+    #[allow(clippy::expect_used)]
     pub fn stripe_even(
         pool: &mut LogicalPool,
         len: u64,
@@ -80,6 +82,8 @@ impl DistVector {
     /// `preferred`, overflowing to whichever servers have room — the
     /// placement a single-server workload gets (§4.3's 64 GB case, where
     /// 3/8 of the vector lands locally).
+    // Rollback frees only segments this function just allocated.
+    #[allow(clippy::expect_used)]
     pub fn place_local_first(
         pool: &mut LogicalPool,
         len: u64,

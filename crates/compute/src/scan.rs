@@ -112,6 +112,8 @@ pub fn scan_segment(
 /// whenever completions align. Pacing is per core: a core issues its next
 /// chunk once its previous data has landed *and* it has finished
 /// stream-summing it (closed loop).
+// The heap pop follows a peek on the same heap, so it cannot be empty.
+#[allow(clippy::unwrap_used)]
 pub fn scan_ranges(
     pool: &mut LogicalPool,
     fabric: &mut Fabric,

@@ -48,6 +48,8 @@ impl ReduceOp {
 
     /// Fold a byte slice as little-endian u64 elements (the tail shorter
     /// than 8 bytes is ignored, matching an element-aligned vector).
+    // chunks_exact(8) yields exactly-8-byte windows; the conversion is total.
+    #[allow(clippy::expect_used)]
     pub fn fold_bytes(self, bytes: &[u8]) -> u64 {
         let mut acc = self.identity();
         for w in bytes.chunks_exact(8) {

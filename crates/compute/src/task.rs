@@ -120,6 +120,8 @@ impl Task {
     }
 }
 
+// chunks_exact(8) yields exactly-8-byte windows; the conversion is total.
+#[allow(clippy::expect_used)]
 fn elements(bytes: &[u8]) -> impl Iterator<Item = u64> + '_ {
     bytes
         .chunks_exact(8)

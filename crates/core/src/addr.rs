@@ -48,11 +48,13 @@ impl LogicalAddr {
         self.offset % FRAME_BYTES
     }
 
-    /// The address `delta` bytes further into the segment.
+    /// The address `delta` bytes further into the segment. Saturates at
+    /// `u64::MAX`; a saturated offset is past any segment's length, so
+    /// downstream bounds checks reject it.
     pub fn add(&self, delta: u64) -> LogicalAddr {
         LogicalAddr {
             segment: self.segment,
-            offset: self.offset + delta,
+            offset: self.offset.saturating_add(delta),
         }
     }
 }
@@ -69,13 +71,17 @@ impl fmt::Display for LogicalAddr {
 pub fn frame_chunks(addr: LogicalAddr, len: u64) -> Vec<(u64, u64, u64)> {
     let mut out = Vec::new();
     let mut off = addr.offset;
-    let end = addr.offset + len;
+    let end = addr.offset.saturating_add(len);
     while off < end {
         let frame = off / FRAME_BYTES;
         let within = off % FRAME_BYTES;
-        let chunk = (FRAME_BYTES - within).min(end - off);
+        // `within < FRAME_BYTES` (it is a remainder) and `off < end` (loop
+        // guard), so neither subtraction can underflow.
+        let chunk = FRAME_BYTES
+            .saturating_sub(within)
+            .min(end.saturating_sub(off));
         out.push((frame, within, chunk));
-        off += chunk;
+        off = off.saturating_add(chunk);
     }
     out
 }

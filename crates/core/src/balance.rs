@@ -11,7 +11,7 @@ use crate::migrate::{migrate_segment, MigrationReport};
 use crate::pool::LogicalPool;
 use lmp_fabric::{Fabric, NodeId};
 use lmp_sim::prelude::*;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Balancer tuning.
 #[derive(Debug, Clone, PartialEq)]
@@ -98,7 +98,7 @@ impl LocalityBalancer {
                 }
             }
             for seg in segs {
-                let mut per_accessor: HashMap<u32, u64> = HashMap::new();
+                let mut per_accessor: BTreeMap<u32, u64> = BTreeMap::new();
                 for f in local.frames_of(seg) {
                     // Sum decayed counts per accessor for this frame.
                     for acc in 0..pool.servers() {

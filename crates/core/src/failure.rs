@@ -19,7 +19,7 @@ use crate::pool::{LogicalPool, Placement, PoolError};
 use lmp_fabric::{Fabric, NodeId};
 use lmp_mem::FRAME_BYTES;
 use lmp_sim::prelude::*;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Identifier of a parity group.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -98,11 +98,11 @@ pub struct DegradedRead {
 #[derive(Debug, Default)]
 pub struct ProtectionManager {
     /// primary → replica.
-    mirrors: HashMap<SegmentId, SegmentId>,
+    mirrors: BTreeMap<SegmentId, SegmentId>,
     /// replica → primary.
-    replica_of: HashMap<SegmentId, SegmentId>,
-    groups: HashMap<GroupId, ParityGroup>,
-    member_group: HashMap<SegmentId, GroupId>,
+    replica_of: BTreeMap<SegmentId, SegmentId>,
+    groups: BTreeMap<GroupId, ParityGroup>,
+    member_group: BTreeMap<SegmentId, GroupId>,
     next_group: u64,
 }
 
@@ -164,7 +164,10 @@ impl ProtectionManager {
         // down port (fault injection) fails the mirror cleanly.
         fabric
             .try_write(now, home, target, len)
-            .map_err(|e| PoolError::ServerDown(e.node()))?;
+            .map_err(|e| match e.node() {
+                Some(n) => PoolError::ServerDown(n),
+                None => PoolError::Internal("fabric rejected a well-formed transfer"),
+            })?;
         let replica = pool.alloc(len, Placement::On(target))?;
         let data = pool.read_bytes(LogicalAddr::new(seg, 0), len)?;
         pool.write_bytes(LogicalAddr::new(replica, 0), &data)?;
@@ -182,7 +185,9 @@ impl ProtectionManager {
         now: SimTime,
         members: &[SegmentId],
     ) -> Result<GroupId, PoolError> {
-        assert!(members.len() >= 2, "parity needs at least two members");
+        if members.len() < 2 {
+            return Err(PoolError::InvalidRequest("parity needs at least two members"));
+        }
         let len = pool
             .segment_len(members[0])
             .ok_or(PoolError::UnknownSegment(members[0]))?;
@@ -192,12 +197,17 @@ impl ProtectionManager {
                 return Err(PoolError::AlreadyProtected(m));
             }
             let l = pool.segment_len(m).ok_or(PoolError::UnknownSegment(m))?;
-            assert_eq!(l, len, "parity members must have equal length");
+            if l != len {
+                return Err(PoolError::InvalidRequest(
+                    "parity members must have equal length",
+                ));
+            }
             let h = pool.holder_of(m).ok_or(PoolError::UnknownSegment(m))?;
-            assert!(
-                !homes.contains(&h),
-                "parity members must live on distinct servers"
-            );
+            if homes.contains(&h) {
+                return Err(PoolError::InvalidRequest(
+                    "parity members must live on distinct servers",
+                ));
+            }
             homes.push(h);
         }
         let target = pick_other_server(pool, len, &homes).ok_or(PoolError::Capacity {
@@ -208,7 +218,10 @@ impl ProtectionManager {
         for &h in &homes {
             fabric
                 .try_read(now, target, h, len)
-                .map_err(|e| PoolError::ServerDown(e.node()))?;
+                .map_err(|e| match e.node() {
+                    Some(n) => PoolError::ServerDown(n),
+                    None => PoolError::Internal("fabric rejected a well-formed transfer"),
+                })?;
         }
         let parity = pool.alloc(len, Placement::On(target))?;
         let mut acc = vec![0u8; len as usize];
@@ -247,11 +260,16 @@ impl ProtectionManager {
         };
         // Parity delta must be computed against the old contents.
         if let Some(gid) = self.member_group.get(&addr.segment).copied() {
-            let group = self.groups.get(&gid).expect("group exists").clone();
-            assert_ne!(
-                group.parity, addr.segment,
-                "direct writes to a parity segment are not allowed"
-            );
+            let group = self
+                .groups
+                .get(&gid)
+                .ok_or(PoolError::Internal("member points at a dissolved group"))?
+                .clone();
+            if group.parity == addr.segment {
+                return Err(PoolError::InvalidRequest(
+                    "direct writes to a parity segment are not allowed",
+                ));
+            }
             let old = pool.read_bytes(addr, data.len() as u64)?;
             let mut delta: Vec<u8> = old.iter().zip(data).map(|(o, n)| o ^ n).collect();
             let paddr = LogicalAddr::new(group.parity, addr.offset);
@@ -347,7 +365,10 @@ impl ProtectionManager {
         // victim's range is the XOR of the same range in every other
         // member plus the parity.
         if let Some(gid) = self.member_group.get(&seg) {
-            let group = self.groups.get(gid).expect("group exists");
+            let group = self
+                .groups
+                .get(gid)
+                .ok_or(PoolError::Internal("member points at a dissolved group"))?;
             let mut acc = vec![0u8; len as usize];
             let mut complete = now;
             let mut survivors = 0u32;
@@ -396,15 +417,18 @@ impl ProtectionManager {
             if let Some(replica) = self.mirrors.remove(&seg) {
                 // Promote the replica: its frames become the segment's.
                 self.replica_of.remove(&replica);
-                let new_home = pool.holder_of(replica).expect("replica is live");
-                pool.promote_replica(seg, replica);
+                if pool.promote_replica(seg, replica).is_err() {
+                    // Bookkeeping disagreed about the replica (a bug, not
+                    // an injectable fault); degrade to reporting loss.
+                    report.lost.push(seg);
+                    continue;
+                }
                 report.promoted.push(seg);
                 // Re-mirror for continued protection, if room exists.
                 if self.mirror(pool, fabric, now, seg).is_ok() {
                     report.reprotected.push(seg);
                     report.bytes_transferred += pool.segment_len(seg).unwrap_or(0);
                 }
-                let _ = new_home;
             } else if let Some(primary) = self.replica_of.remove(&seg) {
                 // A replica died; the primary is fine. Re-mirror it.
                 self.mirrors.remove(&primary);
@@ -414,7 +438,12 @@ impl ProtectionManager {
                     report.bytes_transferred += pool.segment_len(primary).unwrap_or(0);
                 }
             } else if let Some(gid) = self.member_group.get(&seg).copied() {
-                let group = self.groups.get(&gid).expect("group exists").clone();
+                let Some(group) = self.groups.get(&gid).cloned() else {
+                    // Member points at a dissolved group (a bug, not an
+                    // injectable fault); degrade to reporting loss.
+                    report.lost.push(seg);
+                    continue;
+                };
                 match self.reconstruct(pool, fabric, now, &group, seg) {
                     Ok((bytes, done, degraded)) => {
                         report.bytes_transferred += bytes;
@@ -515,8 +544,10 @@ fn pick_other_server(pool: &LogicalPool, len: u64, exclude: &[NodeId]) -> Option
         .max_by_key(|n| (pool.free_shared_frames(*n), std::cmp::Reverse(n.0)))
 }
 
+/// XOR `data` into `acc`. Callers always pass equal lengths (all members
+/// of a parity group share one length); `zip` makes a mismatch inert
+/// rather than a panic.
 fn xor_into(acc: &mut [u8], data: &[u8]) {
-    assert_eq!(acc.len(), data.len());
     for (a, d) in acc.iter_mut().zip(data) {
         *a ^= d;
     }

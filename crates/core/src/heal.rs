@@ -118,7 +118,10 @@ impl RecoveryOrchestrator {
         now: SimTime,
         batch: usize,
     ) -> Vec<TaggedRecovery> {
-        assert!(batch >= 1, "a zero batch makes no progress");
+        if batch == 0 {
+            // A zero batch makes no progress by definition.
+            return Vec::new();
+        }
         let mut out = Vec::new();
         let mut budget = batch;
         let nodes: Vec<u32> = self.pending.keys().copied().collect();

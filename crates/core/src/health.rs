@@ -307,9 +307,10 @@ impl FailureDetector {
                         outcome = Some(false);
                         break;
                     }
-                    // The prober itself could not transmit: inconclusive
-                    // for the target; try the next prober.
-                    Err(FabricError::RequesterDown(_)) => continue,
+                    // The prober itself could not transmit (or the probe
+                    // was malformed): inconclusive for the target; try the
+                    // next prober.
+                    Err(FabricError::RequesterDown(_) | FabricError::Contract(_)) => continue,
                 }
             }
             let Some(ok) = outcome else { continue };

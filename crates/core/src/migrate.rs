@@ -97,7 +97,7 @@ pub fn migrate_segment(
         for f in frames {
             pool.node_raw(src)
                 .free(f)
-                .expect("migrated frames were allocated");
+                .map_err(|_| PoolError::Internal("migrated frame was not allocated"))?;
         }
     }
     let new_loc = pool.global_mut().relocate(seg, dst);

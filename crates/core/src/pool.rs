@@ -14,7 +14,7 @@ use crate::translate::{GlobalMap, LocalMap, SegmentLoc, TranslationCache};
 use lmp_fabric::{Fabric, FabricError, MemOp, NodeId};
 use lmp_mem::{DramProfile, MemoryNode, RegionKind, FRAME_BYTES};
 use lmp_sim::prelude::*;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Construction parameters for a logical pool.
 #[derive(Debug, Clone)]
@@ -87,6 +87,13 @@ pub enum PoolError {
     /// recovery orchestrator may race re-protection with a second crash;
     /// this is recoverable, not a programming error.
     AlreadyProtected(SegmentId),
+    /// The caller violated an API contract (zero-length allocation,
+    /// mismatched buffer, …). Recoverable: the pool state is unchanged.
+    InvalidRequest(&'static str),
+    /// Internal bookkeeping corruption: maps disagree with each other.
+    /// Surfaced as an error (not a panic) so an injected fault cannot
+    /// abort the whole simulation, but any occurrence is a bug.
+    Internal(&'static str),
 }
 
 impl std::fmt::Display for PoolError {
@@ -102,6 +109,8 @@ impl std::fmt::Display for PoolError {
             PoolError::SegmentLost(s) => write!(f, "memory exception: {s} lost to a crash"),
             PoolError::ServerDown(n) => write!(f, "server {n} is down"),
             PoolError::AlreadyProtected(s) => write!(f, "segment {s} is already protected"),
+            PoolError::InvalidRequest(why) => write!(f, "invalid request: {why}"),
+            PoolError::Internal(why) => write!(f, "internal invariant violated: {why}"),
         }
     }
 }
@@ -129,7 +138,7 @@ pub struct LogicalPool {
     global: GlobalMap,
     locals: Vec<LocalMap>,
     tlbs: Vec<Option<TranslationCache>>,
-    segment_len: HashMap<SegmentId, u64>,
+    segment_len: BTreeMap<SegmentId, u64>,
     next_segment: u64,
     rr_cursor: u32,
     local_accesses: Counter,
@@ -144,6 +153,8 @@ impl LogicalPool {
     /// Panics when `shared_per_server > capacity_per_server` or there are
     /// zero servers.
     pub fn new(config: PoolConfig) -> Self {
+        // lmp-lint: allow(no-panic) — constructor precondition on static
+        // config, documented under `# Panics`; no pool exists yet to recover.
         assert!(config.servers > 0, "pool needs servers");
         let nodes = (0..config.servers)
             .map(|i| {
@@ -171,7 +182,7 @@ impl LogicalPool {
             global: GlobalMap::new(),
             locals,
             tlbs,
-            segment_len: HashMap::new(),
+            segment_len: BTreeMap::new(),
             next_segment: 0,
             rr_cursor: 0,
             local_accesses: Counter::new(),
@@ -295,7 +306,9 @@ impl LogicalPool {
     /// segment's logical addresses are stable for its lifetime, across any
     /// number of migrations.
     pub fn alloc(&mut self, len: u64, placement: Placement) -> Result<SegmentId, PoolError> {
-        assert!(len > 0, "zero-length allocation");
+        if len == 0 {
+            return Err(PoolError::InvalidRequest("zero-length allocation"));
+        }
         let frames = len.div_ceil(FRAME_BYTES);
         let server = self
             .pick_server(frames, placement)
@@ -324,7 +337,7 @@ impl LogicalPool {
                 for f in frames {
                     self.nodes[loc.server.0 as usize]
                         .free(f)
-                        .expect("local map frame must be allocated");
+                        .map_err(|_| PoolError::Internal("local map frame not allocated"))?;
                 }
             }
         }
@@ -418,7 +431,9 @@ impl LogicalPool {
     ) -> Result<PoolAccess, PoolError> {
         let batch = [BatchOp { addr, len, op }];
         let mut r = self.access_batch(fabric, now, requester, &batch)?;
-        Ok(r.ops.pop().expect("one op in, one op out"))
+        r.ops
+            .pop()
+            .ok_or(PoolError::Internal("batch of one returned no op"))
     }
 
     /// Batched scatter-gather access: `requester` issues every op in `ops`
@@ -464,7 +479,7 @@ impl LogicalPool {
         if self.nodes[requester.0 as usize].is_failed() {
             return Err(PoolError::ServerDown(requester));
         }
-        let mut locs: HashMap<SegmentId, SegmentLoc> = HashMap::new();
+        let mut locs: BTreeMap<SegmentId, SegmentLoc> = BTreeMap::new();
         let mut op_faults = vec![0u32; ops.len()];
         for (i, o) in ops.iter().enumerate() {
             if locs.contains_key(&o.addr.segment) {
@@ -507,7 +522,7 @@ impl LogicalPool {
             for (frame_idx, within, chunk) in frame_chunks(o.addr, o.len) {
                 let frame = self.locals[holder.0 as usize]
                     .resolve(o.addr.segment, frame_idx)
-                    .expect("fine map covers live segment");
+                    .ok_or(PoolError::Internal("fine map missing frame of live segment"))?;
                 streams
                     .entry((holder.0, matches!(o.op, MemOp::Write)))
                     .or_default()
@@ -608,6 +623,7 @@ impl LogicalPool {
                     .map_err(|e| match e {
                         FabricError::RequesterDown(n) => PoolError::ServerDown(n),
                         FabricError::HolderDown(_) => PoolError::SegmentLost(runs[0].seg),
+                        FabricError::Contract(why) => PoolError::Internal(why),
                     })?;
                 for (ri, &done) in bt.chunk_done.iter().enumerate() {
                     run_complete[ri] = run_complete[ri].max(done);
@@ -668,7 +684,7 @@ impl LogicalPool {
         for (frame_idx, within, chunk) in frame_chunks(addr, data.len() as u64) {
             let frame = self.locals[loc.server.0 as usize]
                 .resolve(addr.segment, frame_idx)
-                .expect("fine map covers live segment");
+                .ok_or(PoolError::Internal("fine map missing frame of live segment"))?;
             self.nodes[loc.server.0 as usize].write_bytes(
                 frame,
                 within,
@@ -693,7 +709,7 @@ impl LogicalPool {
         for (frame_idx, within, chunk) in frame_chunks(addr, len) {
             let frame = self.locals[loc.server.0 as usize]
                 .resolve(addr.segment, frame_idx)
-                .expect("fine map covers live segment");
+                .ok_or(PoolError::Internal("fine map missing frame of live segment"))?;
             out.extend(self.nodes[loc.server.0 as usize].read_bytes(
                 frame,
                 within,
@@ -742,15 +758,22 @@ impl LogicalPool {
     /// Failure handling: `replica`'s frames become `seg`'s (same length),
     /// and the replica id disappears. Used to promote a mirror after its
     /// primary's server crashed.
-    pub(crate) fn promote_replica(&mut self, seg: SegmentId, replica: SegmentId) {
-        let rloc = self.global.peek(replica).expect("replica exists");
+    pub(crate) fn promote_replica(
+        &mut self,
+        seg: SegmentId,
+        replica: SegmentId,
+    ) -> Result<(), PoolError> {
+        let rloc = self
+            .global
+            .peek(replica)
+            .ok_or(PoolError::Internal("replica segment unknown to global map"))?;
         let frames = self.locals[rloc.server.0 as usize]
             .remove(replica)
-            .expect("replica has frames");
+            .ok_or(PoolError::Internal("replica segment has no frames"))?;
         let rlen = self
             .segment_len
             .remove(&replica)
-            .expect("replica has a length");
+            .ok_or(PoolError::Internal("replica segment has no length"))?;
         // Forget the segment's stale presence on its crashed home.
         if let Some(old) = self.global.peek(seg) {
             self.locals[old.server.0 as usize].remove(seg);
@@ -763,6 +786,7 @@ impl LogicalPool {
             tlb.invalidate(seg);
             tlb.invalidate(replica);
         }
+        Ok(())
     }
 
     /// Failure handling: forget a segment whose frames died with a crashed
@@ -790,7 +814,9 @@ impl LogicalPool {
             .get(&seg)
             .copied()
             .ok_or(PoolError::UnknownSegment(seg))?;
-        assert_eq!(data.len() as u64, len, "reconstruction length mismatch");
+        if data.len() as u64 != len {
+            return Err(PoolError::Internal("reconstruction length mismatch"));
+        }
         let frames = len.div_ceil(FRAME_BYTES);
         let frame_ids = self.nodes[target.0 as usize]
             .alloc_many(RegionKind::Shared, frames)
@@ -833,6 +859,8 @@ impl LogicalPool {
         a: NodeId,
         b: NodeId,
     ) -> (&mut MemoryNode, &mut MemoryNode) {
+        // lmp-lint: allow(no-panic) — aliasing precondition: `a == b` would
+        // hand out two `&mut` to one node. Every caller checks it first.
         assert_ne!(a, b);
         let (ai, bi) = (a.0 as usize, b.0 as usize);
         if ai < bi {

@@ -11,7 +11,7 @@
 use crate::addr::SegmentId;
 use crate::pool::{LogicalPool, PoolError};
 use lmp_fabric::NodeId;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Errors from sharing operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,7 +39,7 @@ impl std::error::Error for ShareError {}
 /// Reference-counted sharing state for pool buffers.
 #[derive(Debug, Default)]
 pub struct SharingRegistry {
-    holders: HashMap<SegmentId, BTreeSet<u32>>,
+    holders: BTreeMap<SegmentId, BTreeSet<u32>>,
 }
 
 impl SharingRegistry {
@@ -115,6 +115,9 @@ impl SharingRegistry {
     /// Published segments a crashed server referenced (its references are
     /// dropped; buffers it solely held are freed). Returns the segments
     /// that were freed.
+    // detach() is called only for segments whose holder set was just
+    // verified to contain `server`.
+    #[allow(clippy::expect_used)]
     pub fn drop_server(&mut self, pool: &mut LogicalPool, server: NodeId) -> Vec<SegmentId> {
         let segs: Vec<SegmentId> = self
             .holders

@@ -19,7 +19,7 @@ use crate::addr::SegmentId;
 use lmp_fabric::NodeId;
 use lmp_mem::FrameId;
 use lmp_sim::prelude::*;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Where a segment currently lives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,7 +33,7 @@ pub struct SegmentLoc {
 /// The coarse, globally replicated map: segment → server.
 #[derive(Debug, Default)]
 pub struct GlobalMap {
-    entries: HashMap<SegmentId, SegmentLoc>,
+    entries: BTreeMap<SegmentId, SegmentLoc>,
     lookups: Counter,
 }
 
@@ -111,7 +111,7 @@ impl GlobalMap {
 /// The fine, per-server map: segment → its frames on this server.
 #[derive(Debug, Default)]
 pub struct LocalMap {
-    frames: HashMap<SegmentId, Vec<FrameId>>,
+    frames: BTreeMap<SegmentId, Vec<FrameId>>,
 }
 
 impl LocalMap {
@@ -167,7 +167,7 @@ impl LocalMap {
 #[derive(Debug)]
 pub struct TranslationCache {
     capacity: usize,
-    entries: HashMap<SegmentId, (SegmentLoc, u64)>,
+    entries: BTreeMap<SegmentId, (SegmentLoc, u64)>,
     clock: u64,
     hits: Counter,
     misses: Counter,
@@ -183,7 +183,7 @@ impl TranslationCache {
         assert!(capacity > 0, "translation cache needs capacity");
         TranslationCache {
             capacity,
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             clock: 0,
             hits: Counter::new(),
             misses: Counter::new(),
@@ -208,6 +208,9 @@ impl TranslationCache {
     }
 
     /// Install/update a translation (after a global-map lookup).
+    // Eviction only runs when the cache is at capacity (>= 1 entry), so a
+    // victim always exists.
+    #[allow(clippy::expect_used)]
     pub fn refill(&mut self, seg: SegmentId, loc: SegmentLoc) {
         self.clock += 1;
         if self.entries.len() >= self.capacity && !self.entries.contains_key(&seg) {

@@ -1,3 +1,6 @@
+// Test/driver code: unwrap/expect on known-good setup is acceptable here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! Batch/single-op equivalence (`batch.rs` + `pool.rs`).
 //!
 //! The batched scatter-gather path reuses the single-op frame walk, so —

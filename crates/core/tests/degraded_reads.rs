@@ -1,3 +1,6 @@
+// Test/driver code: unwrap/expect on known-good setup is acceptable here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! Integration test: degraded reads are byte-identical for mirrored and
 //! parity-protected segments *while reconstruction is still in flight*.
 //!

@@ -1,3 +1,6 @@
+// Test/driver code: unwrap/expect on known-good setup is acceptable here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! Property test for XOR parity recovery (`failure.rs`).
 //!
 //! For random segment contents, random protected overwrites, and any

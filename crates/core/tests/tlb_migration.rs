@@ -1,3 +1,6 @@
+// Test/driver code: unwrap/expect on known-good setup is acceptable here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! Two-level translation under churn (`translate.rs` + `migrate.rs`).
 //!
 //! A deliberately tiny TLB (2 entries) is thrashed by a randomized

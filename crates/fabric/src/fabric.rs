@@ -53,13 +53,18 @@ pub enum FabricError {
     RequesterDown(NodeId),
     /// The holder's fabric port is down.
     HolderDown(NodeId),
+    /// The caller misused the fabric API: a self-transfer, an empty batch
+    /// stream, a zero-op batch. Recoverable — no wire state was touched.
+    Contract(&'static str),
 }
 
 impl FabricError {
-    /// The node whose port is down, whichever side it was on.
-    pub fn node(&self) -> NodeId {
+    /// The node whose port is down, whichever side it was on. `None` for
+    /// contract violations, which have no failed port.
+    pub fn node(&self) -> Option<NodeId> {
         match self {
-            FabricError::RequesterDown(n) | FabricError::HolderDown(n) => *n,
+            FabricError::RequesterDown(n) | FabricError::HolderDown(n) => Some(*n),
+            FabricError::Contract(_) => None,
         }
     }
 }
@@ -69,6 +74,7 @@ impl std::fmt::Display for FabricError {
         match self {
             FabricError::RequesterDown(n) => write!(f, "requester {n} is off the fabric"),
             FabricError::HolderDown(n) => write!(f, "holder {n} is off the fabric"),
+            FabricError::Contract(why) => write!(f, "fabric contract violation: {why}"),
         }
     }
 }
@@ -103,6 +109,8 @@ impl Fabric {
     /// # Panics
     /// Panics when `node_count` is zero.
     pub fn new(profile: LinkProfile, node_count: u32) -> Self {
+        // lmp-lint: allow(no-panic) — constructor precondition on static
+        // config, documented under `# Panics`; no fabric exists yet.
         assert!(node_count > 0, "fabric needs at least one node");
         let links = (0..node_count * 2)
             .map(|_| Link::new(profile.clone()))
@@ -134,6 +142,8 @@ impl Fabric {
     /// # Panics
     /// Panics on an unknown node or non-positive multiplier.
     pub fn provision_uplink(&mut self, node: NodeId, multiplier: f64) {
+        // lmp-lint: allow(no-panic) — topology-setup precondition, documented
+        // under `# Panics`; runs before any simulation traffic exists.
         assert!(multiplier > 0.0, "link multiplier must be positive");
         let p = LinkProfile::new(
             format!("{}@{}x{multiplier:.0}", self.profile.name, node),
@@ -157,11 +167,16 @@ impl Fabric {
     }
 
     fn up_index(&self, node: NodeId) -> usize {
+        // lmp-lint: allow(no-panic) — indexing precondition, same class as
+        // slice indexing: an out-of-range NodeId is a harness bug, and the
+        // explicit message beats the Vec index panic two lines later.
         assert!(node.0 < self.node_count, "unknown node {node}");
         node.0 as usize * 2
     }
 
     fn down_index(&self, node: NodeId) -> usize {
+        // lmp-lint: allow(no-panic) — indexing precondition, same class as
+        // slice indexing; see `up_index`.
         assert!(node.0 < self.node_count, "unknown node {node}");
         node.0 as usize * 2 + 1
     }
@@ -190,6 +205,8 @@ impl Fabric {
     /// [`Fabric::try_read`]/[`Fabric::try_write`] through it fail.
     pub fn set_port_down(&mut self, node: NodeId, down: bool) {
         let i = node.0 as usize;
+        // lmp-lint: allow(no-panic) — fault-injection setup precondition:
+        // an unknown NodeId is a harness-plan bug, caught before traffic.
         assert!(node.0 < self.node_count, "unknown node {node}");
         self.port_down[i] = down;
     }
@@ -206,7 +223,11 @@ impl Fabric {
     /// # Panics
     /// Panics on an unknown node or a factor below 1.0.
     pub fn degrade_node(&mut self, node: NodeId, factor: f64) {
+        // lmp-lint: allow(no-panic) — fault-injection setup preconditions,
+        // documented under `# Panics`; a factor < 1.0 would silently turn
+        // degradation into speed-up, corrupting every scenario digest.
         assert!(node.0 < self.node_count, "unknown node {node}");
+        // lmp-lint: allow(no-panic) — see above: plan-validation assert.
         assert!(factor >= 1.0, "degradation factor must be >= 1.0");
         self.latency_factor[node.0 as usize] = factor;
     }
@@ -242,6 +263,7 @@ impl Fabric {
     /// fabric and must be served by the memory model instead — or if
     /// either port is down (use [`Fabric::try_read`] under fault
     /// injection).
+    #[allow(clippy::expect_used)] // documented infallible wrapper, see above
     pub fn read(
         &mut self,
         now: SimTime,
@@ -250,14 +272,16 @@ impl Fabric {
         bytes: u64,
     ) -> FabricCompletion {
         self.try_read(now, requester, holder, bytes)
+            // lmp-lint: allow(no-panic) — documented infallible wrapper:
+            // callers use it only on a healthy fabric; faulty paths go
+            // through try_read.
             .expect("fabric port down; use try_read under fault injection")
     }
 
     /// Fallible remote read; see [`Fabric::read`]. Returns an error
-    /// instead of completing when either endpoint's port is down.
-    ///
-    /// # Panics
-    /// Panics if `requester == holder`.
+    /// instead of completing when either endpoint's port is down, or
+    /// [`FabricError::Contract`] for a self-transfer (local accesses never
+    /// touch the fabric).
     pub fn try_read(
         &mut self,
         now: SimTime,
@@ -265,10 +289,11 @@ impl Fabric {
         holder: NodeId,
         bytes: u64,
     ) -> Result<FabricCompletion, FabricError> {
-        assert!(
-            requester != holder,
-            "local access on the fabric: {requester}"
-        );
+        if requester == holder {
+            return Err(FabricError::Contract(
+                "local access on the fabric: reads of resident memory bypass it",
+            ));
+        }
         self.check_ports(requester, holder)?;
         self.reads.inc();
         // Bottleneck utilization along the data path, sampled pre-admission.
@@ -311,6 +336,7 @@ impl Fabric {
     /// # Panics
     /// Panics if `requester == holder`, or if either port is down (use
     /// [`Fabric::try_write`] under fault injection).
+    #[allow(clippy::expect_used)] // documented infallible wrapper, see above
     pub fn write(
         &mut self,
         now: SimTime,
@@ -319,14 +345,16 @@ impl Fabric {
         bytes: u64,
     ) -> FabricCompletion {
         self.try_write(now, requester, holder, bytes)
+            // lmp-lint: allow(no-panic) — documented infallible wrapper:
+            // callers use it only on a healthy fabric; faulty paths go
+            // through try_write.
             .expect("fabric port down; use try_write under fault injection")
     }
 
     /// Fallible remote write; see [`Fabric::write`]. Returns an error
-    /// instead of completing when either endpoint's port is down.
-    ///
-    /// # Panics
-    /// Panics if `requester == holder`.
+    /// instead of completing when either endpoint's port is down, or
+    /// [`FabricError::Contract`] for a self-transfer (local accesses never
+    /// touch the fabric).
     pub fn try_write(
         &mut self,
         now: SimTime,
@@ -334,10 +362,11 @@ impl Fabric {
         holder: NodeId,
         bytes: u64,
     ) -> Result<FabricCompletion, FabricError> {
-        assert!(
-            requester != holder,
-            "local access on the fabric: {requester}"
-        );
+        if requester == holder {
+            return Err(FabricError::Contract(
+                "local access on the fabric: writes to resident memory bypass it",
+            ));
+        }
         self.check_ports(requester, holder)?;
         self.writes.inc();
         let u = self.path_utilization(now, requester, holder);
@@ -387,9 +416,8 @@ impl Fabric {
     /// the counters track logical operations served, which upper layers'
     /// conservation checks compare against per-op access counts.
     ///
-    /// # Panics
-    /// Panics if `requester == holder`, on an empty chunk list, or when
-    /// `ops` is zero.
+    /// Returns [`FabricError::Contract`] for a self-transfer, an empty
+    /// chunk list, or zero `ops`.
     pub fn transfer_batch(
         &mut self,
         now: SimTime,
@@ -399,12 +427,19 @@ impl Fabric {
         chunks: &[u64],
         ops: u64,
     ) -> Result<BatchTransfer, FabricError> {
-        assert!(
-            requester != holder,
-            "local access on the fabric: {requester}"
-        );
-        assert!(!chunks.is_empty(), "empty batch stream");
-        assert!(ops > 0, "batch stream must carry at least one op");
+        if requester == holder {
+            return Err(FabricError::Contract(
+                "local access on the fabric: batch streams bypass it",
+            ));
+        }
+        if chunks.is_empty() {
+            return Err(FabricError::Contract("empty batch stream"));
+        }
+        if ops == 0 {
+            return Err(FabricError::Contract(
+                "batch stream must carry at least one op",
+            ));
+        }
         self.check_ports(requester, holder)?;
         match op {
             MemOp::Read => self.reads.add(ops),
@@ -429,7 +464,9 @@ impl Fabric {
                     let d2 = self.links[r_down].transfer_wire(d1.1, bytes);
                     chunk_done.push(d2.1 + latency);
                 }
-                let complete = *chunk_done.last().expect("non-empty stream");
+                // `chunks` was checked non-empty above, so the loop pushed
+                // at least one completion.
+                let complete = chunk_done.last().copied().unwrap_or(now);
                 self.read_latency.record_duration(complete.duration_since(now));
                 complete
             }
@@ -462,17 +499,19 @@ impl Fabric {
     /// congestion but never move payload bandwidth. Failures report which
     /// side was unreachable: [`FabricError::RequesterDown`] means the
     /// *prober* could not transmit (inconclusive evidence about the
-    /// target), [`FabricError::HolderDown`] means the target did not echo.
-    ///
-    /// # Panics
-    /// Panics if `prober == target` — a node does not heartbeat itself.
+    /// target), [`FabricError::HolderDown`] means the target did not echo,
+    /// and [`FabricError::Contract`] a self-probe.
     pub fn probe(
         &mut self,
         now: SimTime,
         prober: NodeId,
         target: NodeId,
     ) -> Result<FabricCompletion, FabricError> {
-        assert!(prober != target, "self-probe on the fabric: {prober}");
+        if prober == target {
+            return Err(FabricError::Contract(
+                "self-probe on the fabric: a node does not heartbeat itself",
+            ));
+        }
         self.check_ports(prober, target)?;
         self.probes.inc();
         let u = self.path_utilization(now, prober, target);
@@ -586,10 +625,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "local access")]
-    fn local_read_panics() {
+    fn local_read_is_a_contract_error() {
         let mut f = Fabric::new(LinkProfile::link0(), 4);
-        f.read(t(0), NodeId(2), NodeId(2), 64);
+        assert!(matches!(
+            f.try_read(t(0), NodeId(2), NodeId(2), 64),
+            Err(FabricError::Contract(_))
+        ));
     }
 
     #[test]
@@ -719,10 +760,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "self-probe")]
-    fn self_probe_panics() {
+    fn self_probe_is_a_contract_error() {
         let mut f = Fabric::new(LinkProfile::link0(), 3);
-        let _ = f.probe(t(0), NodeId(1), NodeId(1));
+        assert!(matches!(
+            f.probe(t(0), NodeId(1), NodeId(1)),
+            Err(FabricError::Contract(_))
+        ));
     }
 
     #[test]

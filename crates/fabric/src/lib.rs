@@ -1,3 +1,6 @@
+// Tests may unwrap/expect freely; production code must not (see crates/lint).
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 //! # lmp-fabric — CXL-like rack fabric model
 //!
 //! The paper assumes a CXL 3.0 fabric (Global Shared Fabric-Attached Memory

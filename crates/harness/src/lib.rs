@@ -1,3 +1,6 @@
+// Tests may unwrap/expect freely; production code must not (see crates/lint).
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 //! # lmp-harness — deterministic fault injection for the LMP stack
 //!
 //! A FoundationDB-style simulation-testing layer over the repo's

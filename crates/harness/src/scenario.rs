@@ -1,3 +1,7 @@
+// Scenario orchestration is harness code: a failed setup step or breached
+// invariant must abort the run loudly, exactly like an assert in a test.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 //! Chaos scenarios: seeded workloads under seeded fault plans, with the
 //! invariant checkers wired in.
 //!

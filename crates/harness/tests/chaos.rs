@@ -1,3 +1,6 @@
+// Test/driver code: unwrap/expect on known-good setup is acceptable here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! Integration tests: every recovery path in `lmp-core::failure` is
 //! exercised end-to-end through the chaos harness, deterministically.
 //!

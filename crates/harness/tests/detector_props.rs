@@ -1,3 +1,6 @@
+// Test/driver code: unwrap/expect on known-good setup is acceptable here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! Property test for the lease failure detector (`lmp-core::health`).
 //!
 //! Over randomized port-flap schedules — generated as seeded

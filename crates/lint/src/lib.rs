@@ -1,0 +1,200 @@
+// Tests may unwrap/expect freely; production code must not (see crates/lint).
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+//! `lmp-lint`: the workspace determinism-and-atomicity gate.
+//!
+//! The repo's correctness story — byte-stable [`TelemetrySnapshot`] JSON,
+//! FNV trace digests in every chaos scenario, batch/single equivalence
+//! proptests — rests on invariants that used to be tribal knowledge. This
+//! crate machine-checks them as a CI gate:
+//!
+//! * **R1 `wall-clock`** — no `SystemTime`, `Instant::now`, or
+//!   `thread_rng` anywhere in workspace source. All time is sim-time, all
+//!   randomness is seeded; a single wall-clock read makes every digest
+//!   unreproducible.
+//! * **R2 `unordered-iter`** — no iteration (`.iter()`, `.values()`,
+//!   `.keys()`, `.drain()`, `.retain()`, `for … in`) over `HashMap` /
+//!   `HashSet` in files that construct snapshots, digests, fault plans, or
+//!   migration/balancing decisions. Those structures must be `BTreeMap` /
+//!   `BTreeSet`, or sorted before use.
+//! * **R3 `no-panic`** — no `unwrap()` / `expect()` / `panic!` /
+//!   `assert!` family in the designated *recoverable* modules outside
+//!   `#[cfg(test)]`: recoverable pool/fabric paths must return
+//!   `PoolError` / `FabricError`.
+//! * **R4 `unchecked-arith`** — no bare `+` / `-` / `*` on designated
+//!   bounds/translation files; offsets and lengths must use `checked_*` /
+//!   `saturating_*` arithmetic.
+//! * **R5 suppressions** — `// lmp-lint: allow(<rule>) — <justification>`
+//!   silences one rule on one line. A suppression without a justification
+//!   (`bare-allow`) or that suppresses nothing (`unused-allow`) is itself
+//!   an error, so allows cannot rot.
+//!
+//! The implementation is a line-oriented token scanner, not a parser: it
+//! blanks comments and string/char literals, tracks `#[cfg(test)]` brace
+//! regions, and matches word-boundary tokens. No `syn`, no proc-macro
+//! stack — the tool stays buildable offline against the vendored `shims/`.
+//!
+//! [`TelemetrySnapshot`]: ../lmp_telemetry/struct.TelemetrySnapshot.html
+
+mod scan;
+
+pub use scan::{scan_source, FileClass, Finding, Rule};
+
+use std::path::{Path, PathBuf};
+
+/// Files whose map/set iteration feeds snapshots, digests, fault plans, or
+/// migration/balancing decisions (rule R2). Matched as path suffixes with
+/// `/` separators.
+pub const R2_DIGEST_PATH_FILES: &[&str] = &[
+    // Snapshot & digest construction.
+    "crates/telemetry/src/registry.rs",
+    "crates/telemetry/src/snapshot.rs",
+    "crates/telemetry/src/span.rs",
+    "crates/harness/src/trace.rs",
+    "crates/harness/src/invariants.rs",
+    "crates/harness/src/scenario.rs",
+    // Fault plans.
+    "crates/harness/src/plan.rs",
+    // Migration / balancing / sizing decisions and their inputs.
+    "crates/core/src/balance.rs",
+    "crates/core/src/migrate.rs",
+    "crates/core/src/controller.rs",
+    "crates/core/src/sizing.rs",
+    "crates/core/src/observe.rs",
+    "crates/core/src/translate.rs",
+    "crates/core/src/pool.rs",
+    "crates/core/src/failure.rs",
+    "crates/core/src/heal.rs",
+    "crates/core/src/health.rs",
+    "crates/core/src/share.rs",
+    "crates/mem/src/hotness.rs",
+    "crates/mem/src/node.rs",
+    // Exporters that feed the rack snapshot.
+    "crates/fabric/src/fabric.rs",
+    "crates/fabric/src/link.rs",
+    "crates/coherence/src/region.rs",
+    "crates/coherence/src/directory.rs",
+    "crates/coherence/src/filter.rs",
+    // Deterministic event ordering.
+    "crates/sim/src/queue.rs",
+];
+
+/// Recoverable modules (rule R3): crash, fault-injection, and migration
+/// paths where a panic would turn an injected fault into a process abort.
+/// Errors must surface as `PoolError` / `FabricError` instead.
+pub const R3_RECOVERABLE_FILES: &[&str] = &[
+    "crates/core/src/pool.rs",
+    "crates/core/src/failure.rs",
+    "crates/core/src/heal.rs",
+    "crates/core/src/migrate.rs",
+    "crates/fabric/src/fabric.rs",
+    "crates/mem/src/node.rs",
+];
+
+/// Bounds/translation arithmetic files (rule R4): every `+`/`-`/`*` on an
+/// offset or length here must be `checked_*`/`saturating_*` — a wrap in
+/// these files is exactly the PR-4 `check_bounds` overflow class.
+pub const R4_ARITH_FILES: &[&str] = &[
+    "crates/core/src/addr.rs",
+    "crates/mem/src/frame.rs",
+];
+
+/// Classify `path` (any separator style) against the designated-file lists.
+pub fn classify(path: &Path) -> FileClass {
+    let p = path.to_string_lossy().replace('\\', "/");
+    let suffix_match = |list: &[&str]| {
+        list.iter().any(|f| {
+            p.ends_with(f)
+                // Also accept scanning from inside the workspace root
+                // ("crates/core/src/pool.rs" given as the whole path).
+                || p == *f
+        })
+    };
+    FileClass {
+        digest_path: suffix_match(R2_DIGEST_PATH_FILES),
+        recoverable: suffix_match(R3_RECOVERABLE_FILES),
+        arith_path: suffix_match(R4_ARITH_FILES),
+    }
+}
+
+/// Walk the workspace rooted at `root` and return every `.rs` file the
+/// gate covers, sorted for deterministic output. Vendored shims, build
+/// output, and lint fixtures (intentional violations) are excluded.
+pub fn workspace_sources(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for top in ["crates", "src", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "fixtures" || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Scan one on-disk file with its path-derived classification.
+pub fn scan_path(root: &Path, path: &Path) -> std::io::Result<Vec<Finding>> {
+    let source = std::fs::read_to_string(path)?;
+    let label = path
+        .strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/");
+    Ok(scan_source(&label, &source, classify(path)))
+}
+
+/// Render findings as the machine-readable JSON the CI job consumes.
+/// Hand-rolled (no serde) so the gate has zero dependencies.
+pub fn to_json(findings: &[Finding]) -> String {
+    let mut s = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n  {{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
+            json_escape(&f.file),
+            f.line,
+            f.rule.name(),
+            json_escape(&f.message)
+        ));
+    }
+    if !findings.is_empty() {
+        s.push('\n');
+    }
+    s.push(']');
+    s
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

@@ -1,0 +1,146 @@
+//! CLI entry point: `lmp-lint [--workspace] [--format text|json] [paths…]`.
+//!
+//! Exit status: 0 when clean, 1 on any finding, 2 on usage/IO errors.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use lmp_lint::{scan_path, to_json, workspace_sources, Finding};
+
+struct Args {
+    workspace: bool,
+    json: bool,
+    paths: Vec<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workspace: false,
+        json: false,
+        paths: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workspace" => args.workspace = true,
+            "--format" => match it.next().as_deref() {
+                Some("json") => args.json = true,
+                Some("text") => args.json = false,
+                other => {
+                    return Err(format!(
+                        "--format expects `text` or `json`, got {:?}",
+                        other.unwrap_or("<missing>")
+                    ))
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: lmp-lint [--workspace] [--format text|json] [paths…]\n\
+                     \n\
+                     Scans Rust sources for the workspace determinism rules:\n\
+                     wall-clock, unordered-iter, no-panic, unchecked-arith, and\n\
+                     the allow-suppression rules (bare-allow, unused-allow).\n\
+                     With --workspace, walks crates/, src/, tests/, examples/\n\
+                     under the current directory. Exits 1 on any finding."
+                );
+                std::process::exit(0);
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
+            path => args.paths.push(PathBuf::from(path)),
+        }
+    }
+    if !args.workspace && args.paths.is_empty() {
+        return Err("nothing to scan: pass --workspace or explicit paths".to_string());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("lmp-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let root = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut targets: Vec<PathBuf> = Vec::new();
+    if args.workspace {
+        match workspace_sources(&root) {
+            Ok(mut files) => targets.append(&mut files),
+            Err(e) => {
+                eprintln!("lmp-lint: walking {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    for p in &args.paths {
+        if p.is_dir() {
+            let mut sub = Vec::new();
+            if let Err(e) = collect_dir(p, &mut sub) {
+                eprintln!("lmp-lint: walking {}: {e}", p.display());
+                return ExitCode::from(2);
+            }
+            sub.sort();
+            targets.extend(sub);
+        } else {
+            targets.push(p.clone());
+        }
+    }
+    targets.dedup();
+
+    let mut findings: Vec<Finding> = Vec::new();
+    for path in &targets {
+        match scan_path(&root, path) {
+            Ok(mut f) => findings.append(&mut f),
+            Err(e) => {
+                eprintln!("lmp-lint: {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule))
+    });
+
+    if args.json {
+        println!("{}", to_json(&findings));
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        if !findings.is_empty() {
+            eprintln!(
+                "lmp-lint: {} finding{} across {} file{}",
+                findings.len(),
+                if findings.len() == 1 { "" } else { "s" },
+                targets.len(),
+                if targets.len() == 1 { "" } else { "s" },
+            );
+        }
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn collect_dir(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_dir(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,28 @@
+//! Tricky negatives: nothing here is flagged even with every rule on.
+
+use std::collections::BTreeMap;
+
+/// Doc comments may mention `SystemTime`, `.unwrap()`, and even the
+/// suppression grammar `// lmp-lint: allow(no-panic)` without penalty.
+fn clean(map: &BTreeMap<u32, u32>) -> u64 {
+    let msg = "panic! and thread_rng() in strings are inert";
+    let raw = r#"SystemTime::now() in raw strings too"#;
+    let lifetime: &'static str = "lifetimes are not char literals";
+    let ch = '\n';
+    let mut acc = 0u64;
+    for (k, v) in map.iter() {
+        acc = acc.wrapping_add(u64::from(*k) ^ u64::from(*v));
+    }
+    let _ = (msg, raw, lifetime, ch);
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_do_anything() {
+        super::clean(&std::collections::BTreeMap::new());
+        let x: Option<u32> = Some(1);
+        assert_eq!(x.unwrap(), 1);
+    }
+}

@@ -1,0 +1,50 @@
+//! R2 fixture: unordered iteration on a digest-feeding path.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+struct Registry {
+    series: HashMap<String, u64>,
+    names: HashSet<String>,
+    ordered: BTreeMap<String, u64>,
+}
+
+impl Registry {
+    fn digest(&self) -> u64 {
+        let mut acc = 0;
+        for (_k, v) in &self.series {
+            acc ^= *v;
+        }
+        for name in &self.names {
+            acc ^= name.len() as u64;
+        }
+        acc
+    }
+
+    fn chained(&self) -> Vec<u64> {
+        self.series
+            .values()
+            .copied()
+            .collect()
+    }
+
+    fn prune(&mut self) {
+        self.names.retain(|n| !n.is_empty());
+    }
+
+    fn fine(&self) -> u64 {
+        let mut acc = 0;
+        for (_k, v) in self.ordered.iter() {
+            acc ^= *v;
+        }
+        acc ^ self.series.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn in_tests_is_fine(r: &mut Registry) {
+        r.series.drain();
+    }
+}

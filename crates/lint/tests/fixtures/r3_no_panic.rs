@@ -1,0 +1,45 @@
+//! R3 fixture: panic-family calls in a recoverable module.
+
+fn violations(x: Option<u32>, v: &[u32]) -> u32 {
+    let a = x.unwrap();
+    let b = v.first().expect("nonempty");
+    assert!(a > 0);
+    assert_eq!(a, *b);
+    if a > 100 {
+        panic!("too big");
+    }
+    unreachable!()
+}
+
+fn justified(x: Option<u32>) -> u32 {
+    // lmp-lint: allow(no-panic) — fixture: a justified allow suppresses.
+    x.unwrap()
+}
+
+fn bare(x: Option<u32>) -> u32 {
+    // lmp-lint: allow(no-panic)
+    x.unwrap()
+}
+
+fn unused(x: u32) -> u32 {
+    // lmp-lint: allow(no-panic) — fixture: this suppresses nothing.
+    x
+}
+
+fn unknown(x: u32) -> u32 {
+    // lmp-lint: allow(no-such-rule) — a justification does not save it.
+    x
+}
+
+fn trailing(x: Option<u32>) -> u32 {
+    x.expect("fixture") // lmp-lint: allow(no-panic) — same-line allow works.
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        assert_eq!(super::bare(Some(1)), 1);
+        None::<u32>.unwrap();
+    }
+}

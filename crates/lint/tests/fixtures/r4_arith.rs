@@ -1,0 +1,23 @@
+//! R4 fixture: bare arithmetic on bounds/translation paths.
+
+const FRAME: u64 = 4 * 1024;
+
+fn violations(base: u64, len: u64, idx: u64) -> u64 {
+    let end = base + len;
+    let span = end - base;
+    let byte = idx * FRAME;
+    end ^ span ^ byte
+}
+
+fn negatives(base: u64, len: u64) -> Option<u64> {
+    let end = base.checked_add(len)?;
+    let slack = end.saturating_sub(base);
+    let neg = -1i64;
+    let deref = &mut *Box::new(0u64);
+    let _ = (slack, neg, deref);
+    end.checked_mul(2)
+}
+
+fn bounds<T>(xs: &[T]) -> usize where T: Clone + Send { xs.len() }
+
+fn show(_x: &(impl Clone + Send)) {}

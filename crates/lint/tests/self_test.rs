@@ -1,0 +1,179 @@
+// Test/driver code: unwrap/expect on known-good setup is acceptable here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+//! Fixture-based self-test: each `tests/fixtures/*.rs` file carries seeded
+//! violations (and tricky negatives); the scanner must report exactly the
+//! expected `file:line: rule` set — no more, no less.
+
+use std::path::Path;
+
+use lmp_lint::{classify, scan_source, to_json, workspace_sources, FileClass, Rule};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).expect("fixture readable")
+}
+
+/// `(line, rule-name)` pairs, in the scanner's reporting order.
+fn found(name: &str, class: FileClass) -> Vec<(usize, &'static str)> {
+    scan_source(name, &fixture(name), class)
+        .into_iter()
+        .map(|f| (f.line, f.rule.name()))
+        .collect()
+}
+
+#[test]
+fn r1_wall_clock_fixture() {
+    let f = found("r1_wall_clock.rs", FileClass::default());
+    assert_eq!(
+        f,
+        vec![
+            (3, "wall-clock"),
+            (6, "wall-clock"),
+            (7, "wall-clock"),
+            (8, "wall-clock"),
+        ]
+    );
+}
+
+#[test]
+fn r2_unordered_fixture() {
+    let class = FileClass {
+        digest_path: true,
+        ..FileClass::default()
+    };
+    let f = found("r2_unordered.rs", class);
+    assert_eq!(
+        f,
+        vec![
+            (14, "unordered-iter"),
+            (17, "unordered-iter"),
+            (25, "unordered-iter"),
+            (31, "unordered-iter"),
+        ]
+    );
+    // Without the digest-path classification the same file is clean.
+    assert!(found("r2_unordered.rs", FileClass::default()).is_empty());
+}
+
+#[test]
+fn r3_no_panic_fixture() {
+    let class = FileClass {
+        recoverable: true,
+        ..FileClass::default()
+    };
+    let f = found("r3_no_panic.rs", class);
+    assert_eq!(
+        f,
+        vec![
+            (4, "no-panic"),
+            (5, "no-panic"),
+            (6, "no-panic"),
+            (7, "no-panic"),
+            (9, "no-panic"),
+            (11, "no-panic"),
+            (20, "bare-allow"),
+            (21, "no-panic"),
+            (25, "unused-allow"),
+            (30, "bare-allow"),
+        ]
+    );
+}
+
+#[test]
+fn r4_arith_fixture() {
+    let class = FileClass {
+        arith_path: true,
+        ..FileClass::default()
+    };
+    let f = found("r4_arith.rs", class);
+    assert_eq!(
+        f,
+        vec![
+            (6, "unchecked-arith"),
+            (7, "unchecked-arith"),
+            (8, "unchecked-arith"),
+        ]
+    );
+}
+
+#[test]
+fn clean_fixture_has_no_findings() {
+    let class = FileClass {
+        digest_path: true,
+        recoverable: true,
+        arith_path: true,
+    };
+    assert_eq!(found("clean.rs", class), Vec::new());
+}
+
+#[test]
+fn findings_render_as_file_line_rule() {
+    let class = FileClass {
+        recoverable: true,
+        ..FileClass::default()
+    };
+    let f = scan_source("r3_no_panic.rs", &fixture("r3_no_panic.rs"), class);
+    let first = f.first().expect("fixture has findings").to_string();
+    assert!(
+        first.starts_with("r3_no_panic.rs:4: no-panic: "),
+        "rendered: {first}"
+    );
+}
+
+#[test]
+fn json_output_is_well_formed_per_finding() {
+    let class = FileClass {
+        recoverable: true,
+        ..FileClass::default()
+    };
+    let f = scan_source("r3_no_panic.rs", &fixture("r3_no_panic.rs"), class);
+    let json = to_json(&f);
+    assert!(json.starts_with('[') && json.trim_end().ends_with(']'));
+    assert!(json.contains("\"file\":\"r3_no_panic.rs\""));
+    assert!(json.contains("\"rule\":\"no-panic\""));
+    assert!(json.contains("\"line\":4"));
+}
+
+#[test]
+fn designated_file_lists_classify_real_paths() {
+    let pool = classify(Path::new("crates/core/src/pool.rs"));
+    assert!(pool.recoverable && pool.digest_path && !pool.arith_path);
+    let addr = classify(Path::new("/abs/prefix/crates/core/src/addr.rs"));
+    assert!(addr.arith_path && !addr.recoverable);
+    let snap = classify(Path::new("crates/telemetry/src/snapshot.rs"));
+    assert!(snap.digest_path);
+    let kv = classify(Path::new("crates/workloads/src/kv.rs"));
+    assert_eq!(kv, FileClass::default());
+}
+
+#[test]
+fn workspace_walk_skips_fixtures_and_build_output() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let files = workspace_sources(&root).expect("walk workspace");
+    assert!(!files.is_empty());
+    for f in &files {
+        let p = f.to_string_lossy();
+        assert!(!p.contains("fixtures"), "fixture file scanned: {p}");
+        assert!(!p.contains("target"), "build output scanned: {p}");
+    }
+    // The walk reaches all covered top-level trees.
+    assert!(files.iter().any(|f| f.ends_with(Path::new("crates/core/src/pool.rs"))));
+    assert!(files.iter().any(|f| f.ends_with(Path::new("src/lib.rs"))));
+}
+
+#[test]
+fn rule_name_round_trip() {
+    for r in [
+        Rule::WallClock,
+        Rule::UnorderedIter,
+        Rule::NoPanic,
+        Rule::UncheckedArith,
+        Rule::BareAllow,
+        Rule::UnusedAllow,
+    ] {
+        assert!(!r.name().is_empty());
+    }
+}

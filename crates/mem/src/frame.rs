@@ -68,7 +68,7 @@ impl FrameAllocator {
 
     /// Frames currently allocated.
     pub fn allocated(&self) -> u64 {
-        self.total - self.free_count()
+        self.total.saturating_sub(self.free_count())
     }
 
     /// Whether `frame` is currently allocated.
@@ -93,7 +93,9 @@ impl FrameAllocator {
         if self.free_count() < n {
             return Err(FrameError::OutOfFrames);
         }
-        Ok((0..n).map(|_| self.alloc().expect("checked")).collect())
+        // The up-front free_count check makes every alloc() succeed, so
+        // collecting the Results preserves the all-or-nothing contract.
+        (0..n).map(|_| self.alloc()).collect()
     }
 
     /// Free a frame.

@@ -8,7 +8,7 @@
 //! the current phase of the workload.
 
 use crate::frame::FrameId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Identifies who performed an access (a server id in the LMP runtime).
 pub type AccessorId = u32;
@@ -17,7 +17,7 @@ pub type AccessorId = u32;
 #[derive(Debug, Clone, Default)]
 pub struct HotnessMap {
     /// (frame → accessor → decayed access count)
-    counts: HashMap<FrameId, HashMap<AccessorId, u64>>,
+    counts: BTreeMap<FrameId, BTreeMap<AccessorId, u64>>,
     epoch: u64,
 }
 
@@ -125,9 +125,8 @@ impl HotnessMap {
     }
 
     /// Observed load attributed to one accessor across every frame on this
-    /// node: `(frames touched, decayed access count)`. Commutative sums
-    /// over the map, so the result is deterministic despite `HashMap`
-    /// iteration order.
+    /// node: `(frames touched, decayed access count)`. Iterates the
+    /// `BTreeMap` in key order, so the result is deterministic.
     pub fn accessor_load(&self, accessor: AccessorId) -> (u64, u64) {
         let mut frames = 0;
         let mut accesses = 0;

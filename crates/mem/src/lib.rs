@@ -1,3 +1,6 @@
+// Tests may unwrap/expect freely; production code must not (see crates/lint).
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 //! # lmp-mem — memory substrate
 //!
 //! The building blocks under both pool architectures: 2 MiB frames with a

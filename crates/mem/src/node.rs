@@ -154,6 +154,9 @@ impl MemoryNode {
     /// Panics on unallocated frames (use `alloc` first) or crashed nodes.
     pub fn write_bytes(&mut self, frame: FrameId, offset: u64, data: &[u8]) {
         self.ensure_alive();
+        // lmp-lint: allow(no-panic) — hardware-model contract, documented
+        // under `# Panics`: the pool's maps gate every byte access on
+        // allocation state, so an unallocated frame here is a pool bug.
         assert!(
             self.split.kind_of(frame).is_some(),
             "write to unallocated frame {frame:?} on {}",
@@ -167,7 +170,10 @@ impl MemoryNode {
     /// # Panics
     /// Panics on unallocated frames or crashed nodes.
     pub fn read_bytes(&self, frame: FrameId, offset: u64, len: usize) -> Vec<u8> {
+        // lmp-lint: allow(no-panic) — hardware-model contract, documented
+        // under `# Panics`: upper layers gate on `is_failed()` first.
         assert!(!self.failed, "read from crashed node {}", self.name);
+        // lmp-lint: allow(no-panic) — hardware-model contract; see above.
         assert!(
             self.split.kind_of(frame).is_some(),
             "read from unallocated frame {frame:?} on {}",
@@ -178,6 +184,8 @@ impl MemoryNode {
 
     /// Copy out a whole frame (for migration and reconstruction).
     pub fn read_frame(&self, frame: FrameId) -> Vec<u8> {
+        // lmp-lint: allow(no-panic) — hardware-model contract: migration and
+        // reconstruction read frames only from live sources.
         assert!(!self.failed, "read from crashed node {}", self.name);
         self.store.read_frame(frame)
     }
@@ -239,6 +247,9 @@ impl MemoryNode {
     }
 
     fn ensure_alive(&self) {
+        // lmp-lint: allow(no-panic) — hardware-model contract: a crashed
+        // node's memory is physically gone; upper layers check
+        // `is_failed()` before every access, so reaching this is a bug.
         assert!(!self.failed, "operation on crashed node {}", self.name);
     }
 

@@ -7,12 +7,12 @@
 //! frame backing lazily. The two modes share all control-path code.
 
 use crate::frame::{FrameId, FRAME_BYTES};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Lazily materialized byte backing for a node's frames.
 #[derive(Debug, Default)]
 pub struct FrameStore {
-    frames: HashMap<FrameId, Box<[u8]>>,
+    frames: BTreeMap<FrameId, Box<[u8]>>,
 }
 
 impl FrameStore {

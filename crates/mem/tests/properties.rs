@@ -1,3 +1,6 @@
+// Test/driver code: unwrap/expect on known-good setup is acceptable here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! Property-based tests for the memory substrate.
 
 use lmp_mem::{FrameAllocator, FrameId, FrameStore, RegionKind, RegionSplit};

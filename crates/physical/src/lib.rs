@@ -1,3 +1,6 @@
+// Tests may unwrap/expect freely; production code must not (see crates/lint).
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 //! # lmp-physical — the physical-pool baseline
 //!
 //! Everything the paper's comparison target needs: the fabric-attached pool

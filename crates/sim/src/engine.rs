@@ -34,6 +34,16 @@ pub struct Engine<E> {
     processed: u64,
 }
 
+// Manual impl: payloads need not be `Debug`.
+impl<E> std::fmt::Debug for Engine<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.now)
+            .field("processed", &self.processed)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<E> Default for Engine<E> {
     fn default() -> Self {
         Self::new()

@@ -1,3 +1,6 @@
+// Tests may unwrap/expect freely; production code must not (see crates/lint).
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 //! # lmp-sim — deterministic discrete-event simulation kernel
 //!
 //! Foundation of the Logical Memory Pools reproduction: integer-nanosecond

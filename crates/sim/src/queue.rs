@@ -8,7 +8,7 @@
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BTreeSet, BinaryHeap};
 
 /// Identifier of a scheduled event, unique within one queue's lifetime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -48,8 +48,18 @@ impl<E> Eq for Entry<E> {}
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     /// Ids currently in the heap and not cancelled.
-    pending: HashSet<EventId>,
+    pending: BTreeSet<EventId>,
     next_seq: u64,
+}
+
+// Manual impl: payloads need not be `Debug`, so summarize the queue shape.
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("pending", &self.pending.len())
+            .field("next_seq", &self.next_seq)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<E> Default for EventQueue<E> {
@@ -63,7 +73,7 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            pending: HashSet::new(),
+            pending: BTreeSet::new(),
             next_seq: 0,
         }
     }

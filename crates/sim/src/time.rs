@@ -1,3 +1,7 @@
+// Operator impls (`+`, `-`, `*`) cannot return Result; overflow here is
+// always a scheduling bug, and the documented contract is to trap loudly.
+#![allow(clippy::expect_used)]
+
 //! Simulated time.
 //!
 //! All simulation time is kept in integer **nanoseconds** ([`SimTime`] for

@@ -1,3 +1,6 @@
+// Test/driver code: unwrap/expect on known-good setup is acceptable here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! Histogram merge and quantile contracts.
 //!
 //! The telemetry subsystem rolls per-node histograms up to rack level by

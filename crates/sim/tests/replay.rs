@@ -1,3 +1,6 @@
+// Test/driver code: unwrap/expect on known-good setup is acceptable here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! Deterministic replay of `lmp-sim::Engine`.
 //!
 //! A seeded workload schedules, cancels, and chains events through the

@@ -1,3 +1,6 @@
+// Tests may unwrap/expect freely; production code must not (see crates/lint).
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 //! # lmp-telemetry — rack-wide observability
 //!
 //! The paper's sizing and locality challenges presuppose a live, rack-wide

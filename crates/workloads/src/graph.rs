@@ -54,6 +54,8 @@ impl PoolGraph {
         })
     }
 
+    // chunks of exactly 4 bytes always convert.
+    #[allow(clippy::expect_used)]
     fn read_u32(
         &self,
         pool: &mut LogicalPool,

@@ -236,6 +236,9 @@ pub struct KvWorkload {
 
 impl KvWorkload {
     /// A workload over `config`'s key space, seeded deterministically.
+    // Config contract: slots >= 1 and a clamped exponent make Zipf::new
+    // infallible; a bad KvConfig is an experiment-setup bug.
+    #[allow(clippy::expect_used)]
     pub fn new(config: &KvConfig, rng: DetRng) -> Self {
         KvWorkload {
             rng,

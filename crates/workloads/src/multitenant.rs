@@ -58,6 +58,9 @@ pub struct MultiTenantReport {
 /// Tenants run round-robin within a batch (their accesses interleave in
 /// simulated time via the shared resources; ordering across tenants within
 /// a batch follows input order, which is deterministic).
+// Workload driver: setup expects (non-empty working sets, in-bounds
+// traces) are config contracts, trapped loudly like a test assert.
+#[allow(clippy::expect_used)]
 pub fn run(
     pool: &mut LogicalPool,
     fabric: &mut Fabric,

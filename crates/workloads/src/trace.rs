@@ -52,6 +52,9 @@ pub struct TraceOp {
 
 impl TraceSpec {
     /// Generate the trace for a buffer of `buffer_len` bytes.
+    // Config contract: a zero-position buffer or invalid zipf exponent is
+    // a caller bug in experiment setup, trapped loudly.
+    #[allow(clippy::expect_used)]
     pub fn generate(&self, buffer_len: u64, mut rng: DetRng) -> Vec<TraceOp> {
         assert!(self.access_bytes > 0 && self.access_bytes <= buffer_len);
         let positions = buffer_len / self.access_bytes;

@@ -1,3 +1,6 @@
+// Test/driver code: unwrap/expect on known-good setup is acceptable here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! The full §3.2 architecture in motion, driven by the event engine:
 //! tenants replay phased access traces while the rack runtime's two
 //! background daemons (locality balancing and shared-region sizing) run on

@@ -1,3 +1,6 @@
+// Test/driver code: unwrap/expect on known-good setup is acceptable here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! Coordination on the coherent region (§3.2/§5): LMPs keep most shared
 //! memory non-coherent, but provide a few GBs of coherent memory for
 //! synchronization. This example compares lock designs on that region by

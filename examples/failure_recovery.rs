@@ -1,3 +1,6 @@
+// Test/driver code: unwrap/expect on known-good setup is acceptable here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! Failure domains (§5): crash a server and watch mirrored and
 //! parity-protected buffers survive with their logical addresses intact,
 //! while unprotected buffers raise memory exceptions.

@@ -1,3 +1,6 @@
+// Test/driver code: unwrap/expect on known-good setup is acceptable here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! A zipfian key-value store over the logical pool, with the locality
 //! balancer migrating hot key segments toward their dominant client —
 //! the paper's "NUMA migration" analogue working on a real application.

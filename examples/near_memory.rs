@@ -1,3 +1,6 @@
+// Test/driver code: unwrap/expect on known-good setup is acceptable here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! Near-memory computing (§4.4): reduce a striped vector by pulling all
 //! the data to one server vs shipping the computation to each stripe's
 //! holder — and verify both produce the identical sum on materialized

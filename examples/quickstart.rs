@@ -1,3 +1,6 @@
+// Test/driver code: unwrap/expect on known-good setup is acceptable here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! Quickstart: build a logical pool, allocate a buffer, observe
 //! local-vs-remote access speed, migrate the buffer, and watch the same
 //! logical address become local.

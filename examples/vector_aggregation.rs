@@ -1,3 +1,6 @@
+// Test/driver code: unwrap/expect on known-good setup is acceptable here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! The paper's headline experiment in miniature: sum a vector in
 //! disaggregated memory on all three deployments and compare bandwidth —
 //! a one-size slice of Figures 2–5.

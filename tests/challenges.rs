@@ -1,3 +1,6 @@
+// Test/driver code: unwrap/expect on known-good setup is acceptable here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! One test per §5 challenge: executable evidence that each of the five
 //! "major challenges in realizing LMPs" has a working mechanism in this
 //! implementation.

@@ -1,3 +1,6 @@
+// Test/driver code: unwrap/expect on known-good setup is acceptable here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! Cross-crate integration tests: whole-deployment scenarios exercising
 //! the public API the way the examples and benches do.
 

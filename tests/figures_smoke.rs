@@ -1,3 +1,6 @@
+// Test/driver code: unwrap/expect on known-good setup is acceptable here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! Paper-scale smoke tests: run the actual figure configurations (full
 //! 8–96 GB sizes — cheap, because timing simulation is data-free) and
 //! assert the quantitative shapes the paper reports.
