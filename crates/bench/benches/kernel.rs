@@ -17,7 +17,8 @@ fn bench_engine(c: &mut Criterion) {
         b.iter(|| {
             let mut eng: Engine<u32> = Engine::new();
             for i in 0..1_000u32 {
-                eng.schedule_at(SimTime::from_nanos((i as u64 * 37) % 5_000), i);
+                eng.schedule_at(SimTime::from_nanos((i as u64 * 37) % 5_000), i)
+                    .expect("fresh engine: every time is in the future");
             }
             let mut sum = 0u64;
             eng.run(|_, i| sum += i as u64);

@@ -11,7 +11,8 @@
 
 use crate::addr::LogicalAddr;
 use crate::pool::PoolAccess;
-use lmp_fabric::MemOp;
+use lmp_fabric::{MemOp, NodeId};
+use lmp_sim::engine::Engine;
 use lmp_sim::prelude::*;
 
 /// One operation in a scatter-gather batch.
@@ -65,4 +66,39 @@ pub struct BatchResult {
     /// one per distinct stale segment, exactly as a one-by-one issue
     /// order would take them).
     pub faults: u32,
+    /// When each holder's pipelined stream(s) finish, ordered by node id,
+    /// one entry per distinct holder touched by the batch. This is the
+    /// hand-off to the event kernel: a driver schedules **one** completion
+    /// event per holder (see [`schedule_holder_completions`]) instead of
+    /// one per chunk.
+    pub holder_done: Vec<(NodeId, SimTime)>,
+}
+
+/// Schedule one completion event per holder of a finished
+/// [`BatchResult`], in a single atomic [`Engine::schedule_batch`] pass.
+///
+/// `mk_event` turns each `(holder, done)` pair into the caller's event
+/// payload. Returns the scheduled ids in `holder_done` order (ascending
+/// node id). This is the canonical bridge between the scatter-gather
+/// access engine (which reports *when* each holder's stream drains) and
+/// the calendar-queue kernel (which wants the whole wave inserted at
+/// once): a batch touching H holders costs H queue insertions, not one
+/// per chunk or per op.
+///
+/// # Errors
+/// Propagates [`SchedulePastError`] if any completion time precedes the
+/// engine clock (possible only if the batch was issued at a time earlier
+/// than `eng.now()`); nothing is scheduled in that case.
+pub fn schedule_holder_completions<E>(
+    eng: &mut Engine<E>,
+    result: &BatchResult,
+    mut mk_event: impl FnMut(NodeId, SimTime) -> E,
+) -> Result<Vec<EventId>, SchedulePastError> {
+    eng.schedule_batch(
+        result
+            .holder_done
+            .iter()
+            .map(|&(holder, done)| (done, mk_event(holder, done)))
+            .collect::<Vec<_>>(),
+    )
 }

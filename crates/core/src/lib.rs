@@ -69,7 +69,7 @@ pub mod translate;
 pub mod prelude {
     pub use crate::addr::{frame_chunks, LogicalAddr, SegmentId};
     pub use crate::balance::{BalanceRound, BalancerConfig, LocalityBalancer, MigrationPlan};
-    pub use crate::batch::{BatchOp, BatchResult};
+    pub use crate::batch::{schedule_holder_completions, BatchOp, BatchResult};
     pub use crate::failure::{
         DegradedRead, DegradedSource, GroupId, ProtectionManager, RecoveryReport,
         WriteAmplification,

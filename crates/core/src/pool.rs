@@ -470,6 +470,7 @@ impl LogicalPool {
                 local_bytes: 0,
                 remote_bytes: 0,
                 faults: 0,
+                holder_done: Vec::new(),
             });
         }
         // ---- validate: nothing is charged until every op clears ----
@@ -548,6 +549,10 @@ impl LogicalPool {
             ops.len()
         ];
         let mut dram_done = now;
+        // Per-holder completion: the max over that holder's streams. Kept in
+        // a BTreeMap so the emitted list is ordered by node id — one
+        // schedulable completion event per holder, deterministically.
+        let mut holder_done: BTreeMap<u32, SimTime> = BTreeMap::new();
         for ((holder_idx, is_write), mut members) in streams {
             let holder = NodeId(holder_idx);
             let local = holder == requester;
@@ -629,6 +634,9 @@ impl LogicalPool {
                     run_complete[ri] = run_complete[ri].max(done);
                 }
             }
+            let stream_done = run_complete.iter().copied().max().unwrap_or(now);
+            let hd = holder_done.entry(holder_idx).or_insert(stream_done);
+            *hd = (*hd).max(stream_done);
             for (ri, r) in runs.iter().enumerate() {
                 dram_done = dram_done.max(run_dram[ri]);
                 for &ci in &r.members {
@@ -650,6 +658,10 @@ impl LogicalPool {
             local_bytes: 0,
             remote_bytes: 0,
             faults: 0,
+            holder_done: holder_done
+                .into_iter()
+                .map(|(h, t)| (NodeId(h), t))
+                .collect(),
         };
         for (i, mut a) in per_op.into_iter().enumerate() {
             a.faults = op_faults[i];

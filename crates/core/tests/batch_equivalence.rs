@@ -147,3 +147,66 @@ proptest! {
         }
     }
 }
+
+/// `holder_done` carries exactly one entry per distinct holder, ordered by
+/// node id, and its max is the batch completion time.
+#[test]
+fn holder_done_is_one_entry_per_holder() {
+    let (mut pool, mut fabric, segs) = setup();
+    // After setup's migrations the holders are: segs[0] → node 0 (local to
+    // the requester), segs[1] → node 3, segs[2] → node 2, segs[3] → node 3.
+    let ops = vec![
+        BatchOp::read(LogicalAddr::new(segs[0], 0), 256),
+        BatchOp::read(LogicalAddr::new(segs[1], 0), 256),
+        BatchOp::write(LogicalAddr::new(segs[2], 64), 128),
+        BatchOp::read(LogicalAddr::new(segs[3], 8), 512),
+    ];
+    let r = pool
+        .access_batch(&mut fabric, SimTime::ZERO, NodeId(0), &ops)
+        .unwrap();
+    let holders: Vec<u32> = r.holder_done.iter().map(|&(h, _)| h.0).collect();
+    assert_eq!(holders, [0, 2, 3], "one entry per holder, ordered by id");
+    let max_done = r.holder_done.iter().map(|&(_, t)| t).max().unwrap();
+    assert_eq!(max_done, r.complete, "last holder defines batch completion");
+    for &(h, t) in &r.holder_done {
+        assert!(t >= SimTime::ZERO && t <= r.complete, "holder {h:?} at {t}");
+    }
+
+    // An empty batch touches nobody.
+    let empty = pool
+        .access_batch(&mut fabric, SimTime::ZERO, NodeId(0), &[])
+        .unwrap();
+    assert!(empty.holder_done.is_empty());
+}
+
+/// The `schedule_holder_completions` bridge turns one batch into one queue
+/// insertion pass: one event per holder, delivered at that holder's stream
+/// completion time in timestamp order.
+#[test]
+fn holder_completions_schedule_one_event_per_holder() {
+    let (mut pool, mut fabric, segs) = setup();
+    let ops = vec![
+        BatchOp::read(LogicalAddr::new(segs[1], 0), 4_096),
+        BatchOp::read(LogicalAddr::new(segs[2], 0), 128),
+        BatchOp::write(LogicalAddr::new(segs[3], 0), 1_024),
+    ];
+    let r = pool
+        .access_batch(&mut fabric, SimTime::ZERO, NodeId(0), &ops)
+        .unwrap();
+    assert!(!r.holder_done.is_empty());
+
+    let mut eng: Engine<(NodeId, SimTime)> = Engine::new();
+    let ids = schedule_holder_completions(&mut eng, &r, |h, t| (h, t)).unwrap();
+    assert_eq!(ids.len(), r.holder_done.len());
+    assert_eq!(eng.pending(), r.holder_done.len());
+
+    let mut fired: Vec<(NodeId, SimTime)> = Vec::new();
+    eng.run(|eng, (h, t)| {
+        assert_eq!(eng.now(), t, "completion event fires at the holder time");
+        fired.push((h, t));
+    });
+    let mut expect = r.holder_done.clone();
+    expect.sort_by_key(|&(h, t)| (t, h.0));
+    assert_eq!(fired, expect, "events deliver in completion-time order");
+    assert_eq!(eng.now(), r.complete);
+}

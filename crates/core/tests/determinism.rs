@@ -114,3 +114,34 @@ fn different_seeds_differ() {
         "different seeds produced identical telemetry — workload is seed-blind"
     );
 }
+
+#[test]
+fn chaos_scenario_digests_survive_the_calendar_kernel() {
+    // Calendar-kernel regression: a full seeded chaos scenario — faults,
+    // recoveries, retries, batch waves, telemetry — run twice with the
+    // same seed must produce byte-identical FNV trace and telemetry
+    // digests. The scenario schedules through `Engine` (now backed by the
+    // calendar queue), so any ordering drift in bucket scans, far-band
+    // drains, resizes, or lazy cancellation shows up here as a digest
+    // mismatch, with the trace diff pinpointing the first divergent event.
+    use lmp_harness::prelude::{run_scenario, Scenario};
+
+    let a = run_scenario(Scenario::Combined, 0xD15C_0B01);
+    let b = run_scenario(Scenario::Combined, 0xD15C_0B01);
+    assert!(
+        a.checks.iter().all(|c| c.passed),
+        "chaos invariants failed: {:?}",
+        a.checks.iter().filter(|c| !c.passed).collect::<Vec<_>>()
+    );
+    assert_eq!(
+        a.digest, b.digest,
+        "trace digests diverged; first differing event: {:?}",
+        a.trace.diff(&b.trace)
+    );
+    assert_eq!(
+        a.telemetry_digest, b.telemetry_digest,
+        "telemetry digests diverged between same-seed runs"
+    );
+    assert_eq!(a.events, b.events);
+    assert!(a.events > 0, "scenario delivered no events — vacuous run");
+}

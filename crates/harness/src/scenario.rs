@@ -186,6 +186,9 @@ enum Ev {
     /// One scatter-gather batch of frame-spanning reads across every
     /// application segment ([`Scenario::PortDropMidAccess`] only).
     BatchWave { idx: usize },
+    /// One holder's pipelined stream of a batch wave drained — scheduled
+    /// through `Engine::schedule_batch`, one event per holder per wave.
+    HolderDone { wave: usize, holder: NodeId },
 }
 
 /// The armed self-healing stack: detector plus orchestrator.
@@ -687,6 +690,23 @@ impl World {
                                 r.complete
                             ),
                         );
+                        // One completion event per holder, inserted as a
+                        // single batch — the per-holder lists the access
+                        // engine produces feed the kernel directly.
+                        let ids = schedule_holder_completions(eng, &r, |holder, _| {
+                            Ev::HolderDone { wave: idx, holder }
+                        })
+                        .expect("holder completions are never before now");
+                        if ids.len() != r.holder_done.len() {
+                            self.checks.push(CheckResult::fail(
+                                "holder-completion-batch",
+                                format!(
+                                    "wave {idx}: {} holders, {} events",
+                                    r.holder_done.len(),
+                                    ids.len()
+                                ),
+                            ));
+                        }
                     }
                     Err(e) => {
                         self.batch_failed += 1;
@@ -699,6 +719,13 @@ impl World {
                             .record(now, format!("batch wave {idx}: failed whole ({e})"));
                     }
                 }
+            }
+            Ev::HolderDone { wave, holder } => {
+                // The stream-drain instant is part of the determinism
+                // contract: it lands in the trace, so any kernel that
+                // reorders or re-times holder completions breaks digests.
+                self.trace
+                    .record(now, format!("batch wave {wave}: holder {holder} drained"));
             }
         }
     }
@@ -1050,13 +1077,15 @@ pub fn run_scenario(scenario: Scenario, seed: u64) -> ChaosReport {
     let (mut world, plan) = World::build(scenario, seed);
     let mut eng: Engine<Ev> = Engine::new();
     for pf in plan.iter() {
-        eng.schedule_at(pf.at, Ev::Fault(pf.fault));
+        eng.schedule_at(pf.at, Ev::Fault(pf.fault))
+            .expect("fault plan times are within the horizon");
     }
     for (id, spec) in world.ops.iter().enumerate() {
         eng.schedule_at(spec.at, Ev::Op {
             id: id as u64,
             attempt: 0,
-        });
+        })
+        .expect("op times are within the horizon");
     }
     if scenario.self_healing() {
         // Detector sweeps at the configured cadence across the horizon.
@@ -1066,7 +1095,8 @@ pub fn run_scenario(scenario: Scenario, seed: u64) -> ChaosReport {
         let end = SimTime::ZERO + HORIZON;
         let mut t = SimTime::ZERO + interval;
         while t <= end {
-            eng.schedule_at(t, Ev::HealthTick);
+            eng.schedule_at(t, Ev::HealthTick)
+                .expect("sweep times are within the horizon");
             t += interval;
         }
     }
@@ -1078,7 +1108,8 @@ pub fn run_scenario(scenario: Scenario, seed: u64) -> ChaosReport {
             eng.schedule_at(SimTime::from_nanos(at_ns), Ev::DegradedProbe {
                 seg_idx,
                 requester: NodeId(4),
-            });
+            })
+            .expect("probe times are within the horizon");
         }
     }
     if scenario == Scenario::FlapNoHeal {
@@ -1089,14 +1120,16 @@ pub fn run_scenario(scenario: Scenario, seed: u64) -> ChaosReport {
             eng.schedule_at(SimTime::from_nanos(at_ns), Ev::DegradedProbe {
                 seg_idx,
                 requester: NodeId(0),
-            });
+            })
+            .expect("probe times are within the horizon");
         }
     }
     if scenario == Scenario::PortDropMidAccess {
         // Scatter-gather waves before, twice inside, and after the
         // port-down window (10–18 µs).
         for (idx, at_us) in [5u64, 12, 14, 20].into_iter().enumerate() {
-            eng.schedule_at(SimTime::from_nanos(at_us * 1000), Ev::BatchWave { idx });
+            eng.schedule_at(SimTime::from_nanos(at_us * 1000), Ev::BatchWave { idx })
+                .expect("wave times are within the horizon");
         }
     }
     if scenario == Scenario::LinkSpike {
@@ -1107,7 +1140,8 @@ pub fn run_scenario(scenario: Scenario, seed: u64) -> ChaosReport {
                 idx,
                 seg_idx: 1,
                 requester: NodeId(0),
-            });
+            })
+            .expect("probe times are within the horizon");
         }
     }
     eng.run(|e, ev| world.handle(e, ev));

@@ -77,6 +77,7 @@ pub const R2_DIGEST_PATH_FILES: &[&str] = &[
     "crates/coherence/src/filter.rs",
     // Deterministic event ordering.
     "crates/sim/src/queue.rs",
+    "crates/sim/src/calendar.rs",
 ];
 
 /// Recoverable modules (rule R3): crash, fault-injection, and migration
@@ -89,6 +90,10 @@ pub const R3_RECOVERABLE_FILES: &[&str] = &[
     "crates/core/src/migrate.rs",
     "crates/fabric/src/fabric.rs",
     "crates/mem/src/node.rs",
+    // The event kernel: a panic mid-scan would take down every scenario,
+    // and `schedule_at` now surfaces past-scheduling as a typed error.
+    "crates/sim/src/calendar.rs",
+    "crates/sim/src/engine.rs",
 ];
 
 /// Bounds/translation arithmetic files (rule R4): every `+`/`-`/`*` on an

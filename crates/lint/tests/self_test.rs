@@ -165,6 +165,63 @@ fn workspace_walk_skips_fixtures_and_build_output() {
 }
 
 #[test]
+fn event_kernel_files_are_designated_and_clean() {
+    // The calendar-queue kernel is on both the digest path (pop order
+    // feeds every chaos digest) and the no-panic list (a panic mid-scan
+    // would abort every scenario); the engine, which turned its
+    // past-scheduling panic into `SchedulePastError`, is no-panic too.
+    let calendar = classify(Path::new("crates/sim/src/calendar.rs"));
+    assert!(calendar.digest_path && calendar.recoverable && !calendar.arith_path);
+    let engine = classify(Path::new("crates/sim/src/engine.rs"));
+    assert!(engine.recoverable);
+    let queue = classify(Path::new("crates/sim/src/queue.rs"));
+    assert!(queue.digest_path);
+
+    // And the real sources must scan clean under those designations.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    for rel in [
+        "crates/sim/src/calendar.rs",
+        "crates/sim/src/engine.rs",
+        "crates/sim/src/queue.rs",
+    ] {
+        let path = root.join(rel);
+        let src = std::fs::read_to_string(&path).expect("kernel source readable");
+        let findings = scan_source(rel, &src, classify(Path::new(rel)));
+        assert!(
+            findings.is_empty(),
+            "{rel} has lint findings: {}",
+            to_json(&findings)
+        );
+    }
+}
+
+#[test]
+fn simbench_wall_clock_allows_are_justified_and_used() {
+    // `simbench` is the one place wall-clock reads are legitimate (it
+    // measures real events/sec), so each must carry a justified wall-clock
+    // suppression comment. A bare, unjustified, or unused allow is itself
+    // a finding, so an empty scan proves the audit trail: every
+    // suppression present, justified, and actually suppressing something.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let rel = "crates/bench/src/bin/simbench.rs";
+    let src = std::fs::read_to_string(root.join(rel)).expect("simbench source readable");
+    assert!(
+        src.contains("lmp-lint: allow(wall-clock)"),
+        "simbench lost its wall-clock allows"
+    );
+    assert!(
+        src.contains("Instant"),
+        "allows present but no timer reads — suppressions would be unused"
+    );
+    let findings = scan_source(rel, &src, classify(Path::new(rel)));
+    assert!(
+        findings.is_empty(),
+        "{rel} has lint findings: {}",
+        to_json(&findings)
+    );
+}
+
+#[test]
 fn rule_name_round_trip() {
     for r in [
         Rule::WallClock,

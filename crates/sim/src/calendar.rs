@@ -1,0 +1,1023 @@
+//! Indexed calendar-queue event kernel.
+//!
+//! [`CalendarQueue`] replaces the original `BinaryHeap + BTreeSet` pending
+//! set (kept as [`crate::queue::reference::BinaryHeapQueue`] for
+//! differential testing) with a structure whose steady-state schedule /
+//! cancel / pop path performs **zero heap allocations** and no `O(log n)`
+//! comparison churn:
+//!
+//! * **Slab of event cells with a free list.** Every event lives in one
+//!   `Cell` of a flat `Vec`; delivered and cancelled cells go back on an
+//!   intrusive free list, so steady-state scheduling reuses memory instead
+//!   of allocating. Cells never move, so a slab index is a stable handle.
+//! * **Calendar buckets for the current "year".** Time is cut into
+//!   power-of-two bucket widths; `num_buckets` consecutive buckets form a
+//!   year. Events in the current year sit in per-bucket singly-linked
+//!   lists kept sorted by `(time, id)`, so FIFO tie-breaking for
+//!   same-instant events is exact. With the load factor maintained (see
+//!   resize below) a bucket holds O(1) events and insertion is O(1).
+//! * **Radix-heap fallback for far-future events.** Events beyond the
+//!   current year go to one of 65 radix bands indexed by the highest bit
+//!   in which their time differs from the year start. When the calendar
+//!   exhausts a year it jumps directly to the earliest far year and drains
+//!   only the due bands; re-banding is monotone (a cell's band index never
+//!   increases as the year advances), so each event is touched O(64) times
+//!   worst case and O(1) in practice — no yearly full scans.
+//! * **Lazy load-factor resize.** When the live count leaves the
+//!   `[buckets/8, 2*buckets]` window the queue rebuilds its geometry
+//!   (bucket count ≈ live count, bucket width ≈ median inter-event gap —
+//!   robust against far-future outliers — both rounded to powers of two).
+//!   Rebuilds relink cells in place — no event is copied or reallocated —
+//!   and are amortized O(1) per operation.
+//! * **O(1) cancellation via slab handles.** [`EventId`]s are the same
+//!   monotone sequence numbers the reference queue hands out (the
+//!   differential tests rely on that); a deterministic open-addressed
+//!   id→slot map resolves an id to its cell in O(1). The map's working
+//!   set is O(live events) — a dense id-indexed window would instead grow
+//!   with the live id *span*, which is unbounded when far-future events
+//!   outlive millions of near ones. Cancelling marks the cell dead in
+//!   place — it is unlinked and freed when the scan next passes it,
+//!   exactly the lazy deletion discipline of the reference queue.
+//!
+//! Determinism: every decision in this file is a pure function of the
+//! pushed `(time, id)` pairs — no hashing, no ambient state — so two
+//! same-seed runs produce byte-identical pop sequences on any platform.
+//! Scheduling into the "past" relative to the last pop is also supported
+//! (the queue has no clock of its own); the calendar rewinds, which is
+//! correct but slower than the monotone hot path the [`crate::engine`]
+//! guarantees.
+
+use crate::queue::EventId;
+use crate::time::SimTime;
+
+/// Null link in the intrusive lists.
+const NIL: u32 = u32::MAX;
+/// Radix bands: one per possible highest differing bit (1..=64) plus the
+/// (unreachable) zero band.
+const BANDS: usize = 65;
+/// Geometry bounds: 16..=1M buckets, and the year span must leave shift
+/// room in a u64 nanosecond timeline.
+const MIN_NB_LOG2: u32 = 4;
+const MAX_NB_LOG2: u32 = 20;
+const MAX_SPAN_LOG2: u32 = 62;
+/// "No live event" marker for per-band minima.
+const FAR_NONE: (u64, u64) = (u64::MAX, u64::MAX);
+
+/// Key sentinels for [`IdMap`]: ids are push counters, so the top two
+/// values are unreachable in any real run.
+const MAP_EMPTY: u64 = u64::MAX;
+const MAP_TOMB: u64 = u64::MAX - 1;
+
+/// One open-addressing slot, packed so a probe touches one cache line.
+#[derive(Clone, Copy)]
+struct MapSlot {
+    key: u64,
+    val: u32,
+}
+
+/// Deterministic id→slot map: multiplicative hashing, linear probing,
+/// tombstone deletion, amortized rehash. No `RandomState`, no ambient
+/// entropy — layout is a pure function of the inserted ids, and nothing
+/// ever iterates it, so it cannot perturb pop order or digests.
+struct IdMap {
+    slots: Vec<MapSlot>,
+    mask: u64,
+    len: usize,
+    tombs: usize,
+}
+
+impl IdMap {
+    fn new() -> Self {
+        IdMap {
+            slots: vec![
+                MapSlot {
+                    key: MAP_EMPTY,
+                    val: 0
+                };
+                32
+            ],
+            mask: 31,
+            len: 0,
+            tombs: 0,
+        }
+    }
+
+    /// Fibonacci-hash probe start; sequential ids scatter uniformly.
+    fn start(&self, id: u64) -> u64 {
+        let h = id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h ^ (h >> 29)) & self.mask
+    }
+
+    fn insert(&mut self, id: u64, slot: u32) {
+        if (self.len + self.tombs + 1) * 2 > self.slots.len() {
+            self.rehash();
+        }
+        let mut i = self.start(id);
+        loop {
+            let s = &mut self.slots[i as usize];
+            if s.key >= MAP_TOMB {
+                if s.key == MAP_TOMB {
+                    self.tombs -= 1;
+                }
+                s.key = id;
+                s.val = slot;
+                self.len += 1;
+                return;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    fn remove(&mut self, id: u64) -> Option<u32> {
+        if id >= MAP_TOMB {
+            return None;
+        }
+        let mut i = self.start(id);
+        loop {
+            let s = self.slots[i as usize];
+            if s.key == id {
+                self.slots[i as usize].key = MAP_TOMB;
+                self.len -= 1;
+                self.tombs += 1;
+                return Some(s.val);
+            }
+            if s.key == MAP_EMPTY {
+                return None;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Rebuild at a capacity sized to the live population, dropping
+    /// tombstones. Keeps at least half the table empty, so probe loops
+    /// always terminate and stay short.
+    fn rehash(&mut self) {
+        let cap = (self.len * 3 + 1).next_power_of_two().max(32);
+        let old = std::mem::replace(
+            &mut self.slots,
+            vec![
+                MapSlot {
+                    key: MAP_EMPTY,
+                    val: 0
+                };
+                cap
+            ],
+        );
+        self.mask = cap as u64 - 1;
+        self.tombs = 0;
+        for s in old {
+            if s.key < MAP_TOMB {
+                let mut i = self.start(s.key);
+                while self.slots[i as usize].key != MAP_EMPTY {
+                    i = (i + 1) & self.mask;
+                }
+                self.slots[i as usize] = s;
+            }
+        }
+    }
+}
+
+/// A far-band entry: the cell's sort key is carried alongside the slot so
+/// that re-banding as years advance is pure sequential `Vec` traffic — the
+/// slab (random access, cache-hostile at large pending sets) is touched
+/// exactly once more, when the event finally becomes due.
+#[derive(Clone, Copy)]
+struct FarEntry {
+    at: u64,
+    id: u64,
+    slot: u32,
+}
+
+/// One slab cell. `next` doubles as the bucket/band chain link while the
+/// event is pending and as the free-list link after it dies.
+struct Cell<E> {
+    /// Event time in nanoseconds.
+    at: u64,
+    /// The monotone sequence number handed out as [`EventId`].
+    id: u64,
+    /// Intrusive chain link.
+    next: u32,
+    /// False once cancelled or delivered.
+    live: bool,
+    /// The payload; taken at delivery, dropped at cancellation.
+    payload: Option<E>,
+}
+
+/// A deterministic calendar-queue pending-event set with FIFO tie-breaking
+/// and O(1) cancellation. Drop-in replacement for the reference
+/// `BinaryHeap` queue: same [`EventId`] sequence, same pop order, same
+/// cancel semantics.
+pub struct CalendarQueue<E> {
+    /// The event-cell slab.
+    cells: Vec<Cell<E>>,
+    /// Head of the free list threaded through dead cells.
+    free_head: u32,
+    /// Live id→slot map for O(1) cancellation.
+    idmap: IdMap,
+    /// Next sequence number / [`EventId`] to hand out.
+    next_seq: u64,
+    /// Live (scheduled, not cancelled, not delivered) events.
+    live: usize,
+    /// log2 of the bucket width in nanoseconds.
+    width_log2: u32,
+    /// log2 of the bucket count.
+    nb_log2: u32,
+    /// Per-bucket chain heads, sorted by `(at, id)`.
+    buckets: Vec<u32>,
+    /// Per-bucket chain tails: the overwhelmingly common insert (a new
+    /// event at or after everything already in its bucket — ids are
+    /// monotone) appends in O(1) instead of walking the tie-run.
+    tails: Vec<u32>,
+    /// Two-level occupancy bitmap over `buckets` (bit set ⟺ chain
+    /// non-empty): the scan jumps to the next occupied bucket with a few
+    /// word operations instead of probing empty buckets one by one — the
+    /// linear probe is O(buckets/events) per pop when the population is
+    /// sparse in its year.
+    occ0: Vec<u64>,
+    occ1: Vec<u64>,
+    /// Current year index: `at >> (width_log2 + nb_log2)`.
+    year: u64,
+    /// Next bucket to scan within the current year.
+    cursor: usize,
+    /// Cells currently linked into `buckets` (live or cancelled).
+    cal_cells: usize,
+    /// Far-future radix bands (unsorted, keys carried in the entries).
+    far: Vec<Vec<FarEntry>>,
+    /// Per-band minimum `(at, id)`, monotone under inserts, reset on drain.
+    /// May be stale-low after a cancellation, which only costs a spurious
+    /// (empty) drain — never a missed event.
+    far_min: Vec<(u64, u64)>,
+    /// Cells currently parked in `far`.
+    far_cells: usize,
+    /// Reusable scratch for rebuilds.
+    scratch: Vec<u32>,
+}
+
+// Manual impl: payloads need not be `Debug`, so summarize the queue shape.
+impl<E> std::fmt::Debug for CalendarQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CalendarQueue")
+            .field("live", &self.live)
+            .field("next_seq", &self.next_seq)
+            .field("buckets", &self.buckets.len())
+            .field("width_ns", &(1u64 << self.width_log2))
+            .field("year", &self.year)
+            .field("far_cells", &self.far_cells)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<E> Default for CalendarQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Smallest `l` with `2^l >= x` (0 for `x <= 1`).
+fn ceil_log2(x: u64) -> u32 {
+    if x <= 1 {
+        0
+    } else {
+        64 - (x - 1).leading_zeros()
+    }
+}
+
+impl<E> CalendarQueue<E> {
+    /// An empty queue with the default (self-tuning) geometry.
+    pub fn new() -> Self {
+        CalendarQueue {
+            cells: Vec::new(),
+            free_head: NIL,
+            idmap: IdMap::new(),
+            next_seq: 0,
+            live: 0,
+            width_log2: 10,
+            nb_log2: MIN_NB_LOG2,
+            buckets: vec![NIL; 1 << MIN_NB_LOG2],
+            tails: vec![NIL; 1 << MIN_NB_LOG2],
+            occ0: vec![0; 1],
+            occ1: vec![0; 1],
+            year: 0,
+            cursor: 0,
+            cal_cells: 0,
+            far: (0..BANDS).map(|_| Vec::new()).collect(),
+            far_min: vec![FAR_NONE; BANDS],
+            far_cells: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Number of live (non-cancelled) pending events.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no live events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Current bucket count (for load-factor tests).
+    #[doc(hidden)]
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    fn span(&self) -> u32 {
+        self.width_log2 + self.nb_log2
+    }
+
+    // ------------------------------------------------- occupancy bitmap
+
+    fn occ_set(&mut self, b: usize) {
+        self.occ0[b >> 6] |= 1 << (b & 63);
+        self.occ1[b >> 12] |= 1 << ((b >> 6) & 63);
+    }
+
+    fn occ_clear(&mut self, b: usize) {
+        let w = b >> 6;
+        self.occ0[w] &= !(1 << (b & 63));
+        if self.occ0[w] == 0 {
+            self.occ1[w >> 6] &= !(1 << (w & 63));
+        }
+    }
+
+    /// Size the bitmap to the current bucket count, all-clear.
+    fn occ_resize(&mut self) {
+        let w0 = (self.buckets.len() + 63) >> 6;
+        self.occ0.clear();
+        self.occ0.resize(w0, 0);
+        let w1 = (w0 + 63) >> 6;
+        self.occ1.clear();
+        self.occ1.resize(w1, 0);
+    }
+
+    /// First occupied bucket at or after `from`, if any.
+    fn next_occupied(&self, from: usize) -> Option<usize> {
+        if from >= self.buckets.len() {
+            return None;
+        }
+        let w = from >> 6;
+        let cur = self.occ0[w] & (!0u64 << (from & 63));
+        if cur != 0 {
+            return Some((w << 6) + cur.trailing_zeros() as usize);
+        }
+        // Climb to the summary level for everything past word `w`.
+        let start = w + 1;
+        let w1 = start >> 6;
+        if w1 < self.occ1.len() {
+            let cur1 = self.occ1[w1] & (!0u64 << (start & 63));
+            if cur1 != 0 {
+                let word = (w1 << 6) + cur1.trailing_zeros() as usize;
+                return Some((word << 6) + self.occ0[word].trailing_zeros() as usize);
+            }
+            for wi in (w1 + 1)..self.occ1.len() {
+                if self.occ1[wi] != 0 {
+                    let word = (wi << 6) + self.occ1[wi].trailing_zeros() as usize;
+                    return Some((word << 6) + self.occ0[word].trailing_zeros() as usize);
+                }
+            }
+        }
+        None
+    }
+
+    fn bucket_index(&self, at: u64) -> usize {
+        ((at >> self.width_log2) & (self.buckets.len() as u64 - 1)) as usize
+    }
+
+    /// Schedule `payload` to fire at `at`. Returns an id usable with
+    /// [`CalendarQueue::cancel`]. Steady state (slab warm, geometry
+    /// stable) performs no heap allocation.
+    pub fn push(&mut self, at: SimTime, payload: E) -> EventId {
+        let id = self.next_seq;
+        self.next_seq = self.next_seq.wrapping_add(1);
+        let slot = self.alloc_cell(at.as_nanos(), id, payload);
+        self.idmap.insert(id, slot);
+        self.live += 1;
+        self.place(slot);
+        if self.live > self.buckets.len() << 1 && self.nb_log2 < MAX_NB_LOG2 {
+            self.rebuild();
+        }
+        EventId(id)
+    }
+
+    /// Cancel a previously scheduled event in O(1). Returns `true` if the
+    /// event was still pending (it will never be delivered), `false` if it
+    /// already fired or was already cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        match self.idmap.remove(id.0) {
+            None => false,
+            Some(slot) => {
+                let cell = &mut self.cells[slot as usize];
+                cell.live = false;
+                cell.payload = None;
+                self.live -= 1;
+                true
+            }
+        }
+    }
+
+    /// Remove and return the earliest live event as `(time, id, payload)`.
+    pub fn pop(&mut self) -> Option<(SimTime, EventId, E)> {
+        let slot = self.settle()?;
+        let b = self.cursor;
+        self.buckets[b] = self.cells[slot as usize].next;
+        if self.buckets[b] == NIL {
+            self.tails[b] = NIL;
+            self.occ_clear(b);
+        }
+        self.cal_cells -= 1;
+        let cell = &mut self.cells[slot as usize];
+        let (at, id) = (cell.at, cell.id);
+        let payload = cell.payload.take();
+        self.idmap.remove(id);
+        self.live -= 1;
+        self.free_cell(slot);
+        if (self.live << 3) < self.buckets.len() && self.nb_log2 > MIN_NB_LOG2 {
+            self.rebuild();
+        }
+        payload.map(|p| (SimTime::from_nanos(at), EventId(id), p))
+    }
+
+    /// The timestamp of the earliest live event, without removing it.
+    /// (`&mut` because dead cells are garbage-collected along the way,
+    /// like the reference queue's lazy-deletion peek.)
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        let slot = self.settle()?;
+        Some(SimTime::from_nanos(self.cells[slot as usize].at))
+    }
+
+    // ------------------------------------------------------------- slab
+
+    fn alloc_cell(&mut self, at: u64, id: u64, payload: E) -> u32 {
+        if self.free_head != NIL {
+            let slot = self.free_head;
+            let cell = &mut self.cells[slot as usize];
+            self.free_head = cell.next;
+            cell.at = at;
+            cell.id = id;
+            cell.next = NIL;
+            cell.live = true;
+            cell.payload = Some(payload);
+            slot
+        } else {
+            // Slab growth: amortized, and bounded at 2^32 - 1 concurrent
+            // cells (the NIL sentinel) — ~170 GiB of cells, far past any
+            // realistic pending-set size.
+            let slot = self.cells.len() as u32;
+            self.cells.push(Cell {
+                at,
+                id,
+                next: NIL,
+                live: true,
+                payload: Some(payload),
+            });
+            slot
+        }
+    }
+
+    fn free_cell(&mut self, slot: u32) {
+        let cell = &mut self.cells[slot as usize];
+        cell.live = false;
+        cell.payload = None;
+        cell.next = self.free_head;
+        self.free_head = slot;
+    }
+
+    // --------------------------------------------------------- placement
+
+    /// Link a freshly filled (or re-homed) cell into the calendar or the
+    /// far bands, rewinding the calendar if the event lands behind it.
+    fn place(&mut self, slot: u32) {
+        let at = self.cells[slot as usize].at;
+        let y = at >> self.span();
+        if y > self.year {
+            self.far_push(slot);
+            return;
+        }
+        if y < self.year {
+            self.rewind_to(y, at);
+        } else {
+            let b = self.bucket_index(at);
+            if b < self.cursor {
+                self.cursor = b;
+            }
+        }
+        self.bucket_insert(slot);
+    }
+
+    /// Sorted insert into the event's bucket chain; stable on `(at, id)`
+    /// so same-instant events keep FIFO order. The common case — a new
+    /// event sorting at or after everything in its bucket — appends at
+    /// the tail in O(1); only out-of-order inserts walk the chain.
+    fn bucket_insert(&mut self, slot: u32) {
+        let (at, id) = {
+            let c = &self.cells[slot as usize];
+            (c.at, c.id)
+        };
+        let b = self.bucket_index(at);
+        self.occ_set(b);
+        let tail = self.tails[b];
+        if tail == NIL {
+            self.cells[slot as usize].next = NIL;
+            self.buckets[b] = slot;
+            self.tails[b] = slot;
+            self.cal_cells += 1;
+            return;
+        }
+        let t = &self.cells[tail as usize];
+        if (t.at, t.id) < (at, id) {
+            self.cells[slot as usize].next = NIL;
+            self.cells[tail as usize].next = slot;
+            self.tails[b] = slot;
+            self.cal_cells += 1;
+            return;
+        }
+        let mut prev = NIL;
+        let mut cur = self.buckets[b];
+        while cur != NIL {
+            let c = &self.cells[cur as usize];
+            if c.at > at || (c.at == at && c.id > id) {
+                break;
+            }
+            prev = cur;
+            cur = c.next;
+        }
+        self.cells[slot as usize].next = cur;
+        if prev == NIL {
+            self.buckets[b] = slot;
+        } else {
+            self.cells[prev as usize].next = slot;
+        }
+        self.cal_cells += 1;
+    }
+
+    /// Band index for a far-future event: highest bit in which its time
+    /// differs from the current year start.
+    fn far_band(&self, at: u64) -> usize {
+        let year_start = self.year << self.span();
+        (64 - (at ^ year_start).leading_zeros()) as usize
+    }
+
+    /// Park a cell in the far bands. Only called with the cell freshly
+    /// written or just unlinked, so the slab read here is cache-hot.
+    fn far_push(&mut self, slot: u32) {
+        let c = &self.cells[slot as usize];
+        let e = FarEntry {
+            at: c.at,
+            id: c.id,
+            slot,
+        };
+        self.far_entry_push(e);
+    }
+
+    /// Re-band an entry without touching the slab.
+    fn far_entry_push(&mut self, e: FarEntry) {
+        let b = self.far_band(e.at);
+        self.far[b].push(e);
+        self.far_cells += 1;
+        if (e.at, e.id) < self.far_min[b] {
+            self.far_min[b] = (e.at, e.id);
+        }
+    }
+
+    /// The queue has no clock, so pushing behind the calendar is legal:
+    /// pull the year back to the new event and park the (now future)
+    /// calendar contents in the far bands.
+    fn rewind_to(&mut self, y: u64, at: u64) {
+        self.year = y;
+        self.cursor = self.bucket_index(at);
+        if self.cal_cells == 0 {
+            return;
+        }
+        for b in 0..self.buckets.len() {
+            let mut h = self.buckets[b];
+            self.buckets[b] = NIL;
+            self.tails[b] = NIL;
+            while h != NIL {
+                let next = self.cells[h as usize].next;
+                self.cal_cells -= 1;
+                if self.cells[h as usize].live {
+                    self.far_push(h);
+                } else {
+                    self.free_cell(h);
+                }
+                h = next;
+            }
+        }
+        for w in &mut self.occ0 {
+            *w = 0;
+        }
+        for w in &mut self.occ1 {
+            *w = 0;
+        }
+    }
+
+    // -------------------------------------------------------- the scan
+
+    /// Advance to the slot holding the earliest live event, cleaning dead
+    /// cells and rolling years as needed. Leaves `cursor` on that event's
+    /// bucket with the event at the chain head. `None` iff no live events.
+    fn settle(&mut self) -> Option<u32> {
+        if self.live == 0 {
+            return None;
+        }
+        loop {
+            if self.cal_cells == 0 {
+                if !self.advance_year() {
+                    // Unreachable while the linkage invariant holds (every
+                    // live cell is in a bucket or band); kept as a
+                    // recoverable exit rather than a panic.
+                    return None;
+                }
+                continue;
+            }
+            while self.cal_cells > 0 {
+                let b = match self.next_occupied(self.cursor) {
+                    Some(b) => b,
+                    None => break,
+                };
+                self.cursor = b;
+                loop {
+                    let h = self.buckets[b];
+                    if h == NIL {
+                        break;
+                    }
+                    if self.cells[h as usize].live {
+                        return Some(h);
+                    }
+                    self.buckets[b] = self.cells[h as usize].next;
+                    self.cal_cells -= 1;
+                    self.free_cell(h);
+                }
+                // The chain was all dead cells — now empty.
+                self.tails[b] = NIL;
+                self.occ_clear(b);
+            }
+            if self.cal_cells > 0 {
+                // Defensive: a linked cell behind the cursor (cannot occur
+                // — pushes rewind the cursor). Rescan rather than panic.
+                self.cursor = 0;
+                continue;
+            }
+            if !self.advance_year() {
+                return None;
+            }
+        }
+    }
+
+    /// Calendar exhausted: jump straight to the earliest far year and
+    /// drain the bands that may hold events of that year. Returns `false`
+    /// when no far events exist at all.
+    fn advance_year(&mut self) -> bool {
+        let mut best = FAR_NONE;
+        for &m in &self.far_min {
+            if m < best {
+                best = m;
+            }
+        }
+        if best == FAR_NONE {
+            return false;
+        }
+        let y = best.0 >> self.span();
+        self.year = y;
+        let mut first_bucket = self.buckets.len();
+        for b in 0..BANDS {
+            if self.far[b].is_empty() || self.far_min[b].0 >> self.span() > y {
+                continue;
+            }
+            let mut band = std::mem::take(&mut self.far[b]);
+            self.far_min[b] = FAR_NONE;
+            self.far_cells -= band.len();
+            for e in band.drain(..) {
+                if e.at >> self.span() == y {
+                    // Due this year: the one slab touch of the entry's
+                    // banded life — liveness check, then link (or free a
+                    // cell cancelled while parked).
+                    if self.cells[e.slot as usize].live {
+                        let bk = self.bucket_index(e.at);
+                        if bk < first_bucket {
+                            first_bucket = bk;
+                        }
+                        self.bucket_insert(e.slot);
+                    } else {
+                        self.free_cell(e.slot);
+                    }
+                } else {
+                    // Still future: re-band against the new year start
+                    // from the carried key — no slab access. Band indices
+                    // only ever decrease as the year advances, so this
+                    // terminates and amortizes.
+                    self.far_entry_push(e);
+                }
+            }
+            // Hand the drained allocation back unless re-banding already
+            // repopulated this band.
+            if self.far[b].is_empty() {
+                self.far[b] = band;
+            }
+        }
+        self.cursor = if first_bucket < self.buckets.len() {
+            first_bucket
+        } else {
+            0
+        };
+        true
+    }
+
+    // ----------------------------------------------------------- resize
+
+    /// Relink every live cell under a new geometry sized to the live
+    /// population: bucket count ≈ live count, bucket width ≈ median
+    /// inter-event gap. Cells stay in place; only the chain links change.
+    fn rebuild(&mut self) {
+        let mut slots = std::mem::take(&mut self.scratch);
+        slots.clear();
+        for b in 0..self.buckets.len() {
+            let mut h = self.buckets[b];
+            self.buckets[b] = NIL;
+            while h != NIL {
+                let next = self.cells[h as usize].next;
+                if self.cells[h as usize].live {
+                    slots.push(h);
+                } else {
+                    self.free_cell(h);
+                }
+                h = next;
+            }
+        }
+        self.cal_cells = 0;
+        for b in 0..BANDS {
+            let mut band = std::mem::take(&mut self.far[b]);
+            self.far_min[b] = FAR_NONE;
+            for e in band.drain(..) {
+                if self.cells[e.slot as usize].live {
+                    slots.push(e.slot);
+                } else {
+                    self.free_cell(e.slot);
+                }
+            }
+            self.far[b] = band;
+        }
+        self.far_cells = 0;
+
+        let n = slots.len() as u64;
+        if n == 0 {
+            self.nb_log2 = MIN_NB_LOG2;
+            self.buckets.clear();
+            self.buckets.resize(1 << self.nb_log2, NIL);
+            self.tails.clear();
+            self.tails.resize(1 << self.nb_log2, NIL);
+            self.occ_resize();
+            self.cursor = 0;
+            self.scratch = slots;
+            return;
+        }
+        // Sort by (at, id): gives the minimum, the gap distribution, and
+        // an O(1) tail-append relink below.
+        slots.sort_unstable_by_key(|&s| {
+            let c = &self.cells[s as usize];
+            (c.at, c.id)
+        });
+        let min_at = self.cells[slots[0] as usize].at;
+        self.nb_log2 = ceil_log2(n).clamp(MIN_NB_LOG2, MAX_NB_LOG2);
+        // Bucket width from the MEDIAN inter-event gap. The mean
+        // (span / n) lets a single far-future outlier stretch the width
+        // until the whole near-time population shares one bucket and the
+        // sorted insert degrades to O(n) per push; the median ignores
+        // outliers and keeps the dense region at ~1 event per bucket.
+        let mut gaps: Vec<u64> = slots
+            .windows(2)
+            .map(|w| self.cells[w[1] as usize].at - self.cells[w[0] as usize].at)
+            .collect();
+        let gap = if gaps.is_empty() {
+            1
+        } else {
+            let mid = gaps.len() / 2;
+            let (_, g, _) = gaps.select_nth_unstable(mid);
+            (*g).max(1)
+        };
+        self.width_log2 = ceil_log2(gap).min(MAX_SPAN_LOG2 - self.nb_log2);
+        self.buckets.clear();
+        self.buckets.resize(1 << self.nb_log2, NIL);
+        self.tails.clear();
+        self.tails.resize(1 << self.nb_log2, NIL);
+        self.occ_resize();
+        self.year = min_at >> self.span();
+        self.cursor = self.bucket_index(min_at);
+        // Ascending (at, id) order: every insert lands at its bucket's
+        // tail, so the relink is O(1) per cell.
+        for &s in slots.iter() {
+            let at = self.cells[s as usize].at;
+            if at >> self.span() == self.year {
+                self.bucket_insert(s);
+            } else {
+                self.far_push(s);
+            }
+        }
+        self.scratch = slots;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    fn drain<E>(q: &mut CalendarQueue<E>) -> Vec<(u64, E)> {
+        std::iter::from_fn(|| q.pop().map(|(at, _, p)| (at.as_nanos(), p))).collect()
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = CalendarQueue::new();
+        q.push(t(30), "c");
+        q.push(t(10), "a");
+        q.push(t(20), "b");
+        let order: Vec<_> = drain(&mut q).into_iter().map(|(_, p)| p).collect();
+        assert_eq!(order, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = CalendarQueue::new();
+        for i in 0..100 {
+            q.push(t(5), i);
+        }
+        let order: Vec<_> = drain(&mut q).into_iter().map(|(_, p)| p).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn far_future_outliers_deliver_in_order() {
+        let mut q = CalendarQueue::new();
+        q.push(t(1 << 40), "far");
+        q.push(t(5), "near");
+        q.push(t(1 << 55), "farther");
+        q.push(t((1 << 40) + 1), "far+1");
+        let order: Vec<_> = drain(&mut q);
+        assert_eq!(
+            order,
+            [
+                (5, "near"),
+                (1 << 40, "far"),
+                ((1 << 40) + 1, "far+1"),
+                (1 << 55, "farther")
+            ]
+        );
+    }
+
+    #[test]
+    fn non_monotone_push_after_pop_rewinds() {
+        // The queue has no clock: pushing earlier than everything already
+        // delivered or pending must still pop in global (at, id) order.
+        let mut q = CalendarQueue::new();
+        q.push(t(1_000_000), "late");
+        q.push(t(2_000_000), "later");
+        assert_eq!(q.pop().map(|(_, _, p)| p), Some("late"));
+        q.push(t(3), "rewound");
+        assert_eq!(q.pop().map(|(_, _, p)| p), Some("rewound"));
+        assert_eq!(q.pop().map(|(_, _, p)| p), Some("later"));
+    }
+
+    #[test]
+    fn cancel_prevents_delivery_and_double_cancel_is_false() {
+        let mut q = CalendarQueue::new();
+        let a = q.push(t(1), "a");
+        q.push(t(2), "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel must report false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().map(|(_, _, p)| p), Some("b"));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_of_delivered_id_is_false() {
+        let mut q = CalendarQueue::new();
+        let a = q.push(t(1), "a");
+        assert!(q.pop().is_some());
+        assert!(!q.cancel(a));
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut q: CalendarQueue<()> = CalendarQueue::new();
+        assert!(!q.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn cancel_then_pop_at_same_instant_keeps_fifo() {
+        // Five events at one instant; cancel the 1st and 3rd; the pops
+        // must deliver 2nd, 4th, 5th in schedule order.
+        let mut q = CalendarQueue::new();
+        let ids: Vec<_> = (0..5).map(|i| q.push(t(77), i)).collect();
+        assert!(q.cancel(ids[0]));
+        assert!(q.cancel(ids[2]));
+        let order: Vec<_> = drain(&mut q).into_iter().map(|(_, p)| p).collect();
+        assert_eq!(order, [1, 3, 4]);
+    }
+
+    #[test]
+    fn bucket_resize_mid_stream_preserves_fifo_ties() {
+        // Push enough same-instant events to cross the grow threshold
+        // (live > 2 * buckets) several times mid-stream, interleaved with
+        // other instants; FIFO ties and global order must survive the
+        // relink.
+        let mut q = CalendarQueue::new();
+        let before = q.bucket_count();
+        for i in 0..200u32 {
+            q.push(t(500), i);
+            q.push(t(100 + (i as u64 % 7)), 1_000 + i);
+        }
+        assert!(q.bucket_count() > before, "grow resize never triggered");
+        let popped = drain(&mut q);
+        // Same-instant runs must be in push (id) order.
+        let at_500: Vec<_> = popped
+            .iter()
+            .filter(|(at, _)| *at == 500)
+            .map(|&(_, p)| p)
+            .collect();
+        assert_eq!(at_500, (0..200).collect::<Vec<_>>());
+        let mut sorted = popped.clone();
+        sorted.sort_by_key(|&(at, p)| (at, p >= 1_000, p));
+        // Global order: non-decreasing times throughout.
+        let times: Vec<_> = popped.iter().map(|&(at, _)| at).collect();
+        let mut tsorted = times.clone();
+        tsorted.sort_unstable();
+        assert_eq!(times, tsorted);
+    }
+
+    #[test]
+    fn shrink_resize_keeps_remaining_events() {
+        let mut q = CalendarQueue::new();
+        let mut keep = Vec::new();
+        for i in 0..4_096u64 {
+            let id = q.push(t(i * 64), i);
+            if i >= 4_090 {
+                keep.push(id);
+            }
+        }
+        let grown = q.bucket_count();
+        assert!(grown > 16);
+        // Drain most of the population; the shrink threshold must kick in
+        // without losing the survivors.
+        for _ in 0..4_090 {
+            assert!(q.pop().is_some());
+        }
+        assert!(q.bucket_count() < grown, "shrink resize never triggered");
+        assert_eq!(q.len(), keep.len());
+        let rest: Vec<_> = drain(&mut q).into_iter().map(|(_, p)| p).collect();
+        assert_eq!(rest, (4_090..4_096).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = CalendarQueue::new();
+        let a = q.push(t(1), "a");
+        q.push(t(9), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(9)));
+    }
+
+    #[test]
+    fn is_empty_tracks_live_count() {
+        let mut q = CalendarQueue::new();
+        assert!(q.is_empty());
+        let a = q.push(t(1), 0);
+        assert!(!q.is_empty());
+        q.cancel(a);
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn slab_reuses_cells_in_steady_state() {
+        // After warm-up, a schedule/pop cycle must not grow the slab.
+        let mut q = CalendarQueue::new();
+        for i in 0..64u64 {
+            q.push(t(i), i);
+        }
+        for i in 64..10_000u64 {
+            q.push(t(i), i);
+            q.pop();
+        }
+        assert!(
+            q.cells.len() <= 130,
+            "slab grew past the live population: {}",
+            q.cells.len()
+        );
+    }
+
+    #[test]
+    fn ids_are_the_monotone_push_sequence() {
+        let mut q = CalendarQueue::new();
+        let a = q.push(t(9), ());
+        let b = q.push(t(3), ());
+        assert_eq!(a.as_u64() + 1, b.as_u64());
+    }
+}

@@ -27,6 +27,29 @@
 use crate::queue::{EventId, EventQueue};
 use crate::time::{SimDuration, SimTime};
 
+/// Error returned when an absolute-time schedule lands before the engine's
+/// current clock. Recoverable by contract: simulation models decide whether
+/// a late schedule is a bug (propagate it) or a race to clamp to `now`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulePastError {
+    /// The requested (past) timestamp.
+    pub at: SimTime,
+    /// The engine clock at the time of the request.
+    pub now: SimTime,
+}
+
+impl std::fmt::Display for SchedulePastError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "scheduling into the past: {} < {} (engine clock)",
+            self.at, self.now
+        )
+    }
+}
+
+impl std::error::Error for SchedulePastError {}
+
 /// A discrete-event simulation engine over event payload type `E`.
 pub struct Engine<E> {
     now: SimTime,
@@ -77,11 +100,44 @@ impl<E> Engine<E> {
 
     /// Schedule `event` at absolute time `at`.
     ///
-    /// # Panics
-    /// Panics if `at` is in the past — events cannot fire before `now`.
-    pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventId {
-        assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
-        self.queue.push(at, event)
+    /// # Errors
+    /// Returns [`SchedulePastError`] (scheduling nothing) when `at` is
+    /// before the current clock — events cannot fire before `now`.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> Result<EventId, SchedulePastError> {
+        if at < self.now {
+            return Err(SchedulePastError { at, now: self.now });
+        }
+        Ok(self.queue.push(at, event))
+    }
+
+    /// Schedule a batch of `(time, event)` pairs in one call, returning the
+    /// ids in input order. The batch is atomic: if any timestamp is in the
+    /// past, *nothing* is scheduled and the first offending time is
+    /// reported. This is the entry point the scatter-gather access engine
+    /// uses to turn one per-holder completion list into one queue insertion
+    /// pass (see `lmp_core::batch::schedule_holder_completions`).
+    ///
+    /// # Errors
+    /// Returns [`SchedulePastError`] for the earliest-indexed pair whose
+    /// time precedes the current clock; no event from the batch is queued.
+    pub fn schedule_batch<I>(&mut self, items: I) -> Result<Vec<EventId>, SchedulePastError>
+    where
+        I: IntoIterator<Item = (SimTime, E)>,
+    {
+        let items: Vec<(SimTime, E)> = items.into_iter().collect();
+        for (at, _) in &items {
+            if *at < self.now {
+                return Err(SchedulePastError {
+                    at: *at,
+                    now: self.now,
+                });
+            }
+        }
+        let mut ids = Vec::with_capacity(items.len());
+        for (at, ev) in items {
+            ids.push(self.queue.push(at, ev));
+        }
+        Ok(ids)
     }
 
     /// Schedule `event` to fire `delay` after the current time.
@@ -160,7 +216,8 @@ mod tests {
     #[test]
     fn clock_advances_to_event_time() {
         let mut eng = Engine::new();
-        eng.schedule_at(SimTime::from_nanos(100), Ev::Tick(1));
+        eng.schedule_at(SimTime::from_nanos(100), Ev::Tick(1))
+            .expect("future schedule");
         let mut fired = 0;
         eng.run(|eng, _| {
             fired += 1;
@@ -188,8 +245,10 @@ mod tests {
     #[test]
     fn run_until_leaves_future_events_pending() {
         let mut eng = Engine::new();
-        eng.schedule_at(SimTime::from_nanos(5), Ev::Tick(1));
-        eng.schedule_at(SimTime::from_nanos(50), Ev::Tick(2));
+        eng.schedule_at(SimTime::from_nanos(5), Ev::Tick(1))
+            .expect("future schedule");
+        eng.schedule_at(SimTime::from_nanos(50), Ev::Tick(2))
+            .expect("future schedule");
         let mut fired = Vec::new();
         eng.run_until(SimTime::from_nanos(10), |_, Ev::Tick(n)| fired.push(n));
         assert_eq!(fired, [1]);
@@ -198,20 +257,73 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "scheduling into the past")]
-    fn schedule_in_past_panics() {
+    fn schedule_in_past_is_a_recoverable_error() {
         let mut eng = Engine::new();
-        eng.schedule_at(SimTime::from_nanos(10), Ev::Tick(1));
+        eng.schedule_at(SimTime::from_nanos(10), Ev::Tick(1))
+            .expect("future schedule");
+        let mut err = None;
         eng.run(|eng, _| {
-            eng.schedule_at(SimTime::from_nanos(5), Ev::Tick(2));
+            err = eng.schedule_at(SimTime::from_nanos(5), Ev::Tick(2)).err();
         });
+        let err = err.expect("past schedule must be rejected");
+        assert_eq!(err.at.as_nanos(), 5);
+        assert_eq!(err.now.as_nanos(), 10);
+        assert!(err.to_string().contains("scheduling into the past"));
+        // Nothing was queued and the engine keeps working.
+        assert_eq!(eng.pending(), 0);
+        assert_eq!(eng.events_processed(), 1);
+        assert!(eng.schedule_at(SimTime::from_nanos(11), Ev::Tick(3)).is_ok());
+    }
+
+    #[test]
+    fn schedule_batch_returns_ids_in_input_order() {
+        let mut eng = Engine::new();
+        let ids = eng
+            .schedule_batch([
+                (SimTime::from_nanos(30), Ev::Tick(3)),
+                (SimTime::from_nanos(10), Ev::Tick(1)),
+                (SimTime::from_nanos(20), Ev::Tick(2)),
+            ])
+            .expect("all future");
+        assert_eq!(ids.len(), 3);
+        assert!(ids[0].as_u64() < ids[1].as_u64() && ids[1].as_u64() < ids[2].as_u64());
+        let mut fired = Vec::new();
+        eng.run(|_, Ev::Tick(n)| fired.push(n));
+        assert_eq!(fired, [1, 2, 3]);
+    }
+
+    #[test]
+    fn schedule_batch_is_atomic_on_error() {
+        let mut eng = Engine::new();
+        eng.schedule_at(SimTime::from_nanos(10), Ev::Tick(0))
+            .expect("future schedule");
+        let mut outcome = None;
+        eng.run(|eng, Ev::Tick(n)| {
+            if n == 0 {
+                outcome = Some(eng.schedule_batch([
+                    (SimTime::from_nanos(20), Ev::Tick(1)),
+                    (SimTime::from_nanos(3), Ev::Tick(2)), // in the past
+                    (SimTime::from_nanos(30), Ev::Tick(3)),
+                ]));
+            }
+        });
+        let err = outcome
+            .expect("batch attempted")
+            .expect_err("past time must fail the whole batch");
+        assert_eq!(err.at.as_nanos(), 3);
+        // Atomic: the valid pairs were not scheduled either.
+        assert_eq!(eng.pending(), 0);
+        assert_eq!(eng.events_processed(), 1);
     }
 
     #[test]
     fn cancelled_events_do_not_fire() {
         let mut eng = Engine::new();
-        let id = eng.schedule_at(SimTime::from_nanos(5), Ev::Tick(1));
-        eng.schedule_at(SimTime::from_nanos(6), Ev::Tick(2));
+        let id = eng
+            .schedule_at(SimTime::from_nanos(5), Ev::Tick(1))
+            .expect("future schedule");
+        eng.schedule_at(SimTime::from_nanos(6), Ev::Tick(2))
+            .expect("future schedule");
         assert!(eng.cancel(id));
         let mut fired = Vec::new();
         eng.run(|_, Ev::Tick(n)| fired.push(n));
@@ -222,7 +334,8 @@ mod tests {
     fn run_while_stops_on_predicate() {
         let mut eng = Engine::new();
         for i in 0..100 {
-            eng.schedule_at(SimTime::from_nanos(i), Ev::Tick(i as u32));
+            eng.schedule_at(SimTime::from_nanos(i), Ev::Tick(i as u32))
+                .expect("future schedule");
         }
         let mut fired = 0;
         eng.run_while(|_, _| fired += 1, |e| e.events_processed() < 10);

@@ -9,8 +9,9 @@
 //! reported number is built from.
 //!
 //! Design goals, in order: **reproducibility** (same seed ⇒ same run, on any
-//! platform), **simplicity** (no macros or type tricks; the engine is a heap
-//! and a loop), and **speed** (O(log n) scheduling, O(1) recording).
+//! platform), **simplicity** (no macros or type tricks; the engine is a
+//! pending-event set and a loop), and **speed** (amortized O(1) scheduling
+//! via the [`calendar`] queue, O(1) recording).
 //!
 //! ## Quick tour
 //!
@@ -22,7 +23,7 @@
 //!
 //! // 2. The engine delivers them in timestamp order.
 //! let mut eng = Engine::new();
-//! eng.schedule_at(SimTime::from_nanos(100), Ev::Arrive);
+//! eng.schedule_at(SimTime::from_nanos(100), Ev::Arrive).expect("future time");
 //! let mut latency = Histogram::new();
 //! eng.run(|eng, ev| match ev {
 //!     Ev::Arrive => { eng.schedule_after(SimDuration::from_nanos(280), Ev::Depart); }
@@ -34,6 +35,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod calendar;
 pub mod engine;
 pub mod latency;
 pub mod queue;
@@ -46,7 +48,8 @@ pub mod units;
 
 /// Commonly used items, re-exported for `use lmp_sim::prelude::*`.
 pub mod prelude {
-    pub use crate::engine::Engine;
+    pub use crate::calendar::CalendarQueue;
+    pub use crate::engine::{Engine, SchedulePastError};
     pub use crate::latency::LoadedLatencyCurve;
     pub use crate::queue::{EventId, EventQueue};
     pub use crate::rate::{BusyTracker, SlidingRate};

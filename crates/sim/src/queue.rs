@@ -3,149 +3,181 @@
 //! [`EventQueue`] is a priority queue keyed by [`SimTime`] with FIFO
 //! tie-breaking: two events scheduled for the same instant pop in the order
 //! they were pushed. That makes whole-simulation runs reproducible, which the
-//! benchmark harness depends on. Events can be cancelled by id without
-//! scanning the heap (lazy deletion).
+//! benchmark harness depends on. Events can be cancelled by id in O(1)
+//! without scanning the structure (lazy deletion).
+//!
+//! The production implementation is the zero-steady-state-allocation
+//! [`crate::calendar::CalendarQueue`], re-exported here under its historical
+//! name. The original `BinaryHeap + BTreeSet` implementation survives as
+//! [`reference::BinaryHeapQueue`]: it is the executable specification the
+//! differential tests (`tests/queue_equivalence.rs`) and the `simbench`
+//! baseline drive against the calendar queue, never the hot path.
 
-use crate::time::SimTime;
-use std::cmp::Ordering;
-use std::collections::{BTreeSet, BinaryHeap};
+pub use crate::calendar::CalendarQueue as EventQueue;
 
 /// Identifier of a scheduled event, unique within one queue's lifetime.
+///
+/// Ids are the queue's monotone push sequence (the first push gets 0), a
+/// contract both implementations share and the differential tests pin down.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct EventId(u64);
+pub struct EventId(pub(crate) u64);
 
-struct Entry<E> {
-    at: SimTime,
-    seq: u64,
-    id: EventId,
-    payload: E,
-}
-
-// Reverse ordering: BinaryHeap is a max-heap, we want earliest-first with
-// lowest-sequence-first tie-breaking.
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-
-/// A time-ordered, deterministic event queue with O(log n) push/pop and
-/// O(1) cancellation (lazy: cancelled entries are skipped at pop time).
-pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
-    /// Ids currently in the heap and not cancelled.
-    pending: BTreeSet<EventId>,
-    next_seq: u64,
-}
-
-// Manual impl: payloads need not be `Debug`, so summarize the queue shape.
-impl<E> std::fmt::Debug for EventQueue<E> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("EventQueue")
-            .field("pending", &self.pending.len())
-            .field("next_seq", &self.next_seq)
-            .finish_non_exhaustive()
+impl EventId {
+    /// The raw sequence number (stable across queue implementations).
+    pub const fn as_u64(self) -> u64 {
+        self.0
     }
 }
 
-impl<E> Default for EventQueue<E> {
-    fn default() -> Self {
-        Self::new()
-    }
-}
+/// The original heap-based queue, kept as a reference model.
+pub mod reference {
+    use super::EventId;
+    use crate::time::SimTime;
+    use std::cmp::Ordering;
+    use std::collections::{BTreeSet, BinaryHeap};
 
-impl<E> EventQueue<E> {
-    /// An empty queue.
-    pub fn new() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            pending: BTreeSet::new(),
-            next_seq: 0,
+    struct Entry<E> {
+        at: SimTime,
+        seq: u64,
+        id: EventId,
+        payload: E,
+    }
+
+    // Reverse ordering: BinaryHeap is a max-heap, we want earliest-first with
+    // lowest-sequence-first tie-breaking.
+    impl<E> Ord for Entry<E> {
+        fn cmp(&self, other: &Self) -> Ordering {
+            other
+                .at
+                .cmp(&self.at)
+                .then_with(|| other.seq.cmp(&self.seq))
+        }
+    }
+    impl<E> PartialOrd for Entry<E> {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl<E> PartialEq for Entry<E> {
+        fn eq(&self, other: &Self) -> bool {
+            self.at == other.at && self.seq == other.seq
+        }
+    }
+    impl<E> Eq for Entry<E> {}
+
+    /// The pre-calendar event queue: `O(log n)` push/pop over a
+    /// `BinaryHeap`, `O(log n)` cancellation through a `BTreeSet` of
+    /// pending ids. Behaviourally identical to
+    /// [`crate::calendar::CalendarQueue`] (same ids, same pop order, same
+    /// cancel semantics); exists only as the differential-test oracle and
+    /// the `simbench` speedup baseline.
+    pub struct BinaryHeapQueue<E> {
+        heap: BinaryHeap<Entry<E>>,
+        /// Ids currently in the heap and not cancelled.
+        pending: BTreeSet<EventId>,
+        next_seq: u64,
+    }
+
+    // Manual impl: payloads need not be `Debug`, so summarize the queue shape.
+    impl<E> std::fmt::Debug for BinaryHeapQueue<E> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("BinaryHeapQueue")
+                .field("pending", &self.pending.len())
+                .field("next_seq", &self.next_seq)
+                .finish_non_exhaustive()
         }
     }
 
-    /// Schedule `payload` to fire at `at`. Returns an id usable with
-    /// [`EventQueue::cancel`].
-    pub fn push(&mut self, at: SimTime, payload: E) -> EventId {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        let id = EventId(seq);
-        self.heap.push(Entry {
-            at,
-            seq,
-            id,
-            payload,
-        });
-        self.pending.insert(id);
-        id
+    impl<E> Default for BinaryHeapQueue<E> {
+        fn default() -> Self {
+            Self::new()
+        }
     }
 
-    /// Cancel a previously scheduled event. Returns `true` if the event was
-    /// still pending (it will never be delivered), `false` if it already
-    /// fired or was already cancelled.
-    pub fn cancel(&mut self, id: EventId) -> bool {
-        self.pending.remove(&id)
-    }
-
-    /// Remove and return the earliest live event as `(time, id, payload)`.
-    pub fn pop(&mut self) -> Option<(SimTime, EventId, E)> {
-        while let Some(entry) = self.heap.pop() {
-            if self.pending.remove(&entry.id) {
-                return Some((entry.at, entry.id, entry.payload));
+    impl<E> BinaryHeapQueue<E> {
+        /// An empty queue.
+        pub fn new() -> Self {
+            BinaryHeapQueue {
+                heap: BinaryHeap::new(),
+                pending: BTreeSet::new(),
+                next_seq: 0,
             }
-            // else: cancelled entry, skip it.
         }
-        None
-    }
 
-    /// The timestamp of the earliest live event, without removing it.
-    pub fn peek_time(&mut self) -> Option<SimTime> {
-        // Drain cancelled heads so the answer reflects a live event.
-        while let Some(entry) = self.heap.peek() {
-            if self.pending.contains(&entry.id) {
-                return Some(entry.at);
+        /// Schedule `payload` to fire at `at`. Returns an id usable with
+        /// [`BinaryHeapQueue::cancel`].
+        pub fn push(&mut self, at: SimTime, payload: E) -> EventId {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let id = EventId(seq);
+            self.heap.push(Entry {
+                at,
+                seq,
+                id,
+                payload,
+            });
+            self.pending.insert(id);
+            id
+        }
+
+        /// Cancel a previously scheduled event. Returns `true` if the event
+        /// was still pending (it will never be delivered), `false` if it
+        /// already fired or was already cancelled.
+        pub fn cancel(&mut self, id: EventId) -> bool {
+            self.pending.remove(&id)
+        }
+
+        /// Remove and return the earliest live event as `(time, id, payload)`.
+        pub fn pop(&mut self) -> Option<(SimTime, EventId, E)> {
+            while let Some(entry) = self.heap.pop() {
+                if self.pending.remove(&entry.id) {
+                    return Some((entry.at, entry.id, entry.payload));
+                }
+                // else: cancelled entry, skip it.
             }
-            self.heap.pop();
+            None
         }
-        None
-    }
 
-    /// Number of live (non-cancelled) pending events.
-    pub fn len(&self) -> usize {
-        self.pending.len()
-    }
+        /// The timestamp of the earliest live event, without removing it.
+        pub fn peek_time(&mut self) -> Option<SimTime> {
+            // Drain cancelled heads so the answer reflects a live event.
+            while let Some(entry) = self.heap.peek() {
+                if self.pending.contains(&entry.id) {
+                    return Some(entry.at);
+                }
+                self.heap.pop();
+            }
+            None
+        }
 
-    /// True when no live events are pending.
-    pub fn is_empty(&self) -> bool {
-        self.pending.is_empty()
+        /// Number of live (non-cancelled) pending events.
+        pub fn len(&self) -> usize {
+            self.pending.len()
+        }
+
+        /// True when no live events are pending.
+        pub fn is_empty(&self) -> bool {
+            self.pending.is_empty()
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::reference::BinaryHeapQueue;
     use super::*;
+    use crate::time::SimTime;
 
     fn t(ns: u64) -> SimTime {
         SimTime::from_nanos(ns)
     }
 
+    // The reference model must itself honor the queue contract: the
+    // differential tests lean on it as the oracle.
+
     #[test]
-    fn pops_in_time_order() {
-        let mut q = EventQueue::new();
+    fn reference_pops_in_time_order() {
+        let mut q = BinaryHeapQueue::new();
         q.push(t(30), "c");
         q.push(t(10), "a");
         q.push(t(20), "b");
@@ -154,8 +186,8 @@ mod tests {
     }
 
     #[test]
-    fn ties_break_fifo() {
-        let mut q = EventQueue::new();
+    fn reference_ties_break_fifo() {
+        let mut q = BinaryHeapQueue::new();
         for i in 0..100 {
             q.push(t(5), i);
         }
@@ -164,8 +196,8 @@ mod tests {
     }
 
     #[test]
-    fn cancel_prevents_delivery() {
-        let mut q = EventQueue::new();
+    fn reference_cancel_prevents_delivery() {
+        let mut q = BinaryHeapQueue::new();
         let a = q.push(t(1), "a");
         q.push(t(2), "b");
         assert!(q.cancel(a));
@@ -175,8 +207,8 @@ mod tests {
     }
 
     #[test]
-    fn cancel_after_fire_is_noop() {
-        let mut q = EventQueue::new();
+    fn reference_cancel_after_fire_is_noop() {
+        let mut q = BinaryHeapQueue::new();
         let a = q.push(t(1), "a");
         assert!(q.pop().is_some());
         assert!(!q.cancel(a));
@@ -184,14 +216,14 @@ mod tests {
     }
 
     #[test]
-    fn cancel_unknown_id_is_noop() {
-        let mut q: EventQueue<()> = EventQueue::new();
+    fn reference_cancel_unknown_id_is_noop() {
+        let mut q: BinaryHeapQueue<()> = BinaryHeapQueue::new();
         assert!(!q.cancel(EventId(42)));
     }
 
     #[test]
-    fn double_cancel_counts_once() {
-        let mut q = EventQueue::new();
+    fn reference_double_cancel_counts_once() {
+        let mut q = BinaryHeapQueue::new();
         let a = q.push(t(1), "a");
         q.push(t(2), "b");
         assert!(q.cancel(a));
@@ -200,8 +232,8 @@ mod tests {
     }
 
     #[test]
-    fn peek_time_skips_cancelled() {
-        let mut q = EventQueue::new();
+    fn reference_peek_time_skips_cancelled() {
+        let mut q = BinaryHeapQueue::new();
         let a = q.push(t(1), "a");
         q.push(t(9), "b");
         q.cancel(a);
@@ -209,13 +241,24 @@ mod tests {
     }
 
     #[test]
-    fn is_empty_tracks_live_count() {
-        let mut q = EventQueue::new();
+    fn reference_is_empty_tracks_live_count() {
+        let mut q = BinaryHeapQueue::new();
         assert!(q.is_empty());
         let a = q.push(t(1), 0);
         assert!(!q.is_empty());
         q.cancel(a);
         assert!(q.is_empty());
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn both_implementations_hand_out_the_same_ids() {
+        let mut cal: EventQueue<u8> = EventQueue::new();
+        let mut heap: BinaryHeapQueue<u8> = BinaryHeapQueue::new();
+        for i in 0..10 {
+            let a = cal.push(t(100 - i), 0);
+            let b = heap.push(t(100 - i), 0);
+            assert_eq!(a, b);
+        }
     }
 }

@@ -1,0 +1,193 @@
+// Test/driver code: unwrap/expect on known-good setup is acceptable here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+//! Differential equivalence tests: the calendar queue against the
+//! `BinaryHeap` reference model.
+//!
+//! The reference implementation ([`reference::BinaryHeapQueue`]) is the
+//! executable specification. These tests drive both queues through random
+//! schedule / cancel / pop interleavings — including same-instant bursts,
+//! far-future outliers, and cancellation of stale ids — and assert the two
+//! produce **identical** `(EventId, SimTime, event)` pop sequences, the
+//! same cancel return values, and the same live counts throughout. Any
+//! divergence in ordering, tie-breaking, id assignment, or lazy-deletion
+//! semantics fails here before it can perturb a chaos digest.
+
+use lmp_sim::prelude::*;
+use lmp_sim::queue::reference::BinaryHeapQueue;
+use proptest::prelude::*;
+
+/// One scripted action against both queues. Raw `(u8, u64)` pairs keep the
+/// strategy trivial for the shrinker; `apply` interprets them.
+#[derive(Debug, Clone, Copy)]
+enum Action {
+    /// Schedule at a near time (dense band, heavy ties).
+    PushNear(u64),
+    /// Schedule a same-instant burst of 3 at one near time.
+    Burst(u64),
+    /// Schedule a far-future outlier (beyond the calendar year).
+    PushFar(u64),
+    /// Cancel the id issued `k` pushes ago (may be live, fired, or stale).
+    Cancel(u64),
+    /// Pop once.
+    Pop,
+    /// Pop repeatedly (drain up to 4).
+    PopMany,
+    /// Compare `peek_time` on both.
+    Peek,
+}
+
+fn decode(op: u8, arg: u64) -> Action {
+    match op % 10 {
+        // Weight pushes and pops heavily so the queues stay populated.
+        0 | 1 => Action::PushNear(arg % 4_096),
+        2 => Action::Burst(arg % 4_096),
+        // Spread outliers across radix bands up to ~2^52 ns.
+        3 => Action::PushFar((1u64 << (20 + (arg % 33))) + arg % 65_536),
+        4 => Action::Cancel(arg % 24),
+        5..=7 => Action::Pop,
+        8 => Action::PopMany,
+        _ => Action::Peek,
+    }
+}
+
+/// Run one script against both implementations, asserting lock-step
+/// equivalence after every action. (The proptest shim's `prop_assert!` is
+/// a plain assert, so this helper asserts directly.)
+fn run_script(script: &[(u8, u64)]) {
+    let mut cal: CalendarQueue<u64> = CalendarQueue::new();
+    let mut heap: BinaryHeapQueue<u64> = BinaryHeapQueue::new();
+    let mut issued: Vec<EventId> = Vec::new();
+    let mut payload = 0u64;
+
+    let push = |cal: &mut CalendarQueue<u64>,
+                    heap: &mut BinaryHeapQueue<u64>,
+                    issued: &mut Vec<EventId>,
+                    payload: &mut u64,
+                    at: u64| {
+        let t = SimTime::from_nanos(at);
+        let a = cal.push(t, *payload);
+        let b = heap.push(t, *payload);
+        prop_assert_eq!(a, b, "id divergence at push {}", *payload);
+        issued.push(a);
+        *payload += 1;
+    };
+
+    for &(op, arg) in script {
+        match decode(op, arg) {
+            Action::PushNear(at) | Action::PushFar(at) => {
+                push(&mut cal, &mut heap, &mut issued, &mut payload, at);
+            }
+            Action::Burst(at) => {
+                for _ in 0..3 {
+                    push(&mut cal, &mut heap, &mut issued, &mut payload, at);
+                }
+            }
+            Action::Cancel(back) => {
+                if !issued.is_empty() {
+                    let idx = issued.len().saturating_sub(1 + back as usize);
+                    let id = issued[idx];
+                    prop_assert_eq!(cal.cancel(id), heap.cancel(id), "cancel({:?})", id);
+                }
+            }
+            Action::Pop => {
+                let a = cal.pop();
+                let b = heap.pop();
+                prop_assert_eq!(a, b);
+            }
+            Action::PopMany => {
+                for _ in 0..4 {
+                    let a = cal.pop();
+                    let b = heap.pop();
+                    let done = a.is_none();
+                    prop_assert_eq!(a, b);
+                    if done {
+                        break;
+                    }
+                }
+            }
+            Action::Peek => {
+                prop_assert_eq!(cal.peek_time(), heap.peek_time());
+            }
+        }
+        prop_assert_eq!(cal.len(), heap.len(), "live-count divergence");
+        prop_assert_eq!(cal.is_empty(), heap.is_empty());
+    }
+
+    // Final drain: the complete remaining pop sequences must match too.
+    loop {
+        let a = cal.pop();
+        let b = heap.pop();
+        let done = a.is_none();
+        prop_assert_eq!(a, b, "divergence in final drain");
+        if done {
+            break;
+        }
+    }
+    prop_assert_eq!(heap.pop(), None);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Random interleavings of schedule / burst / far-outlier / cancel /
+    /// pop / peek produce identical behavior on both queues.
+    #[test]
+    fn random_interleavings_are_equivalent(
+        script in proptest::collection::vec((any::<u8>(), any::<u64>()), 1..400),
+    ) {
+        run_script(&script);
+    }
+}
+
+/// Deterministic stress: enough churn to force several calendar resizes
+/// (grow and shrink), year advances, and far-band drains, with the heap
+/// model checking every single pop. Complements the proptest with a scale
+/// the shrinker would never reach.
+#[test]
+fn long_mixed_run_matches_reference_exactly() {
+    let mut cal: CalendarQueue<u64> = CalendarQueue::new();
+    let mut heap: BinaryHeapQueue<u64> = BinaryHeapQueue::new();
+    let mut rng = DetRng::new(0x51F7_BEEF);
+    let mut issued = Vec::new();
+
+    for i in 0..60_000u64 {
+        match rng.below(10) {
+            0..=3 => {
+                // Near pushes around a drifting "now" to exercise rewinds.
+                let at = SimTime::from_nanos(rng.below(1 << 22));
+                issued.push(cal.push(at, i));
+                heap.push(at, i);
+            }
+            4 => {
+                let at = SimTime::from_nanos((1 << 30) + rng.below(1 << 44));
+                issued.push(cal.push(at, i));
+                heap.push(at, i);
+            }
+            5 => {
+                let at = SimTime::from_nanos(rng.below(1 << 12));
+                for _ in 0..4 {
+                    issued.push(cal.push(at, i));
+                    heap.push(at, i);
+                }
+            }
+            6 => {
+                if let Some(&id) = issued.get(rng.below(issued.len().max(1) as u64) as usize) {
+                    assert_eq!(cal.cancel(id), heap.cancel(id));
+                }
+            }
+            _ => {
+                assert_eq!(cal.pop(), heap.pop(), "pop divergence at step {i}");
+            }
+        }
+        assert_eq!(cal.len(), heap.len(), "len divergence at step {i}");
+    }
+    loop {
+        let a = cal.pop();
+        let b = heap.pop();
+        assert_eq!(a, b, "divergence in final drain");
+        if a.is_none() {
+            break;
+        }
+    }
+}

@@ -21,11 +21,15 @@ fn run_workload(seed: u64) -> Vec<(u64, u32)> {
     // Seed events at random times, including deliberate collisions.
     for i in 0..24u32 {
         let at = SimTime::from_nanos(rng.below(1_000));
-        eng.schedule_at(at, i);
+        eng.schedule_at(at, i)
+            .expect("fresh engine: every time is in the future");
     }
     // Schedule-then-cancel: cancelled events must not perturb the trace.
     let doomed: Vec<_> = (100..110u32)
-        .map(|i| eng.schedule_at(SimTime::from_nanos(rng.below(1_000)), i))
+        .map(|i| {
+            eng.schedule_at(SimTime::from_nanos(rng.below(1_000)), i)
+                .expect("fresh engine: every time is in the future")
+        })
         .collect();
     for (j, id) in doomed.into_iter().enumerate() {
         if j % 2 == 0 {
@@ -68,7 +72,8 @@ fn simultaneous_events_fire_in_schedule_order() {
     let mut eng: Engine<u32> = Engine::new();
     let t = SimTime::from_nanos(500);
     for i in 0..16u32 {
-        eng.schedule_at(t, i);
+        eng.schedule_at(t, i)
+            .expect("fresh engine: every time is in the future");
     }
     let mut seen = Vec::new();
     eng.run(|_, ev| seen.push(ev));
@@ -78,8 +83,12 @@ fn simultaneous_events_fire_in_schedule_order() {
 #[test]
 fn cancelled_events_never_fire() {
     let mut eng: Engine<u32> = Engine::new();
-    let keep = eng.schedule_at(SimTime::from_nanos(10), 1);
-    let drop = eng.schedule_at(SimTime::from_nanos(5), 2);
+    let keep = eng
+        .schedule_at(SimTime::from_nanos(10), 1)
+        .expect("future schedule");
+    let drop = eng
+        .schedule_at(SimTime::from_nanos(5), 2)
+        .expect("future schedule");
     assert!(eng.cancel(drop));
     assert!(!eng.cancel(drop), "double-cancel must report false");
     let mut seen = Vec::new();
