@@ -15,6 +15,7 @@
 //!   1x for mirroring, at higher write and recovery cost.
 
 use crate::addr::{LogicalAddr, SegmentId};
+use crate::placement::PlacementPolicy;
 use crate::pool::{LogicalPool, Placement, PoolError};
 use lmp_fabric::{Fabric, NodeId};
 use lmp_mem::FRAME_BYTES;
@@ -104,12 +105,29 @@ pub struct ProtectionManager {
     groups: BTreeMap<GroupId, ParityGroup>,
     member_group: BTreeMap<SegmentId, GroupId>,
     next_group: u64,
+    /// Where replicas, parity segments, and rebuilt segments may land.
+    /// Defaults to [`PlacementPolicy::HostOnly`] (the original exclusion
+    /// semantics, byte for byte).
+    policy: PlacementPolicy,
 }
 
 impl ProtectionManager {
-    /// An empty manager.
+    /// An empty manager with host-only placement.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty manager placing under `policy` (e.g. rack-aware).
+    pub fn with_policy(policy: PlacementPolicy) -> Self {
+        ProtectionManager {
+            policy,
+            ..Self::default()
+        }
+    }
+
+    /// The active placement policy.
+    pub fn policy(&self) -> &PlacementPolicy {
+        &self.policy
     }
 
     /// Whether `seg` has any protection.
@@ -157,9 +175,23 @@ impl ProtectionManager {
             .segment_len(seg)
             .ok_or(PoolError::UnknownSegment(seg))?;
         let home = pool.holder_of(seg).ok_or(PoolError::UnknownSegment(seg))?;
-        let target = pick_other_server(pool, len, &[home]).ok_or(PoolError::Capacity {
-            requested_frames: len.div_ceil(FRAME_BYTES),
-        })?;
+        // A dead source cannot be copied; without this guard the replica
+        // allocation below would leak when the read faults.
+        if pool.node(home).is_failed() {
+            return Err(PoolError::ServerDown(home));
+        }
+        let decision = self
+            .policy
+            .place_member(pool, len, &[home])
+            .ok_or(PoolError::Capacity {
+                requested_frames: len.div_ceil(FRAME_BYTES),
+            })?;
+        let target = decision.target;
+        if let Some(level) = decision.lost {
+            if let Some(t) = pool.telemetry_mut() {
+                t.note_independence_lost(level);
+            }
+        }
         // Charge the fabric for the copy before any pool state changes: a
         // down port (fault injection) fails the mirror cleanly.
         fabric
@@ -203,6 +235,11 @@ impl ProtectionManager {
                 ));
             }
             let h = pool.holder_of(m).ok_or(PoolError::UnknownSegment(m))?;
+            // A dead member cannot seed the parity; without this guard the
+            // parity allocation below would leak when the read faults.
+            if pool.node(h).is_failed() {
+                return Err(PoolError::ServerDown(h));
+            }
             if homes.contains(&h) {
                 return Err(PoolError::InvalidRequest(
                     "parity members must live on distinct servers",
@@ -210,9 +247,18 @@ impl ProtectionManager {
             }
             homes.push(h);
         }
-        let target = pick_other_server(pool, len, &homes).ok_or(PoolError::Capacity {
-            requested_frames: len.div_ceil(FRAME_BYTES),
-        })?;
+        let decision = self
+            .policy
+            .place_member(pool, len, &homes)
+            .ok_or(PoolError::Capacity {
+                requested_frames: len.div_ceil(FRAME_BYTES),
+            })?;
+        let target = decision.target;
+        if let Some(level) = decision.lost {
+            if let Some(t) = pool.telemetry_mut() {
+                t.note_independence_lost(level);
+            }
+        }
         // Charge the fabric for pulling every member before any pool state
         // changes: a down port fails protection cleanly.
         for &h in &homes {
@@ -417,6 +463,20 @@ impl ProtectionManager {
             if let Some(replica) = self.mirrors.remove(&seg) {
                 // Promote the replica: its frames become the segment's.
                 self.replica_of.remove(&replica);
+                // Correlated failure (e.g. a rack loss under host-only
+                // placement): the replica died with its primary. Promoting
+                // would hand the segment frames on a dead server; report
+                // the loss instead. The replica's own bookkeeping is
+                // dropped here so a later pass over its home's segments
+                // does not double-report it.
+                let replica_alive = pool
+                    .holder_of(replica)
+                    .is_some_and(|h| !pool.node(h).is_failed());
+                if !replica_alive {
+                    pool.drop_segment_bookkeeping(replica);
+                    report.lost.push(seg);
+                    continue;
+                }
                 if pool.promote_replica(seg, replica).is_err() {
                     // Bookkeeping disagreed about the replica (a bug, not
                     // an injectable fault); degrade to reporting loss.
@@ -463,7 +523,11 @@ impl ProtectionManager {
                         report.lost.push(seg);
                     }
                 }
-            } else {
+            } else if pool.segment_len(seg).is_some() {
+                // Unprotected (or protection already torn down): lost.
+                // Segments whose bookkeeping an earlier pass dropped —
+                // e.g. a replica cleaned up when its primary was reported
+                // lost — are skipped rather than double-reported.
                 report.lost.push(seg);
             }
         }
@@ -492,20 +556,25 @@ impl ProtectionManager {
             }
             survivors.push((s, home));
         }
-        // Prefer a server hosting no group segment (restores full fault
-        // independence); fall back to any live server with room — degraded
+        // Prefer a target that restores full fault independence at the
+        // policy's strongest level (another rack under `DomainAware`, any
+        // other host under `HostOnly`); fall back tier by tier — degraded
         // placement beats data loss, but the caller must hear about it so
-        // the loss of independence is never silent.
+        // the loss of independence is never silent, and telemetry gets a
+        // labelled `placement.independence_lost{domain}` bump.
         let exclude: Vec<NodeId> = survivors.iter().map(|(_, h)| *h).collect();
-        let (target, degraded) = match pick_other_server(pool, len, &exclude) {
-            Some(t) => (t, false),
-            None => (
-                pick_other_server(pool, len, &[]).ok_or(PoolError::Capacity {
-                    requested_frames: len.div_ceil(FRAME_BYTES),
-                })?,
-                true,
-            ),
-        };
+        let decision = self
+            .policy
+            .place_recovery(pool, len, &exclude)
+            .ok_or(PoolError::Capacity {
+                requested_frames: len.div_ceil(FRAME_BYTES),
+            })?;
+        let (target, degraded) = (decision.target, decision.lost.is_some());
+        if let Some(level) = decision.lost {
+            if let Some(t) = pool.telemetry_mut() {
+                t.note_independence_lost(level);
+            }
+        }
         // XOR the survivors into the replacement.
         let mut acc = vec![0u8; len as usize];
         let mut done = now;
@@ -533,15 +602,6 @@ impl ProtectionManager {
             self.member_group.remove(&g.parity);
         }
     }
-}
-
-fn pick_other_server(pool: &LogicalPool, len: u64, exclude: &[NodeId]) -> Option<NodeId> {
-    let frames = len.div_ceil(FRAME_BYTES);
-    (0..pool.servers())
-        .map(NodeId)
-        .filter(|n| !exclude.contains(n) && !pool.node(*n).is_failed())
-        .filter(|n| pool.free_shared_frames(*n) >= frames)
-        .max_by_key(|n| (pool.free_shared_frames(*n), std::cmp::Reverse(n.0)))
 }
 
 /// XOR `data` into `acc`. Callers always pass equal lengths (all members
@@ -862,6 +922,133 @@ mod tests {
             .read_degraded(&p, &mut f, SimTime::ZERO, NodeId(3), LogicalAddr::new(a, 0), 7)
             .unwrap();
         assert_eq!(r.source, DegradedSource::Primary);
+    }
+
+    #[test]
+    fn independence_loss_bumps_labelled_counter() {
+        // 3 servers, members on 0 and 1, parity on 2: after crashing 0 the
+        // rebuild has to co-locate with a survivor. With telemetry
+        // attached, that must bump
+        // `placement.independence_lost{domain=host}` — a silent
+        // blast-radius regression is the bug class this counter exists for.
+        let (mut p, mut f, mut pm) = setup(3);
+        p.attach_telemetry();
+        let a = p.alloc(FRAME_BYTES, Placement::On(NodeId(0))).unwrap();
+        let b = p.alloc(FRAME_BYTES, Placement::On(NodeId(1))).unwrap();
+        pm.protect_parity(&mut p, &mut f, SimTime::ZERO, &[a, b])
+            .unwrap();
+        // Nothing lost yet: the counter is not even registered, keeping
+        // pre-loss snapshots byte-identical to their historical digests.
+        let before = p.telemetry().unwrap().snapshot();
+        assert_eq!(
+            before.counter("placement.independence_lost", &[("domain", "host")]),
+            0
+        );
+        assert!(!before.to_json().contains("independence_lost"));
+
+        let affected = p.crash_server(NodeId(0));
+        let report = pm.recover(&mut p, &mut f, SimTime::ZERO, NodeId(0), &affected);
+        assert_eq!(report.degraded_placement, vec![a]);
+        let snap = p.telemetry().unwrap().snapshot();
+        assert_eq!(
+            snap.counter("placement.independence_lost", &[("domain", "host")]),
+            1
+        );
+    }
+
+    #[test]
+    fn rack_fallback_bumps_rack_labelled_counter() {
+        use crate::placement::{DomainMap, PlacementPolicy};
+        // Every server in one rack: domain-aware mirroring cannot cross
+        // racks, so it degrades to host independence and says so at the
+        // rack label.
+        let (mut p, mut f, _) = setup(3);
+        p.attach_telemetry();
+        let mut pm =
+            ProtectionManager::with_policy(PlacementPolicy::DomainAware(DomainMap::single_rack(3)));
+        let seg = p.alloc(FRAME_BYTES, Placement::On(NodeId(0))).unwrap();
+        pm.mirror(&mut p, &mut f, SimTime::ZERO, seg).unwrap();
+        let snap = p.telemetry().unwrap().snapshot();
+        assert_eq!(
+            snap.counter("placement.independence_lost", &[("domain", "rack")]),
+            1
+        );
+    }
+
+    #[test]
+    fn domain_aware_mirror_and_parity_cross_racks() {
+        use crate::placement::{DomainMap, PlacementPolicy};
+        // 2 racks × 2 hosts. Host-only placement would put the replica on
+        // host 1 (most free, lowest id) — the same rack as the primary.
+        let (mut p, mut f, _) = setup(4);
+        let map = DomainMap::uniform(2, 2);
+        let mut pm = ProtectionManager::with_policy(PlacementPolicy::DomainAware(map.clone()));
+        let seg = p.alloc(FRAME_BYTES, Placement::On(NodeId(0))).unwrap();
+        let replica = pm.mirror(&mut p, &mut f, SimTime::ZERO, seg).unwrap();
+        let rhome = p.holder_of(replica).unwrap();
+        assert!(
+            !map.same_rack(NodeId(0), rhome),
+            "replica must leave the primary's rack, landed on {rhome}"
+        );
+
+        let a = p.alloc(FRAME_BYTES, Placement::On(NodeId(1))).unwrap();
+        let b = p.alloc(FRAME_BYTES, Placement::On(NodeId(2))).unwrap();
+        let gid = pm
+            .protect_parity(&mut p, &mut f, SimTime::ZERO, &[a, b])
+            .unwrap();
+        let parity_home = p.holder_of(pm.parity_segment(gid).unwrap()).unwrap();
+        // Members span both racks, so no rack-independent host exists; the
+        // parity still refuses the members' hosts.
+        assert!(parity_home != NodeId(1) && parity_home != NodeId(2));
+    }
+
+    #[test]
+    fn correlated_mirror_loss_is_reported_not_promoted() {
+        // Host-only placement puts the replica in the primary's failure
+        // domain; when both die at once (a rack loss), recovery must
+        // report the segment lost — never promote onto a dead server, and
+        // never report the dead replica as a second loss.
+        let (mut p, mut f, mut pm) = setup(4);
+        let seg = p.alloc(FRAME_BYTES, Placement::On(NodeId(0))).unwrap();
+        let replica = pm.mirror(&mut p, &mut f, SimTime::ZERO, seg).unwrap();
+        let rhome = p.holder_of(replica).unwrap();
+
+        // Both hosts go down before any recovery runs.
+        let mut affected0 = p.crash_server(NodeId(0));
+        affected0.sort_unstable();
+        let mut affected1 = p.crash_server(rhome);
+        affected1.sort_unstable();
+
+        let r0 = pm.recover(&mut p, &mut f, SimTime::ZERO, NodeId(0), &affected0);
+        assert_eq!(r0.lost, vec![seg], "correlated loss is loss");
+        assert!(r0.promoted.is_empty());
+        // The replica's own home pass has nothing left to report.
+        let r1 = pm.recover(&mut p, &mut f, SimTime::ZERO, rhome, &affected1);
+        assert!(r1.lost.is_empty(), "replica is not double-reported");
+        assert!(!pm.is_protected(seg));
+        assert!(matches!(
+            p.read_bytes(LogicalAddr::new(seg, 0), 1),
+            Err(PoolError::SegmentLost(_))
+        ));
+    }
+
+    #[test]
+    fn mirror_of_crashed_home_fails_without_leaking() {
+        let (mut p, mut f, mut pm) = setup(3);
+        let seg = p.alloc(FRAME_BYTES, Placement::On(NodeId(0))).unwrap();
+        p.crash_server(NodeId(0));
+        let free_before: Vec<u64> = (1..3).map(|i| p.free_shared_frames(NodeId(i))).collect();
+        assert!(matches!(
+            pm.mirror(&mut p, &mut f, SimTime::ZERO, seg),
+            Err(PoolError::ServerDown(NodeId(0)))
+        ));
+        let other = p.alloc(FRAME_BYTES, Placement::On(NodeId(1))).unwrap();
+        assert!(matches!(
+            pm.protect_parity(&mut p, &mut f, SimTime::ZERO, &[seg, other]),
+            Err(PoolError::ServerDown(NodeId(0)))
+        ));
+        let free_after: Vec<u64> = (1..3).map(|i| p.free_shared_frames(NodeId(i))).collect();
+        assert_eq!(free_before[1], free_after[1], "no replica/parity leaked");
     }
 
     #[test]

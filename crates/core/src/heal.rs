@@ -178,6 +178,10 @@ impl RecoveryOrchestrator {
         warm: bool,
     ) -> RejoinOutcome {
         if warm && membership.may_resurrect(node, claimed_epoch) {
+            // Honored claim: DRAM survived the outage (the crash model
+            // retains contents), so clear the failed flag and every
+            // segment still mapped to the node resolves again.
+            pool.revive_server(node);
             return RejoinOutcome {
                 resurrected: true,
                 dropped: Vec::new(),

@@ -24,6 +24,9 @@
 //!   (observe → decide → act).
 //! * [`failure`] — crash masking by mirroring or XOR erasure coding, and
 //!   memory exceptions for unprotected segments.
+//! * [`placement`] — the failure-domain hierarchy (datacenter → rack →
+//!   host) and the placement policy that keeps protection groups spread
+//!   across domains.
 //! * [`health`] — lease/heartbeat failure detection (Healthy → Suspected
 //!   → Down) and epoch-versioned cluster membership.
 //! * [`heal`] — the recovery orchestrator: throttled, epoch-tagged
@@ -59,6 +62,7 @@ pub mod heal;
 pub mod health;
 pub mod migrate;
 pub mod observe;
+pub mod placement;
 pub mod pool;
 pub mod runtime;
 pub mod share;
@@ -81,6 +85,7 @@ pub mod prelude {
     pub use crate::controller::{ControllerConfig, SizingController, TickReport};
     pub use crate::migrate::{migrate_segment, MigrationReport};
     pub use crate::observe::{rack_snapshot, PoolTelemetry};
+    pub use crate::placement::{DomainLevel, DomainMap, PlacementDecision, PlacementPolicy};
     pub use crate::pool::{LogicalPool, Placement, PoolAccess, PoolConfig, PoolError};
     pub use crate::runtime::{
         RackRuntime, RuntimeConfig, RuntimeError, ServerRuntime, VirtAddr,

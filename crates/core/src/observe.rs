@@ -11,6 +11,7 @@
 //! merge into one rack-level view with deterministic JSON and digest.
 
 use crate::migrate::MigrationReport;
+use crate::placement::DomainLevel;
 use crate::pool::{LogicalPool, PoolAccess};
 use lmp_fabric::{Fabric, MemOp, NodeId};
 use lmp_sim::prelude::*;
@@ -36,6 +37,11 @@ pub struct PoolTelemetry {
     degraded_reads: CounterId,
     per_server_local: Vec<CounterId>,
     per_server_remote: Vec<CounterId>,
+    /// `placement.independence_lost{domain}` — registered lazily on the
+    /// first loss so snapshots taken before any degraded placement keep
+    /// their historical byte-identical digests.
+    independence_lost_rack: Option<CounterId>,
+    independence_lost_host: Option<CounterId>,
 }
 
 impl PoolTelemetry {
@@ -82,6 +88,8 @@ impl PoolTelemetry {
             degraded_reads,
             per_server_local,
             per_server_remote,
+            independence_lost_rack: None,
+            independence_lost_host: None,
         }
     }
 
@@ -147,6 +155,22 @@ impl PoolTelemetry {
     /// Note a degraded-mode read served by a protection layer.
     pub fn note_degraded_read(&mut self) {
         self.registry.inc(self.degraded_reads);
+    }
+
+    /// Note a placement that had to surrender failure-domain independence
+    /// at `level` (capacity forced co-location). Bumps the labelled
+    /// `placement.independence_lost{domain}` counter so a silent
+    /// blast-radius regression shows up in snapshots.
+    pub fn note_independence_lost(&mut self, level: DomainLevel) {
+        let slot = match level {
+            DomainLevel::Rack => &mut self.independence_lost_rack,
+            DomainLevel::Host => &mut self.independence_lost_host,
+        };
+        let id = *slot.get_or_insert_with(|| {
+            self.registry
+                .counter("placement.independence_lost", &[("domain", level.label())])
+        });
+        self.registry.inc(id);
     }
 
     /// The underlying registry.

@@ -753,6 +753,18 @@ impl LogicalPool {
         self.global.segments_on(server)
     }
 
+    /// Warm-revive a crashed server: memory contents and segment
+    /// bookkeeping survive intact, so segments homed there resolve again.
+    /// Only valid when the crash never destroyed DRAM ([`MemoryNode::crash`]
+    /// retains contents; the model of a rack power/ToR loss). A rejoin
+    /// whose warm claim is rejected must go through
+    /// [`Self::restart_server`] instead.
+    ///
+    /// [`MemoryNode::crash`]: lmp_mem::MemoryNode::crash
+    pub fn revive_server(&mut self, server: NodeId) {
+        self.nodes[server.0 as usize].revive();
+    }
+
     /// Restart a crashed server with empty memory. Segments still mapped
     /// to it died with its DRAM, so their bookkeeping is dropped here:
     /// later accesses surface [`PoolError::UnknownSegment`] instead of

@@ -1,0 +1,467 @@
+//! Datacenter-scale topology: racks of leaf–spine fabrics joined by an
+//! oversubscribed spine tier.
+//!
+//! The next rung on §2.2's scaling ladder: one [`LeafSpineFabric`] per
+//! rack (nodes → leaves → rack spine), and a datacenter spine joining the
+//! racks. Each rack attaches to the spine through one uplink pair whose
+//! bandwidth is `spine_multiplier`× the node link class — the
+//! oversubscription knob that decides how painful cross-rack traffic is
+//! (`1.0` = a whole rack funnels through one node-class link,
+//! `hosts_per_rack as f64` = non-blocking).
+//!
+//! Same-rack traffic delegates to the rack fabric unchanged (1 or 3 switch
+//! hops). Cross-rack traffic crosses five switches — holder leaf, holder
+//! rack spine, datacenter spine, requester rack spine, requester leaf —
+//! and contends on both racks' spine uplinks. Global node ids are
+//! rack-major: node `n` lives in rack `n / hosts_per_rack`.
+//!
+//! This module is on the lint no-panic list: constructors clamp degenerate
+//! shapes instead of asserting, and out-of-range ids fold to the nearest
+//! valid id rather than indexing out of bounds.
+
+use crate::link::Link;
+use crate::profile::LinkProfile;
+use crate::topology::LeafSpineFabric;
+use crate::types::{NodeId, REQUEST_FLIT_BYTES};
+use lmp_sim::prelude::*;
+
+/// Completion report for one operation on the datacenter fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DcCompletion {
+    /// Instant the operation is complete at the requester.
+    pub complete: SimTime,
+    /// End-to-end latency component.
+    pub latency: SimDuration,
+    /// Switch hops the data path crossed (1 same-leaf, 3 cross-leaf,
+    /// 5 cross-rack, 0 for a same-node no-op).
+    pub hops: u32,
+    /// Whether the path crossed the datacenter spine.
+    pub cross_rack: bool,
+}
+
+/// N leaf–spine racks joined by an oversubscribed datacenter spine.
+#[derive(Debug)]
+pub struct DatacenterFabric {
+    racks: Vec<LeafSpineFabric>,
+    hosts_per_rack: u32,
+    /// 2 wires per rack: up (rack spine → dc spine), down (dc spine →
+    /// rack spine).
+    spine_links: Vec<Link>,
+    profile: LinkProfile,
+    extra_hop: SimDuration,
+    reads: Counter,
+    cross_rack_reads: Counter,
+    spine_bytes: Counter,
+}
+
+impl DatacenterFabric {
+    /// A datacenter of `racks` racks, each a `leaves × per_leaf` leaf–spine
+    /// fabric of `profile`-class node links. `uplink_multiplier` scales the
+    /// in-rack leaf uplinks, `spine_multiplier` the per-rack spine uplinks;
+    /// `extra_hop` is the added latency per switch beyond the first.
+    ///
+    /// Degenerate shapes are clamped to 1 and non-positive multipliers to
+    /// 1.0 (this module must not panic).
+    pub fn new(
+        profile: LinkProfile,
+        racks: u32,
+        leaves: u32,
+        per_leaf: u32,
+        uplink_multiplier: f64,
+        spine_multiplier: f64,
+        extra_hop: SimDuration,
+    ) -> Self {
+        let racks = racks.max(1);
+        let leaves = leaves.max(1);
+        let per_leaf = per_leaf.max(1);
+        let uplink_multiplier = if uplink_multiplier > 0.0 {
+            uplink_multiplier
+        } else {
+            1.0
+        };
+        let spine_multiplier = if spine_multiplier > 0.0 {
+            spine_multiplier
+        } else {
+            1.0
+        };
+        let rack_fabrics: Vec<LeafSpineFabric> = (0..racks)
+            .map(|_| {
+                LeafSpineFabric::new(
+                    profile.clone(),
+                    leaves,
+                    per_leaf,
+                    uplink_multiplier,
+                    extra_hop,
+                )
+            })
+            .collect();
+        let spine_profile = LinkProfile::new(
+            format!("{}-spine", profile.name),
+            profile.curve,
+            profile.bandwidth.scale(spine_multiplier),
+        );
+        let spine_links = (0..racks * 2)
+            .map(|_| Link::new(spine_profile.clone()))
+            .collect();
+        DatacenterFabric {
+            racks: rack_fabrics,
+            hosts_per_rack: leaves * per_leaf,
+            spine_links,
+            profile,
+            extra_hop,
+            reads: Counter::new(),
+            cross_rack_reads: Counter::new(),
+            spine_bytes: Counter::new(),
+        }
+    }
+
+    /// Number of racks.
+    pub fn rack_count(&self) -> u32 {
+        self.racks.len() as u32
+    }
+
+    /// Hosts per rack.
+    pub fn hosts_per_rack(&self) -> u32 {
+        self.hosts_per_rack
+    }
+
+    /// Total nodes across the datacenter.
+    pub fn node_count(&self) -> u32 {
+        self.rack_count() * self.hosts_per_rack
+    }
+
+    /// The rack a global node id belongs to. Out-of-range ids fold into
+    /// the last rack rather than panic.
+    pub fn rack_of(&self, node: NodeId) -> u32 {
+        (node.0 / self.hosts_per_rack).min(self.rack_count().saturating_sub(1))
+    }
+
+    /// A node's id within its rack.
+    fn local(&self, node: NodeId) -> NodeId {
+        NodeId(node.0 % self.hosts_per_rack)
+    }
+
+    fn spine_up(&self, rack: u32) -> usize {
+        rack as usize * 2
+    }
+
+    fn spine_down(&self, rack: u32) -> usize {
+        rack as usize * 2 + 1
+    }
+
+    /// A remote read of `bytes` held by `holder`, issued by `requester`
+    /// (global ids). A same-node "read" is a no-op completing at `now` —
+    /// never a panic; upper layers resolve locality before charging the
+    /// fabric, so charging nothing keeps accounting honest.
+    pub fn read(
+        &mut self,
+        now: SimTime,
+        requester: NodeId,
+        holder: NodeId,
+        bytes: u64,
+    ) -> DcCompletion {
+        if requester == holder {
+            return DcCompletion {
+                complete: now,
+                latency: SimDuration::ZERO,
+                hops: 0,
+                cross_rack: false,
+            };
+        }
+        self.reads.inc();
+        let (rr, hr) = (self.rack_of(requester), self.rack_of(holder));
+        let (rl, hl) = (self.local(requester), self.local(holder));
+        if rr == hr {
+            let idx = rr as usize;
+            // Both ids folded into one rack: delegate unchanged.
+            if let Some(rack) = self.racks.get_mut(idx) {
+                let c = rack.read(now, rl, hl, bytes);
+                return DcCompletion {
+                    complete: c.complete,
+                    latency: c.latency,
+                    hops: c.hops,
+                    cross_rack: false,
+                };
+            }
+            // Unreachable (rack_of clamps into range); complete instantly
+            // rather than panic.
+            return DcCompletion {
+                complete: now,
+                latency: SimDuration::ZERO,
+                hops: 0,
+                cross_rack: false,
+            };
+        }
+        self.cross_rack_reads.inc();
+        self.spine_bytes.add(bytes);
+
+        // Bottleneck utilization over the data path, pre-admission: holder
+        // egress wires, both spine uplinks, requester ingress wires.
+        let (h_leaf, r_leaf) = {
+            let hf = &self.racks[hr as usize];
+            let rf = &self.racks[rr as usize];
+            (hf.leaf_of(hl), rf.leaf_of(rl))
+        };
+        let mut u: f64 = 0.0;
+        {
+            let hf = &mut self.racks[hr as usize];
+            u = u.max(hf.node_up_link(hl).utilization(now));
+            u = u.max(hf.leaf_up_link(h_leaf).utilization(now));
+        }
+        let (su, sd) = (self.spine_up(hr), self.spine_down(rr));
+        if let Some(l) = self.spine_links.get_mut(su) {
+            u = u.max(l.utilization(now));
+        }
+        if let Some(l) = self.spine_links.get_mut(sd) {
+            u = u.max(l.utilization(now));
+        }
+        {
+            let rf = &mut self.racks[rr as usize];
+            u = u.max(rf.leaf_down_link(r_leaf).utilization(now));
+            u = u.max(rf.node_down_link(rl).utilization(now));
+        }
+        // Five switches: holder leaf, holder rack spine, dc spine,
+        // requester rack spine, requester leaf.
+        let hops = 5u32;
+        let latency = self.profile.curve.at(u) + self.extra_hop * (hops - 1) as u64;
+
+        // Request flit out of the requester, into the holder.
+        let q1 = self.racks[rr as usize]
+            .node_up_link(rl)
+            .transfer_wire(now, REQUEST_FLIT_BYTES);
+        let q2 = self.racks[hr as usize]
+            .node_down_link(hl)
+            .transfer_wire(q1.1, REQUEST_FLIT_BYTES);
+        // Data payload back, hop by hop.
+        let mut t = {
+            let hf = &mut self.racks[hr as usize];
+            let d = hf.node_up_link(hl).transfer_wire(q2.1, bytes);
+            hf.leaf_up_link(h_leaf).transfer_wire(d.1, bytes).1
+        };
+        if let Some(l) = self.spine_links.get_mut(su) {
+            t = l.transfer_wire(t, bytes).1;
+        }
+        if let Some(l) = self.spine_links.get_mut(sd) {
+            t = l.transfer_wire(t, bytes).1;
+        }
+        let complete = {
+            let rf = &mut self.racks[rr as usize];
+            let d = rf.leaf_down_link(r_leaf).transfer_wire(t, bytes);
+            rf.node_down_link(rl).transfer_wire(d.1, bytes).1
+        };
+        DcCompletion {
+            complete: complete + latency,
+            latency,
+            hops,
+            cross_rack: true,
+        }
+    }
+
+    /// Total reads served (same-rack + cross-rack; same-node no-ops are
+    /// not counted).
+    pub fn read_count(&self) -> u64 {
+        self.reads.get()
+    }
+
+    /// Reads that crossed the datacenter spine.
+    pub fn cross_rack_read_count(&self) -> u64 {
+        self.cross_rack_reads.get()
+    }
+
+    /// Payload bytes that crossed the datacenter spine (one count per
+    /// cross-rack read, not per wire).
+    pub fn spine_payload_bytes(&self) -> u64 {
+        self.spine_bytes.get()
+    }
+
+    /// Utilization of a rack's spine uplink pair `(up, down)` at `now`.
+    pub fn uplink_utilization(&mut self, rack: u32, now: SimTime) -> (f64, f64) {
+        let (su, sd) = (self.spine_up(rack), self.spine_down(rack));
+        let up = self
+            .spine_links
+            .get_mut(su)
+            .map(|l| l.utilization(now))
+            .unwrap_or(0.0);
+        let down = self
+            .spine_links
+            .get_mut(sd)
+            .map(|l| l.utilization(now))
+            .unwrap_or(0.0);
+        (up, down)
+    }
+
+    /// Export datacenter counters and per-rack port telemetry into `reg`.
+    /// Fill a fresh registry per export — values are published absolutely.
+    pub fn export_into(&mut self, now: SimTime, reg: &mut lmp_telemetry::MetricRegistry) {
+        reg.fill_counter_value("dc.reads", &[], self.reads.get());
+        reg.fill_counter_value("dc.cross_rack_reads", &[], self.cross_rack_reads.get());
+        reg.fill_counter_value("dc.spine_bytes", &[], self.spine_bytes.get());
+        for r in 0..self.rack_count() {
+            let label = r.to_string();
+            let labels = [("rack", label.as_str())];
+            let (rack_reads, rack_cross, rack_bytes) = {
+                let rf = &self.racks[r as usize];
+                (rf.read_count(), rf.cross_leaf_read_count(), rf.wire_bytes())
+            };
+            reg.fill_counter_value("dc.rack.reads", &labels, rack_reads);
+            reg.fill_counter_value("dc.rack.cross_leaf_reads", &labels, rack_cross);
+            reg.fill_counter_value("dc.rack.wire_bytes", &labels, rack_bytes);
+            for (dir, idx) in [("up", self.spine_up(r)), ("down", self.spine_down(r))] {
+                let dl = [("rack", label.as_str()), ("dir", dir)];
+                if let Some(l) = self.spine_links.get_mut(idx) {
+                    let util = l.utilization(now);
+                    reg.set_gauge_value("dc.uplink.utilization", &dl, util);
+                    reg.fill_counter_value("dc.uplink.bytes", &dl, l.bytes_sent());
+                    reg.fill_counter_value("dc.uplink.transfers", &dl, l.transfer_count());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dc(racks: u32, spine_mult: f64) -> DatacenterFabric {
+        // racks × (1 leaf × 4 hosts), Link1 class, 40ns per extra hop.
+        DatacenterFabric::new(
+            LinkProfile::link1(),
+            racks,
+            1,
+            4,
+            4.0,
+            spine_mult,
+            SimDuration::from_nanos(40),
+        )
+    }
+
+    #[test]
+    fn geometry_and_global_ids() {
+        let f = dc(3, 2.0);
+        assert_eq!(f.node_count(), 12);
+        assert_eq!(f.hosts_per_rack(), 4);
+        assert_eq!(f.rack_of(NodeId(0)), 0);
+        assert_eq!(f.rack_of(NodeId(5)), 1);
+        assert_eq!(f.rack_of(NodeId(11)), 2);
+        // Out-of-range folds instead of panicking.
+        assert_eq!(f.rack_of(NodeId(99)), 2);
+    }
+
+    #[test]
+    fn same_rack_reads_match_the_rack_fabric() {
+        let mut f = dc(2, 2.0);
+        let mut standalone =
+            LeafSpineFabric::new(LinkProfile::link1(), 1, 4, 4.0, SimDuration::from_nanos(40));
+        let a = f.read(SimTime::ZERO, NodeId(4), NodeId(5), 4096);
+        let b = standalone.read(SimTime::ZERO, NodeId(0), NodeId(1), 4096);
+        assert!(!a.cross_rack);
+        assert_eq!(a.hops, b.hops);
+        assert_eq!(a.latency, b.latency);
+        assert_eq!(a.complete, b.complete);
+        assert_eq!(f.cross_rack_read_count(), 0);
+        assert_eq!(f.spine_payload_bytes(), 0);
+    }
+
+    #[test]
+    fn cross_rack_pays_spine_hops() {
+        let mut f = dc(2, 4.0);
+        let same = f.read(SimTime::ZERO, NodeId(0), NodeId(1), 64);
+        let cross = f.read(SimTime::ZERO, NodeId(0), NodeId(4), 64);
+        assert_eq!(same.hops, 1);
+        assert_eq!(cross.hops, 5);
+        assert!(cross.cross_rack);
+        assert_eq!(
+            cross.latency.as_nanos(),
+            same.latency.as_nanos() + 4 * 40,
+            "four extra switch hops"
+        );
+        assert!(cross.complete > same.complete);
+        assert_eq!(f.cross_rack_read_count(), 1);
+        assert_eq!(f.spine_payload_bytes(), 64);
+    }
+
+    #[test]
+    fn same_node_read_is_a_harmless_no_op() {
+        let mut f = dc(2, 1.0);
+        let c = f.read(SimTime::ZERO, NodeId(3), NodeId(3), 1 << 20);
+        assert_eq!(c.complete, SimTime::ZERO);
+        assert_eq!(c.hops, 0);
+        assert_eq!(f.read_count(), 0, "no-ops are not reads");
+    }
+
+    #[test]
+    fn oversubscribed_spine_throttles_cross_rack_traffic() {
+        let mut thin = dc(2, 1.0);
+        let mut fat = dc(2, 8.0);
+        let run = |f: &mut DatacenterFabric| {
+            let mut done = SimTime::ZERO;
+            for round in 0..50u64 {
+                for n in 0..4u32 {
+                    // Every rack-0 host reads from its rack-1 counterpart.
+                    let c =
+                        f.read(SimTime::from_nanos(round), NodeId(n), NodeId(4 + n), 500_000);
+                    done = done.max(c.complete);
+                }
+            }
+            done
+        };
+        let thin_done = run(&mut thin);
+        let fat_done = run(&mut fat);
+        assert!(
+            thin_done.as_nanos() > fat_done.as_nanos() * 3,
+            "1x spine should be far slower: {thin_done} vs {fat_done}"
+        );
+        assert_eq!(thin.cross_rack_read_count(), 200);
+        // Sampled mid-run: the holder rack's spine uplink is backlogged.
+        let (up, _) = thin.uplink_utilization(1, SimTime::from_nanos(100_000));
+        assert!(up > 0.0, "holder-rack uplink saw traffic");
+    }
+
+    #[test]
+    fn same_rack_traffic_ignores_the_spine() {
+        let mut f = dc(2, 1.0);
+        // Saturate the spine with cross-rack traffic…
+        for i in 0..50u64 {
+            f.read(SimTime::from_nanos(i), NodeId(0), NodeId(4), 2_000_000);
+        }
+        // …rack-1-internal latency on untouched wires is unaffected.
+        let c = f.read(SimTime::ZERO, NodeId(5), NodeId(6), 64);
+        assert_eq!(c.latency.as_nanos(), 261, "unloaded same-leaf latency");
+    }
+
+    #[test]
+    fn export_is_deterministic_and_labelled_per_rack() {
+        let mut f = dc(2, 2.0);
+        f.read(SimTime::ZERO, NodeId(0), NodeId(4), 4096);
+        f.read(SimTime::ZERO, NodeId(0), NodeId(1), 4096);
+        let now = SimTime::from_nanos(10_000);
+        let snap = |f: &mut DatacenterFabric| {
+            let mut reg = lmp_telemetry::MetricRegistry::new();
+            f.export_into(now, &mut reg);
+            reg.snapshot().to_json()
+        };
+        let a = snap(&mut f);
+        let b = snap(&mut f);
+        assert_eq!(a, b, "export must not double count");
+        assert!(a.contains("dc.cross_rack_reads"));
+        assert!(a.contains("dc.uplink.utilization"));
+        assert!(a.contains("rack=1"), "per-rack labels present: {a}");
+    }
+
+    #[test]
+    fn degenerate_shapes_are_clamped_not_panicked() {
+        let f = DatacenterFabric::new(
+            LinkProfile::link1(),
+            0,
+            0,
+            0,
+            -1.0,
+            0.0,
+            SimDuration::ZERO,
+        );
+        assert_eq!(f.rack_count(), 1);
+        assert_eq!(f.node_count(), 1);
+        assert_eq!(f.rack_of(NodeId(0)), 0);
+    }
+}

@@ -15,16 +15,23 @@
 //!   load-dependent latency component.
 //! * [`fabric::Fabric`] — a star topology through one switch, with
 //!   emergent incast and per-link telemetry.
+//! * [`topology::LeafSpineFabric`] — one rack: nodes → leaves → spine with
+//!   Port-Based Routing and oversubscribed leaf uplinks.
+//! * [`datacenter::DatacenterFabric`] — N racks joined by an
+//!   oversubscribed datacenter spine, with cross-rack routing and per-rack
+//!   port telemetry.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod datacenter;
 pub mod fabric;
 pub mod link;
 pub mod profile;
 pub mod topology;
 pub mod types;
 
+pub use datacenter::{DatacenterFabric, DcCompletion};
 pub use fabric::{BatchTransfer, Fabric, FabricCompletion, FabricError};
 pub use link::{Link, LinkTransfer};
 pub use profile::LinkProfile;

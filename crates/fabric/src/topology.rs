@@ -189,6 +189,43 @@ impl LeafSpineFabric {
         }
     }
 
+    // ----- crate-internal hooks for the datacenter tier -----
+    // `DatacenterFabric` reuses one `LeafSpineFabric` per rack and needs to
+    // charge the rack-internal wires of a cross-rack path directly.
+
+    /// The wire from `n` up into its leaf.
+    pub(crate) fn node_up_link(&mut self, n: NodeId) -> &mut Link {
+        let i = self.node_up(n);
+        &mut self.node_links[i]
+    }
+
+    /// The wire from `n`'s leaf down to it.
+    pub(crate) fn node_down_link(&mut self, n: NodeId) -> &mut Link {
+        let i = self.node_down(n);
+        &mut self.node_links[i]
+    }
+
+    /// The uplink from leaf `l` toward the (rack) spine.
+    pub(crate) fn leaf_up_link(&mut self, l: u32) -> &mut Link {
+        let i = self.leaf_up(l);
+        &mut self.leaf_links[i]
+    }
+
+    /// The downlink from the (rack) spine toward leaf `l`.
+    pub(crate) fn leaf_down_link(&mut self, l: u32) -> &mut Link {
+        let i = self.leaf_down(l);
+        &mut self.leaf_links[i]
+    }
+
+    /// Total bytes carried by every wire in the rack (telemetry roll-up).
+    pub(crate) fn wire_bytes(&self) -> u64 {
+        self.node_links
+            .iter()
+            .chain(self.leaf_links.iter())
+            .map(Link::bytes_sent)
+            .sum()
+    }
+
     /// Total reads served.
     pub fn read_count(&self) -> u64 {
         self.reads.get()

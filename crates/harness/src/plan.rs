@@ -30,6 +30,14 @@ pub enum Fault {
     PortDown(NodeId),
     /// A flapped port comes back.
     PortUp(NodeId),
+    /// An entire rack goes dark atomically — ToR switch or PDU loss: every
+    /// host in the rack crashes (memory contents retained, as in a power
+    /// loss with battery-backed DRAM) and every leaf port drops, in one
+    /// event. Which hosts belong to the rack is the harness's domain map.
+    RackDown(u32),
+    /// A downed rack returns: ports come back and hosts announce warm
+    /// rejoins (their memory survived the outage).
+    RackUp(u32),
 }
 
 impl std::fmt::Display for Fault {
@@ -43,6 +51,8 @@ impl std::fmt::Display for Fault {
             Fault::LinkRestore(n) => write!(f, "restore {n}"),
             Fault::PortDown(n) => write!(f, "port-down {n}"),
             Fault::PortUp(n) => write!(f, "port-up {n}"),
+            Fault::RackDown(r) => write!(f, "rack-down {r}"),
+            Fault::RackUp(r) => write!(f, "rack-up {r}"),
         }
     }
 }
@@ -78,6 +88,16 @@ pub struct PlanConfig {
     /// detector's lease makes flaps the canonical "suspect but never
     /// confirm" schedule.
     pub flap_width: SimDuration,
+    /// Number of whole-rack outages (ToR/PDU losses) to inject. Requires
+    /// `rack_count > 0`; each loss hits a random rack and is paired with a
+    /// `RackUp` one `rack_width` later.
+    pub rack_losses: u32,
+    /// Racks the servers are spread over (0 = topology has no racks; rack
+    /// faults are then never drawn).
+    pub rack_count: u32,
+    /// How long a downed rack stays dark. Keep this beyond the detector's
+    /// lease so the whole rack is confirmed down before it returns.
+    pub rack_width: SimDuration,
 }
 
 impl Default for PlanConfig {
@@ -91,6 +111,9 @@ impl Default for PlanConfig {
             spike_factor: 8.0,
             port_flaps: 0,
             flap_width: SimDuration::from_micros(1),
+            rack_losses: 0,
+            rack_count: 0,
+            rack_width: SimDuration::from_micros(10),
         }
     }
 }
@@ -169,6 +192,18 @@ impl FaultPlan {
             plan.push(at, Fault::PortDown(node));
             let width = cfg.flap_width.as_nanos().max(1);
             plan.push(at + SimDuration::from_nanos(width), Fault::PortUp(node));
+        }
+        // Rack losses are drawn after everything else (same compatibility
+        // rule as flaps): plans that request none keep the exact fault
+        // stream older seeds produced.
+        if cfg.rack_count > 0 {
+            for _ in 0..cfg.rack_losses {
+                let rack = rng.below(cfg.rack_count as u64) as u32;
+                let at = draw_at(&mut rng);
+                plan.push(at, Fault::RackDown(rack));
+                let width = cfg.rack_width.as_nanos().max(1);
+                plan.push(at + SimDuration::from_nanos(width), Fault::RackUp(rack));
+            }
         }
         plan
     }
@@ -291,6 +326,54 @@ mod tests {
             FaultPlan::generate(5, &explicit),
             "flap knobs must not disturb the existing fault stream"
         );
+    }
+
+    #[test]
+    fn zero_rack_loss_plans_are_unchanged_by_the_new_knobs() {
+        let old = PlanConfig::default();
+        let explicit = PlanConfig {
+            rack_losses: 0,
+            rack_count: 4,
+            rack_width: SimDuration::from_nanos(777),
+            ..PlanConfig::default()
+        };
+        assert_eq!(
+            FaultPlan::generate(5, &old),
+            FaultPlan::generate(5, &explicit),
+            "rack knobs must not disturb the existing fault stream"
+        );
+    }
+
+    #[test]
+    fn rack_losses_pair_up_and_stay_in_range() {
+        let cfg = PlanConfig {
+            crashes: 0,
+            restarts: false,
+            link_spikes: 0,
+            rack_losses: 3,
+            rack_count: 2,
+            rack_width: SimDuration::from_nanos(2500),
+            ..PlanConfig::default()
+        };
+        let a = FaultPlan::generate(9, &cfg);
+        let b = FaultPlan::generate(9, &cfg);
+        assert_eq!(a, b, "rack draws must replay");
+        let mut downs = Vec::new();
+        let mut ups = Vec::new();
+        for p in a.iter() {
+            match p.fault {
+                Fault::RackDown(r) => {
+                    assert!(r < 2, "rack id within the topology");
+                    downs.push((r, p.at.as_nanos() + 2500));
+                }
+                Fault::RackUp(r) => ups.push((r, p.at.as_nanos())),
+                other => panic!("unexpected fault {other:?}"),
+            }
+        }
+        downs.sort_unstable();
+        ups.sort_unstable();
+        assert_eq!(downs.len(), 3);
+        assert_eq!(downs, ups, "every rack-down pairs with an up one width later");
     }
 
     #[test]

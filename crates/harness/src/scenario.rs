@@ -5,7 +5,8 @@
 //! Chaos scenarios: seeded workloads under seeded fault plans, with the
 //! invariant checkers wired in.
 //!
-//! Each [`Scenario`] builds a small rack (5 servers), allocates and
+//! Each [`Scenario`] builds a small rack (5 servers; the rack-loss
+//! scenario builds a 4×3 multi-rack datacenter), allocates and
 //! protects segments, generates a deterministic workload, injects its
 //! fault plan through the discrete-event [`Engine`], and verifies the
 //! cross-layer invariants as recovery happens and again at the end. The
@@ -60,12 +61,20 @@ pub enum Scenario {
     /// fail whole — no counter, DRAM, or fabric accounting charged for a
     /// refused access — and the telemetry books must still balance.
     PortDropMidAccess,
+    /// An entire rack goes dark — every host crashes and every leaf port
+    /// drops in one instant. The lease detector confirms the whole
+    /// failure domain on its own, the orchestrator rebuilds every
+    /// protected segment from surviving racks (domain-aware placement
+    /// guarantees no group lost all its copies), and the rack later
+    /// returns warm under a fresh epoch, resurrecting the one
+    /// unprotected segment that was written off.
+    RackLoss,
 }
 
 impl Scenario {
     /// Every scenario, in the order the chaos binary runs them.
-    pub fn all() -> [Scenario; 8] {
-        [
+    pub fn all() -> Vec<Scenario> {
+        vec![
             Scenario::CrashUnprotected,
             Scenario::CrashMirrored,
             Scenario::CrashParity,
@@ -74,6 +83,7 @@ impl Scenario {
             Scenario::CrashAutoHeal,
             Scenario::FlapNoHeal,
             Scenario::PortDropMidAccess,
+            Scenario::RackLoss,
         ]
     }
 
@@ -88,13 +98,27 @@ impl Scenario {
             Scenario::CrashAutoHeal => "crash-auto-heal",
             Scenario::FlapNoHeal => "flap-no-heal",
             Scenario::PortDropMidAccess => "port-drop-mid-access",
+            Scenario::RackLoss => "rack-loss",
         }
     }
 
     /// Whether the scenario arms the lease detector and recovery
     /// orchestrator instead of the harness's manual recovery schedule.
     pub fn self_healing(&self) -> bool {
-        matches!(self, Scenario::CrashAutoHeal | Scenario::FlapNoHeal)
+        matches!(
+            self,
+            Scenario::CrashAutoHeal | Scenario::FlapNoHeal | Scenario::RackLoss
+        )
+    }
+
+    /// Memory servers the scenario provisions. Most scenarios run one
+    /// small rack; the rack-loss scenario needs a multi-rack datacenter
+    /// (4 racks × 3 hosts) so a whole failure domain can die at once.
+    pub fn servers(&self) -> u32 {
+        match self {
+            Scenario::RackLoss => 12,
+            _ => SERVERS,
+        }
     }
 }
 
@@ -213,6 +237,19 @@ struct World {
     checks: Vec<CheckResult>,
     /// Crashed node → affected segments (sorted), saved until detection.
     pending_recovery: BTreeMap<u32, Vec<SegmentId>>,
+    /// Rack topology (rack-loss scenario only): which hosts share a
+    /// failure domain, for rack-wide fault injection and the placement
+    /// independence checks.
+    domains: Option<DomainMap>,
+    /// Contents of segments written off as lost, kept so a warm rack
+    /// rejoin that resurrects them can restore the shadow model and
+    /// verify the revived bytes.
+    lost_stash: BTreeMap<SegmentId, Vec<u8>>,
+    /// Application segments that were protected when the run started —
+    /// the population the zero-protected-losses check is scored over.
+    protected_at_start: BTreeSet<SegmentId>,
+    /// Losses among `protected_at_start`.
+    protected_lost: u64,
     probe_latencies: Vec<u64>,
     healing: Option<Healing>,
     health_events: Vec<HealthEvent>,
@@ -240,8 +277,9 @@ fn write_data(seed: u64, id: u64, len: usize) -> Vec<u8> {
 
 impl World {
     fn build(scenario: Scenario, seed: u64) -> (World, FaultPlan) {
+        let servers = scenario.servers();
         let config = PoolConfig {
-            servers: SERVERS,
+            servers,
             capacity_per_server: 64 * FRAME_BYTES,
             shared_per_server: 48 * FRAME_BYTES,
             dram: DramProfile::xeon_gold_5120(),
@@ -249,8 +287,14 @@ impl World {
         };
         let mut pool = LogicalPool::new(config);
         pool.attach_telemetry();
-        let mut fabric = Fabric::new(LinkProfile::link1(), SERVERS);
-        let mut pm = ProtectionManager::new();
+        let mut fabric = Fabric::new(LinkProfile::link1(), servers);
+        let domains = (scenario == Scenario::RackLoss).then(|| DomainMap::uniform(4, 3));
+        let mut pm = match &domains {
+            Some(d) => {
+                ProtectionManager::with_policy(PlacementPolicy::DomainAware(d.clone()))
+            }
+            None => ProtectionManager::new(),
+        };
         let mut model = ContentModel::new();
         let mut segments = Vec::new();
         let rng = DetRng::new(seed).fork("chaos-setup");
@@ -303,6 +347,16 @@ impl World {
             Scenario::PortDropMidAccess => {
                 vec![(1, Prot::None), (2, Prot::None), (3, Prot::None)]
             }
+            // Rack 0 (hosts 0–2) homes a mirrored, a parity, and an
+            // unprotected segment, so its blackout exercises every
+            // protection path at once; the second parity member lives in
+            // rack 1 so the group spans racks even before placement runs.
+            Scenario::RackLoss => vec![
+                (0, Prot::Mirror),
+                (1, Prot::Parity),
+                (3, Prot::Parity),
+                (2, Prot::None),
+            ],
         };
         for (i, &(home, _)) in layout.iter().enumerate() {
             let seg = pool
@@ -314,6 +368,16 @@ impl World {
                 .expect("setup write");
             model.insert(seg, data);
             segments.push(seg);
+        }
+        if scenario == Scenario::RackLoss {
+            // Filler allocations leave rack 0 the freest failure domain:
+            // a host-only policy would pack the redundancy right next to
+            // its primaries (the contrast check proves that loses data),
+            // while the domain-aware policy is forced across racks.
+            for h in 3..servers {
+                pool.alloc(8 * FRAME_BYTES, Placement::On(NodeId(h)))
+                    .expect("setup filler");
+            }
         }
         for (i, &(_, prot)) in layout.iter().enumerate() {
             if prot == Prot::Mirror {
@@ -386,6 +450,12 @@ impl World {
                 plan.push(us(10), Fault::PortDown(NodeId(1)));
                 plan.push(us(18), Fault::PortUp(NodeId(1)));
             }
+            Scenario::RackLoss => {
+                // One event kills the whole failure domain; power returns
+                // well after the orchestrator has rebuilt from survivors.
+                plan.push(us(5), Fault::RackDown(0));
+                plan.push(us(20), Fault::RackUp(0));
+            }
         }
 
         // The seeded workload.
@@ -393,7 +463,7 @@ impl World {
         let ops = (0..OPS)
             .map(|_| {
                 let at = SimTime::from_nanos(wl.below(HORIZON.as_nanos()));
-                let requester = NodeId(wl.below(SERVERS as u64) as u32);
+                let requester = NodeId(wl.below(servers as u64) as u32);
                 let seg_idx = wl.below(segments.len() as u64) as usize;
                 // The port-drop scenario issues only frame-spanning ops
                 // (len > FRAME_BYTES guarantees a two-chunk walk), so every
@@ -417,6 +487,11 @@ impl World {
             })
             .collect();
 
+        let protected_at_start: BTreeSet<SegmentId> = segments
+            .iter()
+            .copied()
+            .filter(|s| pm.is_protected(*s))
+            .collect();
         let world = World {
             scenario,
             seed,
@@ -432,11 +507,15 @@ impl World {
             trace: ChaosTrace::new(),
             checks: Vec::new(),
             pending_recovery: BTreeMap::new(),
+            domains,
+            lost_stash: BTreeMap::new(),
+            protected_at_start,
+            protected_lost: 0,
             probe_latencies: Vec::new(),
             healing: scenario.self_healing().then(|| Healing {
                 detector: FailureDetector::new(
                     HealthConfig::default_chaos(),
-                    SERVERS,
+                    servers,
                     SimTime::ZERO,
                 ),
                 orchestrator: RecoveryOrchestrator::new(),
@@ -522,6 +601,87 @@ impl World {
                     Fault::PortUp(n) => {
                         self.fabric.set_port_down(n, false);
                     }
+                    Fault::RackDown(r) => {
+                        // ToR and PDU gone at once: every host in the rack
+                        // crashes and its port drops in the same instant.
+                        // DRAM is retained (the crash model keeps memory),
+                        // so a later RackUp can warm-rejoin.
+                        let hosts = self
+                            .domains
+                            .as_ref()
+                            .map_or_else(Vec::new, |d| d.hosts_in(r));
+                        for n in hosts {
+                            let mut affected = self.pool.crash_server(n);
+                            affected.sort_unstable();
+                            self.fabric.set_port_down(n, true);
+                            self.trace
+                                .record(now, format!("  {n} affected: {affected:?}"));
+                            if self.healing.is_none() {
+                                self.pending_recovery.insert(n.0, affected);
+                                eng.schedule_after(DETECTION_DELAY, Ev::Recover(n));
+                            }
+                        }
+                    }
+                    Fault::RackUp(r) => {
+                        // Power restored: ports come back first, then each
+                        // host announces a warm rejoin. The epoch rule
+                        // decides whether the retained memory is honored.
+                        let hosts = self
+                            .domains
+                            .as_ref()
+                            .map_or_else(Vec::new, |d| d.hosts_in(r));
+                        for &n in &hosts {
+                            self.fabric.set_port_down(n, false);
+                        }
+                        match &mut self.healing {
+                            Some(h) => {
+                                let Healing {
+                                    detector,
+                                    orchestrator,
+                                } = h;
+                                let claimed = detector.membership().epoch();
+                                for &n in &hosts {
+                                    let out = orchestrator.admit_rejoin(
+                                        &mut self.pool,
+                                        detector.membership(),
+                                        n,
+                                        claimed,
+                                        true,
+                                    );
+                                    self.trace.record(
+                                        now,
+                                        format!(
+                                            "  warm rejoin {n}: resurrected={} dropped={:?}",
+                                            out.resurrected, out.dropped
+                                        ),
+                                    );
+                                }
+                            }
+                            None => {
+                                for &n in &hosts {
+                                    self.pool.revive_server(n);
+                                }
+                            }
+                        }
+                        // A warm resurrection brings back segments that
+                        // were written off while the rack was dark:
+                        // restore the shadow model for any stashed
+                        // segment that resolves again, so post-rejoin
+                        // reads are verified byte-for-byte.
+                        let stash = std::mem::take(&mut self.lost_stash);
+                        for (seg, data) in stash {
+                            if self.pool.read_bytes(LogicalAddr::new(seg, 0), 1).is_ok() {
+                                self.lost.remove(&seg);
+                                self.model.insert(seg, data);
+                                self.trace.record(
+                                    now,
+                                    format!("  {seg} resurrected with contents intact"),
+                                );
+                            } else {
+                                self.lost_stash.insert(seg, data);
+                            }
+                        }
+                    }
                 }
             }
             Ev::Recover(n) => {
@@ -560,10 +720,7 @@ impl World {
                 self.reconstructed += report.reconstructed.len() as u64;
                 self.reprotected += report.reprotected.len() as u64;
                 self.lost_count += report.lost.len() as u64;
-                for seg in &report.lost {
-                    self.model.remove(seg);
-                    self.lost.insert(*seg);
-                }
+                self.note_lost(&report.lost);
             }
             Ev::Op { id, attempt } => self.run_op(eng, id, attempt),
             Ev::Probe {
@@ -612,6 +769,7 @@ impl World {
                 let done =
                     h.orchestrator
                         .step(&mut self.pool, &mut self.fabric, &mut self.pm, now, batch);
+                let mut lost_this_step: Vec<SegmentId> = Vec::new();
                 for t in &done {
                     self.trace.record(
                         now,
@@ -630,14 +788,12 @@ impl World {
                     self.reconstructed += t.report.reconstructed.len() as u64;
                     self.reprotected += t.report.reprotected.len() as u64;
                     self.lost_count += t.report.lost.len() as u64;
-                    for seg in &t.report.lost {
-                        self.model.remove(seg);
-                        self.lost.insert(*seg);
-                    }
+                    lost_this_step.extend_from_slice(&t.report.lost);
                 }
                 if h.orchestrator.has_pending() {
                     eng.schedule_after(h.detector.config().recovery_tick, Ev::RecoveryStep);
                 }
+                self.note_lost(&lost_this_step);
             }
             Ev::DegradedProbe { seg_idx, requester } => {
                 let seg = self.segments[seg_idx];
@@ -847,6 +1003,22 @@ impl World {
         }
     }
 
+    /// Book a recovery report's losses: the shadow model entry moves to
+    /// the stash (a warm rack rejoin may resurrect it), and losses among
+    /// the initially-protected population are counted separately — under
+    /// domain-aware placement that counter must stay at zero.
+    fn note_lost(&mut self, lost: &[SegmentId]) {
+        for seg in lost {
+            if self.protected_at_start.contains(seg) {
+                self.protected_lost += 1;
+            }
+            if let Some(data) = self.model.remove(seg) {
+                self.lost_stash.insert(*seg, data);
+            }
+            self.lost.insert(*seg);
+        }
+    }
+
     /// Self-healing scenarios only: a read that hit a transient fault is
     /// served from surviving redundancy (mirror twin or on-the-fly parity
     /// XOR) instead of waiting out the repair. Returns whether the read
@@ -1048,6 +1220,83 @@ impl World {
                     ),
                 ));
             }
+            Scenario::RackLoss => {
+                let h = self.healing.as_ref().expect("self-healing armed");
+                let domains = self.domains.clone().expect("rack topology");
+                // The whole failure domain was confirmed and every
+                // protected segment was rebuilt from surviving racks.
+                self.checks.push(expect(
+                    "rack-loss-detected-and-healed",
+                    h.detector.confirmation_count() == 3
+                        && self.promoted >= 1
+                        && self.reconstructed >= 1
+                        && self.protected_lost == 0,
+                    format!(
+                        "confirmations={} promoted={} reconstructed={} protected_lost={}",
+                        h.detector.confirmation_count(),
+                        self.promoted,
+                        self.reconstructed,
+                        self.protected_lost
+                    ),
+                ));
+                // Warm rejoin under fresh epochs: all three hosts are
+                // back, and the unprotected segment that was written off
+                // resurrected with its contents.
+                self.checks.push(expect(
+                    "rack-rejoin-under-fresh-epoch",
+                    h.detector.epoch() == 6
+                        && domains
+                            .hosts_in(0)
+                            .iter()
+                            .all(|&n| !self.pool.node(n).is_failed())
+                        && self.lost.is_empty(),
+                    format!(
+                        "epoch={} still_lost={:?}",
+                        h.detector.epoch(),
+                        self.lost
+                    ),
+                ));
+                self.checks.push(expect(
+                    "degraded-window-exercised",
+                    self.degraded_served >= 2,
+                    format!("degraded_served={}", self.degraded_served),
+                ));
+                // Post-heal placement independence: every surviving
+                // protection group spans racks again.
+                let mut independent = true;
+                let mut detail = String::new();
+                for &seg in &self.segments {
+                    let Some(home) = self.pool.holder_of(seg) else {
+                        continue;
+                    };
+                    let mut partners: Vec<NodeId> = Vec::new();
+                    if let Some(rep) = self.pm.replica(seg) {
+                        partners.extend(self.pool.holder_of(rep));
+                    }
+                    if let Some(gid) = self.pm.group_of(seg) {
+                        for &m in self.pm.group_members(gid).unwrap_or(&[]) {
+                            if m != seg {
+                                partners.extend(self.pool.holder_of(m));
+                            }
+                        }
+                        if let Some(p) = self.pm.parity_segment(gid) {
+                            partners.extend(self.pool.holder_of(p));
+                        }
+                    }
+                    for p in partners {
+                        if domains.same_rack(home, p) {
+                            independent = false;
+                            detail.push_str(&format!("{seg}: {home} and {p} share a rack; "));
+                        }
+                    }
+                }
+                self.checks
+                    .push(expect("post-heal-rack-independence", independent, detail));
+                // The contrast half of the acceptance: the identical
+                // topology under host-only placement packs redundancy
+                // into rack 0 and demonstrably loses protected segments.
+                self.checks.push(host_only_contrast());
+            }
         }
         // Telemetry roll-up: the snapshot digest becomes part of the trace
         // (and therefore of the determinism contract), and the instrument
@@ -1068,6 +1317,78 @@ impl World {
                 ),
             ));
         }
+    }
+}
+
+/// The contrast half of the rack-loss acceptance: the same 4×3
+/// topology, the same segments and filler capacities, and the same
+/// rack-0 blackout — but under the host-only placement policy. The
+/// fillers make rack 0 the freest domain, so host-only placement packs
+/// the mirror replica and the parity block next to their primaries,
+/// and the blackout must then lose protected segments. Passing proves
+/// the domain-aware policy is what saves them in the main run.
+fn host_only_contrast() -> CheckResult {
+    let config = PoolConfig {
+        servers: 12,
+        capacity_per_server: 64 * FRAME_BYTES,
+        shared_per_server: 48 * FRAME_BYTES,
+        dram: DramProfile::xeon_gold_5120(),
+        tlb_capacity: 16,
+    };
+    let mut pool = LogicalPool::new(config);
+    let mut fabric = Fabric::new(LinkProfile::link1(), 12);
+    let domains = DomainMap::uniform(4, 3);
+    let mut pm = ProtectionManager::new();
+    let homes = [0u32, 1, 3, 2];
+    let mut segs = Vec::new();
+    for &h in &homes {
+        let seg = pool
+            .alloc(SEG_BYTES, Placement::On(NodeId(h)))
+            .expect("contrast alloc");
+        segs.push(seg);
+    }
+    for h in 3..12u32 {
+        pool.alloc(8 * FRAME_BYTES, Placement::On(NodeId(h)))
+            .expect("contrast filler");
+    }
+    pm.mirror(&mut pool, &mut fabric, SimTime::ZERO, segs[0])
+        .expect("contrast mirror");
+    pm.protect_parity(&mut pool, &mut fabric, SimTime::ZERO, &[segs[1], segs[2]])
+        .expect("contrast parity");
+    let replica = pm.replica(segs[0]).expect("contrast mirrored");
+    let colocated = pool
+        .holder_of(replica)
+        .is_some_and(|r| domains.same_rack(NodeId(0), r));
+    // Blackout rack 0, then run the same per-node recovery the
+    // orchestrator would.
+    let mut crashed = Vec::new();
+    for n in domains.hosts_in(0) {
+        let mut affected = pool.crash_server(n);
+        affected.sort_unstable();
+        crashed.push((n, affected));
+    }
+    let mut lost_protected = 0u64;
+    for (n, affected) in crashed {
+        let report = pm.recover(
+            &mut pool,
+            &mut fabric,
+            SimTime::from_nanos(8_000),
+            n,
+            &affected,
+        );
+        lost_protected += report
+            .lost
+            .iter()
+            .filter(|s| segs[..3].contains(s))
+            .count() as u64;
+    }
+    if colocated && lost_protected >= 1 {
+        CheckResult::pass("host-only-contrast")
+    } else {
+        CheckResult::fail(
+            "host-only-contrast",
+            format!("colocated={colocated} lost_protected={lost_protected}"),
+        )
     }
 }
 
@@ -1108,6 +1429,18 @@ pub fn run_scenario(scenario: Scenario, seed: u64) -> ChaosReport {
             eng.schedule_at(SimTime::from_nanos(at_ns), Ev::DegradedProbe {
                 seg_idx,
                 requester: NodeId(4),
+            })
+            .expect("probe times are within the horizon");
+        }
+    }
+    if scenario == Scenario::RackLoss {
+        // Reads pinned inside the rack-dark window, issued from surviving
+        // racks: seg0 via its cross-rack mirror twin, seg1 via on-the-fly
+        // parity XOR from the surviving member and parity block.
+        for (at_ns, seg_idx, req) in [(6_200u64, 0usize, 6u32), (7_200, 1, 9)] {
+            eng.schedule_at(SimTime::from_nanos(at_ns), Ev::DegradedProbe {
+                seg_idx,
+                requester: NodeId(req),
             })
             .expect("probe times are within the horizon");
         }

@@ -67,11 +67,13 @@ pub const R2_DIGEST_PATH_FILES: &[&str] = &[
     "crates/core/src/heal.rs",
     "crates/core/src/health.rs",
     "crates/core/src/share.rs",
+    "crates/core/src/placement.rs",
     "crates/mem/src/hotness.rs",
     "crates/mem/src/node.rs",
     // Exporters that feed the rack snapshot.
     "crates/fabric/src/fabric.rs",
     "crates/fabric/src/link.rs",
+    "crates/fabric/src/datacenter.rs",
     "crates/coherence/src/region.rs",
     "crates/coherence/src/directory.rs",
     "crates/coherence/src/filter.rs",
@@ -88,7 +90,11 @@ pub const R3_RECOVERABLE_FILES: &[&str] = &[
     "crates/core/src/failure.rs",
     "crates/core/src/heal.rs",
     "crates/core/src/migrate.rs",
+    // Placement decisions run inside recovery: a panic here turns a
+    // survivable rack loss into a process abort.
+    "crates/core/src/placement.rs",
     "crates/fabric/src/fabric.rs",
+    "crates/fabric/src/datacenter.rs",
     "crates/mem/src/node.rs",
     // The event kernel: a panic mid-scan would take down every scenario,
     // and `schedule_at` now surfaces past-scheduling as a typed error.

@@ -236,6 +236,15 @@ impl MemoryNode {
         self.failed
     }
 
+    /// Warm-revive a crashed node: clear the failed flag, keeping memory
+    /// contents intact. Valid because [`Self::crash`] only marks the node
+    /// down — the model of a power/ToR loss where DRAM survives (battery
+    /// backed or the outage never reached the hosts). A rejoin whose
+    /// resurrection claim is *rejected* must use [`Self::restart`] instead.
+    pub fn revive(&mut self) {
+        self.failed = false;
+    }
+
     /// Restart a crashed node with empty memory (all frames free).
     pub fn restart(&mut self) {
         let total = self.split.total();
