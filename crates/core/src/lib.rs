@@ -31,6 +31,8 @@
 //!   → Down) and epoch-versioned cluster membership.
 //! * [`heal`] — the recovery orchestrator: throttled, epoch-tagged
 //!   automatic repair driven by detector confirmations.
+//! * [`hedge`] — tail-latency QoS: reads predicted past a live-telemetry
+//!   deadline race a duplicate through the protection twin.
 //!
 //! ```
 //! use lmp_core::prelude::*;
@@ -60,6 +62,7 @@ pub mod controller;
 pub mod failure;
 pub mod heal;
 pub mod health;
+pub mod hedge;
 pub mod migrate;
 pub mod observe;
 pub mod placement;
@@ -83,6 +86,7 @@ pub mod prelude {
         FailureDetector, HealthConfig, HealthEvent, Membership, NodeHealth, ProbeOutcome,
     };
     pub use crate::controller::{ControllerConfig, SizingController, TickReport};
+    pub use crate::hedge::{hedged_read, HedgeConfig, HedgeOutcome, HedgeWinner};
     pub use crate::migrate::{migrate_segment, MigrationReport};
     pub use crate::observe::{rack_snapshot, PoolTelemetry};
     pub use crate::placement::{DomainLevel, DomainMap, PlacementDecision, PlacementPolicy};
@@ -95,6 +99,7 @@ pub mod prelude {
         apply as apply_sizing, apply_best_effort, solve as solve_sizing, AppDemand, SizingPlan,
     };
     pub use crate::translate::{GlobalMap, LocalMap, SegmentLoc, TranslationCache};
+    pub use lmp_qos::{TenantId, TenantRate};
 }
 
 pub use prelude::*;

@@ -14,6 +14,7 @@ use crate::migrate::MigrationReport;
 use crate::placement::DomainLevel;
 use crate::pool::{LogicalPool, PoolAccess};
 use lmp_fabric::{Fabric, MemOp, NodeId};
+use lmp_qos::TenantId;
 use lmp_sim::prelude::*;
 use lmp_telemetry::prelude::*;
 use std::collections::BTreeMap;
@@ -42,6 +43,18 @@ pub struct PoolTelemetry {
     /// their historical byte-identical digests.
     independence_lost_rack: Option<CounterId>,
     independence_lost_host: Option<CounterId>,
+    /// Live mirror of the `pool.access_latency` instrument. The registry's
+    /// histograms are write-only until snapshot time, but hedged reads need
+    /// a quantile *during* the run to derive deadlines — this mirror gives
+    /// them one without changing the exported snapshot.
+    access_latency_live: Histogram,
+    /// `qos.admission_rejected{tenant}` — registered lazily on a tenant's
+    /// first rejection so QoS-free runs keep their historical digests.
+    admission_rejected: BTreeMap<u32, CounterId>,
+    /// `qos.hedge.{issued,won,wasted}` — registered lazily on first use.
+    hedge_issued: Option<CounterId>,
+    hedge_won: Option<CounterId>,
+    hedge_wasted: Option<CounterId>,
 }
 
 impl PoolTelemetry {
@@ -90,6 +103,11 @@ impl PoolTelemetry {
             per_server_remote,
             independence_lost_rack: None,
             independence_lost_host: None,
+            access_latency_live: Histogram::new(),
+            admission_rejected: BTreeMap::new(),
+            hedge_issued: None,
+            hedge_won: None,
+            hedge_wasted: None,
         }
     }
 
@@ -134,6 +152,7 @@ impl PoolTelemetry {
         let total = complete.duration_since(now);
         self.registry.add(self.latency_ns, total.as_nanos());
         self.registry.record_duration(self.access_latency, total);
+        self.access_latency_live.record_duration(total);
 
         // Span tree: the children partition [now, complete] exactly.
         let name = if ops.len() == 1 { "access" } else { "batch" };
@@ -170,6 +189,52 @@ impl PoolTelemetry {
             self.registry
                 .counter("placement.independence_lost", &[("domain", level.label())])
         });
+        self.registry.inc(id);
+    }
+
+    /// Quantile `q` of the live access-latency distribution, or `None`
+    /// before the first access. Hedged reads derive their per-tenant
+    /// deadlines from this.
+    pub fn access_latency_quantile(&self, q: f64) -> Option<SimDuration> {
+        if self.access_latency_live.count() == 0 {
+            None
+        } else {
+            Some(SimDuration::from_nanos(self.access_latency_live.quantile(q)))
+        }
+    }
+
+    /// Note an admission-control rejection for `tenant`. Bumps the
+    /// labelled `qos.admission_rejected{tenant}` counter, registered
+    /// lazily so QoS-free snapshots keep their historical digests.
+    pub fn note_admission_rejected(&mut self, tenant: TenantId) {
+        let registry = &mut self.registry;
+        let id = *self.admission_rejected.entry(tenant.0).or_insert_with(|| {
+            registry.counter("qos.admission_rejected", &[("tenant", &tenant.0.to_string())])
+        });
+        self.registry.inc(id);
+    }
+
+    /// Note a hedged read issued to the protection twin.
+    pub fn note_hedge_issued(&mut self) {
+        let id = *self
+            .hedge_issued
+            .get_or_insert_with(|| self.registry.counter("qos.hedge.issued", &[]));
+        self.registry.inc(id);
+    }
+
+    /// Note a hedge that beat its primary.
+    pub fn note_hedge_won(&mut self) {
+        let id = *self
+            .hedge_won
+            .get_or_insert_with(|| self.registry.counter("qos.hedge.won", &[]));
+        self.registry.inc(id);
+    }
+
+    /// Note a hedge whose primary responded first (duplicated work).
+    pub fn note_hedge_wasted(&mut self) {
+        let id = *self
+            .hedge_wasted
+            .get_or_insert_with(|| self.registry.counter("qos.hedge.wasted", &[]));
         self.registry.inc(id);
     }
 

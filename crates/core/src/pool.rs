@@ -13,6 +13,7 @@ use crate::observe::PoolTelemetry;
 use crate::translate::{GlobalMap, LocalMap, SegmentLoc, TranslationCache};
 use lmp_fabric::{Fabric, FabricError, MemOp, NodeId};
 use lmp_mem::{DramProfile, MemoryNode, RegionKind, FRAME_BYTES};
+use lmp_qos::{AdmissionController, Band, TenantId, TenantRate};
 use lmp_sim::prelude::*;
 use std::collections::BTreeMap;
 
@@ -87,6 +88,10 @@ pub enum PoolError {
     /// recovery orchestrator may race re-protection with a second crash;
     /// this is recoverable, not a programming error.
     AlreadyProtected(SegmentId),
+    /// The tenant's token bucket is empty: admission control refused the
+    /// op before anything was charged. Recoverable — the caller backs off
+    /// and retries once the bucket refills.
+    AdmissionRejected(TenantId),
     /// The caller violated an API contract (zero-length allocation,
     /// mismatched buffer, …). Recoverable: the pool state is unchanged.
     InvalidRequest(&'static str),
@@ -109,6 +114,9 @@ impl std::fmt::Display for PoolError {
             PoolError::SegmentLost(s) => write!(f, "memory exception: {s} lost to a crash"),
             PoolError::ServerDown(n) => write!(f, "server {n} is down"),
             PoolError::AlreadyProtected(s) => write!(f, "segment {s} is already protected"),
+            PoolError::AdmissionRejected(t) => {
+                write!(f, "admission rejected: {t} is over its rate limit")
+            }
             PoolError::InvalidRequest(why) => write!(f, "invalid request: {why}"),
             PoolError::Internal(why) => write!(f, "internal invariant violated: {why}"),
         }
@@ -130,6 +138,17 @@ pub struct PoolAccess {
     pub faults: u32,
 }
 
+/// Per-tenant QoS policy carried by the pool once any limit or band is
+/// configured. Absent (the default) the tenant-aware entry points behave
+/// exactly like their tenant-blind counterparts.
+#[derive(Debug, Default)]
+struct PoolQos {
+    admission: AdmissionController,
+    /// Fabric priority band per tenant; unlisted tenants ride
+    /// [`Band::Normal`].
+    bands: BTreeMap<TenantId, Band>,
+}
+
 /// The rack-wide logical memory pool.
 #[derive(Debug)]
 pub struct LogicalPool {
@@ -144,6 +163,7 @@ pub struct LogicalPool {
     local_accesses: Counter,
     remote_accesses: Counter,
     telemetry: Option<Box<PoolTelemetry>>,
+    qos: Option<Box<PoolQos>>,
 }
 
 impl LogicalPool {
@@ -188,6 +208,50 @@ impl LogicalPool {
             local_accesses: Counter::new(),
             remote_accesses: Counter::new(),
             telemetry: None,
+            qos: None,
+        }
+    }
+
+    fn qos_mut(&mut self) -> &mut PoolQos {
+        self.qos.get_or_insert_with(Box::default)
+    }
+
+    /// Rate-limit `tenant`: at most `rate.ops_per_sec` pool ops per
+    /// simulated second sustained, `rate.burst` back-to-back. The bucket
+    /// starts full.
+    pub fn set_tenant_rate(&mut self, tenant: TenantId, rate: TenantRate) {
+        self.qos_mut().admission.set_limit(tenant, rate);
+    }
+
+    /// Remove `tenant`'s rate limit; it is admitted unconditionally again.
+    pub fn clear_tenant_rate(&mut self, tenant: TenantId) {
+        if let Some(q) = self.qos.as_deref_mut() {
+            q.admission.clear_limit(tenant);
+        }
+    }
+
+    /// Route `tenant`'s fabric traffic on `band`. Only observable when the
+    /// fabric has priority bands enabled ([`Fabric::enable_bands`]).
+    ///
+    /// [`Fabric::enable_bands`]: lmp_fabric::Fabric::enable_bands
+    pub fn set_tenant_band(&mut self, tenant: TenantId, band: Band) {
+        self.qos_mut().bands.insert(tenant, band);
+    }
+
+    /// The band `tenant`'s traffic rides ([`Band::Normal`] by default).
+    pub fn tenant_band(&self, tenant: TenantId) -> Band {
+        self.qos
+            .as_deref()
+            .and_then(|q| q.bands.get(&tenant).copied())
+            .unwrap_or(Band::Normal)
+    }
+
+    /// Whole admission tokens `tenant` could spend at `now` (`u64::MAX`
+    /// when unlimited).
+    pub fn admission_available(&mut self, now: SimTime, tenant: TenantId) -> u64 {
+        match self.qos.as_deref_mut() {
+            Some(q) => q.admission.available(now, tenant),
+            None => u64::MAX,
         }
     }
 
@@ -463,6 +527,66 @@ impl LogicalPool {
         requester: NodeId,
         ops: &[BatchOp],
     ) -> Result<BatchResult, PoolError> {
+        self.access_batch_banded(fabric, now, requester, ops, Band::Normal)
+    }
+
+    /// Tenant-aware timed access: admission control first, then the
+    /// tenant's priority band. A rejected op charges nothing — no
+    /// counters, DRAM occupancy, or fabric traffic — and surfaces as the
+    /// recoverable [`PoolError::AdmissionRejected`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn access_as(
+        &mut self,
+        fabric: &mut Fabric,
+        now: SimTime,
+        tenant: TenantId,
+        requester: NodeId,
+        addr: LogicalAddr,
+        len: u64,
+        op: MemOp,
+    ) -> Result<PoolAccess, PoolError> {
+        let batch = [BatchOp { addr, len, op }];
+        let mut r = self.access_batch_as(fabric, now, tenant, requester, &batch)?;
+        r.ops
+            .pop()
+            .ok_or(PoolError::Internal("batch of one returned no op"))
+    }
+
+    /// Tenant-aware [`LogicalPool::access_batch`]: the whole batch is
+    /// admitted or rejected as a unit (one token per op), then issued on
+    /// the tenant's configured band. Without any configured QoS this is
+    /// byte-identical to the tenant-blind path.
+    pub fn access_batch_as(
+        &mut self,
+        fabric: &mut Fabric,
+        now: SimTime,
+        tenant: TenantId,
+        requester: NodeId,
+        ops: &[BatchOp],
+    ) -> Result<BatchResult, PoolError> {
+        if let Some(q) = self.qos.as_deref_mut() {
+            if !q.admission.admit(now, tenant, ops.len() as u64) {
+                if let Some(t) = self.telemetry.as_deref_mut() {
+                    t.note_admission_rejected(tenant);
+                }
+                return Err(PoolError::AdmissionRejected(tenant));
+            }
+        }
+        let band = self.tenant_band(tenant);
+        self.access_batch_banded(fabric, now, requester, ops, band)
+    }
+
+    /// [`LogicalPool::access_batch`] with an explicit fabric priority
+    /// band. With bands disabled on the fabric (the default) the band is
+    /// ignored and the schedule is byte-identical to the plain path.
+    pub fn access_batch_banded(
+        &mut self,
+        fabric: &mut Fabric,
+        now: SimTime,
+        requester: NodeId,
+        ops: &[BatchOp],
+        band: Band,
+    ) -> Result<BatchResult, PoolError> {
         if ops.is_empty() {
             return Ok(BatchResult {
                 complete: now,
@@ -624,7 +748,15 @@ impl LogicalPool {
                 // Unreachable after the port pre-flight (port state cannot
                 // change mid-call); kept as defence in depth.
                 let bt = fabric
-                    .transfer_batch(now, requester, holder, op, &sizes, stream_ops.len() as u64)
+                    .transfer_batch_banded(
+                        now,
+                        requester,
+                        holder,
+                        op,
+                        &sizes,
+                        stream_ops.len() as u64,
+                        band,
+                    )
                     .map_err(|e| match e {
                         FabricError::RequesterDown(n) => PoolError::ServerDown(n),
                         FabricError::HolderDown(_) => PoolError::SegmentLost(runs[0].seg),
@@ -1249,6 +1381,107 @@ mod tests {
         assert_eq!(r.complete, now);
         assert!(r.ops.is_empty());
         assert_eq!(p.access_counts(), (0, 0));
+    }
+
+    #[test]
+    fn admission_rejects_over_limit_and_charges_nothing() {
+        let (mut p, mut f) = small_pool();
+        p.attach_telemetry();
+        let seg = p.alloc(FRAME_BYTES, Placement::On(NodeId(1))).unwrap();
+        let tenant = lmp_qos::TenantId(7);
+        p.set_tenant_rate(
+            tenant,
+            lmp_qos::TenantRate {
+                ops_per_sec: 1_000_000, // 1 op per µs
+                burst: 2,
+            },
+        );
+        let addr = LogicalAddr::new(seg, 0);
+        for _ in 0..2 {
+            p.access_as(&mut f, SimTime::ZERO, tenant, NodeId(0), addr, 64, MemOp::Read)
+                .unwrap();
+        }
+        let counts = p.access_counts();
+        let reads = f.read_count();
+        let r = p.access_as(&mut f, SimTime::ZERO, tenant, NodeId(0), addr, 64, MemOp::Read);
+        assert_eq!(r, Err(PoolError::AdmissionRejected(tenant)));
+        assert_eq!(p.access_counts(), counts, "rejected op charges no counters");
+        assert_eq!(f.read_count(), reads, "rejected op sends no fabric traffic");
+        let snap = p.telemetry().unwrap().snapshot();
+        assert_eq!(
+            snap.counter("qos.admission_rejected", &[("tenant", "7")]),
+            1
+        );
+        // After the bucket refills the tenant is served again.
+        assert!(p
+            .access_as(
+                &mut f,
+                SimTime::from_nanos(1_000),
+                tenant,
+                NodeId(0),
+                addr,
+                64,
+                MemOp::Read
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn unlimited_tenants_match_the_tenant_blind_path() {
+        let (mut p, mut f) = small_pool();
+        let seg = p.alloc(FRAME_BYTES, Placement::On(NodeId(1))).unwrap();
+        let addr = LogicalAddr::new(seg, 0);
+        let a = p
+            .access_as(
+                &mut f,
+                SimTime::ZERO,
+                lmp_qos::TenantId(0),
+                NodeId(0),
+                addr,
+                256,
+                MemOp::Read,
+            )
+            .unwrap();
+        let (mut p2, mut f2) = small_pool();
+        let seg2 = p2.alloc(FRAME_BYTES, Placement::On(NodeId(1))).unwrap();
+        let b = p2
+            .access(
+                &mut f2,
+                SimTime::ZERO,
+                NodeId(0),
+                LogicalAddr::new(seg2, 0),
+                256,
+                MemOp::Read,
+            )
+            .unwrap();
+        assert_eq!(a, b, "no QoS configured: identical timing");
+        assert_eq!(p.tenant_band(lmp_qos::TenantId(0)), lmp_qos::Band::Normal);
+    }
+
+    #[test]
+    fn whole_batch_is_admitted_or_rejected_as_a_unit() {
+        let (mut p, mut f) = small_pool();
+        let seg = p.alloc(FRAME_BYTES, Placement::On(NodeId(0))).unwrap();
+        let tenant = lmp_qos::TenantId(1);
+        p.set_tenant_rate(
+            tenant,
+            lmp_qos::TenantRate {
+                ops_per_sec: 1_000,
+                burst: 3,
+            },
+        );
+        let op = BatchOp::read(LogicalAddr::new(seg, 0), 64);
+        let four = [op, op, op, op];
+        assert_eq!(
+            p.access_batch_as(&mut f, SimTime::ZERO, tenant, NodeId(0), &four),
+            Err(PoolError::AdmissionRejected(tenant)),
+            "4 ops cannot fit a 3-token bucket"
+        );
+        // The failed batch consumed nothing: a 3-op batch still fits.
+        let three = [op, op, op];
+        assert!(p
+            .access_batch_as(&mut f, SimTime::ZERO, tenant, NodeId(0), &three)
+            .is_ok());
     }
 
     #[test]

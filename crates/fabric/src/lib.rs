@@ -32,8 +32,9 @@ pub mod topology;
 pub mod types;
 
 pub use datacenter::{DatacenterFabric, DcCompletion};
-pub use fabric::{BatchTransfer, Fabric, FabricCompletion, FabricError};
+pub use fabric::{BatchTransfer, Fabric, FabricCompletion, FabricError, HedgedCompletion};
 pub use link::{Link, LinkTransfer};
+pub use lmp_qos::{Band, BandWeights};
 pub use profile::LinkProfile;
 pub use topology::{Hop, LeafSpineFabric, RackCompletion};
 pub use types::{LinkId, MemOp, NodeId, PROBE_BYTES, REQUEST_FLIT_BYTES};

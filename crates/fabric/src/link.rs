@@ -8,6 +8,7 @@
 //! being hard-coded.
 
 use crate::profile::LinkProfile;
+use lmp_qos::{Band, BandWeights, BandedQueue, BAND_COUNT};
 use lmp_sim::prelude::*;
 
 /// Outcome of admitting one transfer onto a link.
@@ -31,10 +32,21 @@ impl LinkTransfer {
 }
 
 /// A directed link with FIFO serialization and load-dependent latency.
+///
+/// When priority bands are enabled ([`Link::enable_bands`]) the wire
+/// schedule each transfer sees comes from a weighted [`BandedQueue`]
+/// instead of the FIFO backlog; the FIFO [`BusyTracker`] keeps running
+/// as the aggregate occupancy ledger either way (total wire work is the
+/// same), so utilization and byte accounting stay consistent. Bands are
+/// off by default and the FIFO path is byte-identical to the pre-QoS
+/// link.
 #[derive(Debug)]
 pub struct Link {
     profile: LinkProfile,
     busy: BusyTracker,
+    /// Weighted priority scheduling, replacing the FIFO wire schedule
+    /// when enabled. `None` (the default) means strict FIFO.
+    bands: Option<BandedQueue>,
     /// Smoothed utilization estimate feeding the latency curve.
     util: Ewma,
     bytes: Counter,
@@ -52,10 +64,41 @@ impl Link {
         Link {
             profile,
             busy: BusyTracker::new(UTIL_WINDOW),
+            bands: None,
             util: Ewma::new(0.3),
             bytes: Counter::new(),
             transfers: Counter::new(),
             latency_hist: Histogram::new(),
+        }
+    }
+
+    /// Switch the wire schedule from strict FIFO to weighted priority
+    /// bands. Enable before traffic flows: the banded queue starts empty
+    /// and does not inherit an existing FIFO backlog.
+    pub fn enable_bands(&mut self, weights: BandWeights) {
+        self.bands = Some(BandedQueue::new(weights));
+    }
+
+    /// Whether priority bands are enabled on this link.
+    pub fn bands_enabled(&self) -> bool {
+        self.bands.is_some()
+    }
+
+    /// Per-band queued wire time at `now`, highest priority first.
+    /// `None` while the link runs strict FIFO.
+    pub fn band_backlogs(&mut self, now: SimTime) -> Option<[SimDuration; BAND_COUNT]> {
+        self.bands.as_mut().map(|b| b.backlogs(now))
+    }
+
+    /// Occupy the wire for `wire` time in `band`. The FIFO tracker is
+    /// always charged — it is the aggregate occupancy ledger feeding
+    /// utilization — but with bands enabled the `(start, done)` window
+    /// the caller sees comes from the weighted queue.
+    fn occupy_wire(&mut self, now: SimTime, wire: SimDuration, band: Band) -> (SimTime, SimTime) {
+        let fifo = self.busy.occupy(now, wire);
+        match &mut self.bands {
+            Some(q) => q.occupy(now, band, wire),
+            None => fifo,
         }
     }
 
@@ -73,7 +116,7 @@ impl Link {
         let u = self.util.get_or(inst);
         let latency = self.profile.curve.at(u);
         let wire = self.profile.bandwidth.time_to_transfer(bytes);
-        let (start, wire_done) = self.busy.occupy(now, wire);
+        let (start, wire_done) = self.occupy_wire(now, wire, Band::Normal);
         self.bytes.add(bytes);
         self.transfers.inc();
         let total = wire_done.duration_since(now) + latency;
@@ -90,8 +133,20 @@ impl Link {
     /// applies its end-to-end latency once per operation rather than per hop.
     /// Returns `(start, wire_done)`.
     pub fn transfer_wire(&mut self, now: SimTime, bytes: u64) -> (SimTime, SimTime) {
+        self.transfer_wire_banded(now, bytes, Band::Normal)
+    }
+
+    /// [`Link::transfer_wire`] with an explicit priority band. With bands
+    /// disabled (the default) the band is ignored and the schedule is the
+    /// FIFO one, byte-identical to [`Link::transfer_wire`].
+    pub fn transfer_wire_banded(
+        &mut self,
+        now: SimTime,
+        bytes: u64,
+        band: Band,
+    ) -> (SimTime, SimTime) {
         let wire = self.profile.bandwidth.time_to_transfer(bytes);
-        let (start, wire_done) = self.busy.occupy(now, wire);
+        let (start, wire_done) = self.occupy_wire(now, wire, band);
         self.bytes.add(bytes);
         self.transfers.inc();
         (start, wire_done)
@@ -198,6 +253,44 @@ mod tests {
         assert_eq!(link.bytes_sent(), 300);
         assert_eq!(link.transfer_count(), 2);
         assert_eq!(link.latency_histogram().count(), 2);
+    }
+
+    #[test]
+    fn banded_same_band_matches_fifo() {
+        // With one band carrying all traffic the weighted queue is
+        // exactly FIFO, so enabling bands changes nothing for
+        // single-class workloads.
+        let mut fifo = Link::new(LinkProfile::link1());
+        let mut banded = Link::new(LinkProfile::link1());
+        banded.enable_bands(BandWeights::default());
+        for i in 0..16u64 {
+            let a = fifo.transfer_wire(t(i * 40), 4096 + i * 128);
+            let b = banded.transfer_wire(t(i * 40), 4096 + i * 128);
+            assert_eq!(a, b, "transfer {i}");
+        }
+        assert_eq!(fifo.bytes_sent(), banded.bytes_sent());
+    }
+
+    #[test]
+    fn high_band_bypasses_low_flood() {
+        let mut link = Link::new(LinkProfile::link1()); // 21 GB/s
+        link.enable_bands(BandWeights::default()); // 8:4:1
+        // ~100 µs of low-band flood already on the wire...
+        link.transfer_wire_banded(t(0), 2_100_000, Band::Low);
+        // ...a 1 µs high-band transfer still finishes in ~9/8 µs.
+        let (_, done) = link.transfer_wire_banded(t(0), 21_000, Band::High);
+        assert!(done < t(2_000), "high band stuck behind flood: {done}");
+        // The flood's backlog is loudly visible on the band gauge.
+        let b = link.band_backlogs(t(0)).unwrap();
+        assert!(b[Band::Low.index()].as_nanos() > 90_000);
+    }
+
+    #[test]
+    fn fifo_link_reports_no_band_backlogs() {
+        let mut link = Link::new(LinkProfile::link0());
+        link.transfer_wire(t(0), 4096);
+        assert!(!link.bands_enabled());
+        assert!(link.band_backlogs(t(0)).is_none());
     }
 
     #[test]

@@ -53,12 +53,15 @@ impl RetryPolicy {
 }
 
 /// Whether an error is worth retrying: the condition can clear (server
-/// restart, port restore, protection-layer recovery). Capacity, bounds,
-/// and unknown-segment errors are deterministic and permanent.
+/// restart, port restore, protection-layer recovery, a tenant's token
+/// bucket refilling). Capacity, bounds, and unknown-segment errors are
+/// deterministic and permanent.
 pub fn is_retryable(err: &PoolError) -> bool {
     matches!(
         err,
-        PoolError::SegmentLost(_) | PoolError::ServerDown(_)
+        PoolError::SegmentLost(_)
+            | PoolError::ServerDown(_)
+            | PoolError::AdmissionRejected(_)
     )
 }
 

@@ -69,6 +69,13 @@ pub enum Scenario {
     /// returns warm under a fresh epoch, resurrecting the one
     /// unprotected segment that was written off.
     RackLoss,
+    /// A bulk flood saturates a holder's up-wire, then the holder itself
+    /// crashes: reads predicted past the tail deadline race a duplicate
+    /// through the mirror twin and win, every race loser's completion
+    /// event is cancelled through the engine, and reads inside the
+    /// crash-repair window fall through the hedge to the degraded path —
+    /// hedged reads keep serving while the rebuild runs.
+    HedgedFlood,
 }
 
 impl Scenario {
@@ -84,6 +91,7 @@ impl Scenario {
             Scenario::FlapNoHeal,
             Scenario::PortDropMidAccess,
             Scenario::RackLoss,
+            Scenario::HedgedFlood,
         ]
     }
 
@@ -99,6 +107,7 @@ impl Scenario {
             Scenario::FlapNoHeal => "flap-no-heal",
             Scenario::PortDropMidAccess => "port-drop-mid-access",
             Scenario::RackLoss => "rack-loss",
+            Scenario::HedgedFlood => "hedged-flood",
         }
     }
 
@@ -107,7 +116,10 @@ impl Scenario {
     pub fn self_healing(&self) -> bool {
         matches!(
             self,
-            Scenario::CrashAutoHeal | Scenario::FlapNoHeal | Scenario::RackLoss
+            Scenario::CrashAutoHeal
+                | Scenario::FlapNoHeal
+                | Scenario::RackLoss
+                | Scenario::HedgedFlood
         )
     }
 
@@ -181,6 +193,10 @@ impl ChaosReport {
 
 const SERVERS: u32 = 5;
 const SEG_BYTES: u64 = 2 * FRAME_BYTES;
+/// Hedge probe segments ([`Scenario::HedgedFlood`]) are small so their
+/// t=0 mirror copies drain the victim's up-wire well before the first
+/// probe: the backlog the probes then see is the flood's alone.
+const HEDGE_SEG_BYTES: u64 = 16 * 1024;
 const HORIZON: SimDuration = SimDuration::from_micros(30);
 const DETECTION_DELAY: SimDuration = SimDuration::from_micros(2);
 const OPS: u64 = 60;
@@ -213,6 +229,17 @@ enum Ev {
     /// One holder's pipelined stream of a batch wave drained — scheduled
     /// through `Engine::schedule_batch`, one event per holder per wave.
     HolderDone { wave: usize, holder: NodeId },
+    /// One bulk transfer loading the victim holder's up-wire
+    /// ([`Scenario::HedgedFlood`] only).
+    Flood { from: NodeId, holder: NodeId, bytes: u64 },
+    /// One latency-sensitive read served through [`hedged_read`]
+    /// ([`Scenario::HedgedFlood`] only).
+    HedgedProbe { idx: usize, seg_idx: usize, requester: NodeId },
+    /// A hedged probe's winning payload delivered at the requester.
+    HedgeDone { idx: usize },
+    /// A race loser's completion — scheduled and immediately cancelled
+    /// through [`Engine::cancel`]; firing means the cancellation failed.
+    HedgeLoser { idx: usize },
 }
 
 /// The armed self-healing stack: detector plus orchestrator.
@@ -251,6 +278,19 @@ struct World {
     /// Losses among `protected_at_start`.
     protected_lost: u64,
     probe_latencies: Vec<u64>,
+    /// Hedge probe segments and their expected contents
+    /// ([`Scenario::HedgedFlood`] only; parallel vectors).
+    hedge_segs: Vec<SegmentId>,
+    hedge_model: Vec<Vec<u8>>,
+    hedge_not_needed: u64,
+    hedge_raced: u64,
+    hedge_wins: u64,
+    hedge_no_twin: u64,
+    hedge_degraded: u64,
+    hedge_mismatches: u64,
+    hedge_cancels: u64,
+    hedge_cancels_ok: u64,
+    hedge_losers_fired: u64,
     healing: Option<Healing>,
     health_events: Vec<HealthEvent>,
     telemetry_digest: u64,
@@ -357,6 +397,14 @@ impl World {
                 (3, Prot::Parity),
                 (2, Prot::None),
             ],
+            // The flood victim (node 1) homes only the small hedge probe
+            // segments, added below; the workload segments stay off it so
+            // the flood and crash windows are entirely the hedges' story.
+            // Node 4 is left emptiest so both mirror twins land there —
+            // off every flooded wire.
+            Scenario::HedgedFlood => {
+                vec![(0, Prot::None), (2, Prot::None), (3, Prot::None)]
+            }
         };
         for (i, &(home, _)) in layout.iter().enumerate() {
             let seg = pool
@@ -394,6 +442,29 @@ impl World {
         if !parity_members.is_empty() {
             pm.protect_parity(&mut pool, &mut fabric, SimTime::ZERO, &parity_members)
                 .expect("setup parity");
+        }
+        let mut hedge_segs = Vec::new();
+        let mut hedge_model: Vec<Vec<u8>> = Vec::new();
+        if scenario == Scenario::HedgedFlood {
+            // Two small mirrored segments homed on the flood victim; the
+            // hedged probes read these. Kept out of `segments` so the
+            // random workload (whose offsets assume SEG_BYTES) never
+            // touches them.
+            for i in 0..2u64 {
+                let seg = pool
+                    .alloc(HEDGE_SEG_BYTES, Placement::On(NodeId(1)))
+                    .expect("setup hedge segment");
+                let mut content_rng = rng.fork_indexed("hedge-content", i);
+                let data: Vec<u8> = (0..HEDGE_SEG_BYTES)
+                    .map(|_| content_rng.below(256) as u8)
+                    .collect();
+                pool.write_bytes(LogicalAddr::new(seg, 0), &data)
+                    .expect("setup hedge write");
+                pm.mirror(&mut pool, &mut fabric, SimTime::ZERO, seg)
+                    .expect("setup hedge mirror");
+                hedge_segs.push(seg);
+                hedge_model.push(data);
+            }
         }
 
         // The fault plan, explicit per scenario but timed/derived from the
@@ -456,6 +527,13 @@ impl World {
                 plan.push(us(5), Fault::RackDown(0));
                 plan.push(us(20), Fault::RackUp(0));
             }
+            Scenario::HedgedFlood => {
+                // The flood (scheduled as engine events) runs 8–33 µs;
+                // mid-flood the victim crashes outright, and rejoins cold
+                // after the orchestrator has promoted both twins.
+                plan.push(us(12), Fault::ServerCrash(NodeId(1)));
+                plan.push(us(24), Fault::ServerRestart(NodeId(1)));
+            }
         }
 
         // The seeded workload.
@@ -512,6 +590,17 @@ impl World {
             protected_at_start,
             protected_lost: 0,
             probe_latencies: Vec::new(),
+            hedge_segs,
+            hedge_model,
+            hedge_not_needed: 0,
+            hedge_raced: 0,
+            hedge_wins: 0,
+            hedge_no_twin: 0,
+            hedge_degraded: 0,
+            hedge_mismatches: 0,
+            hedge_cancels: 0,
+            hedge_cancels_ok: 0,
+            hedge_losers_fired: 0,
             healing: scenario.self_healing().then(|| Healing {
                 detector: FailureDetector::new(
                     HealthConfig::default_chaos(),
@@ -882,6 +971,139 @@ impl World {
                 // reorders or re-times holder completions breaks digests.
                 self.trace
                     .record(now, format!("batch wave {wave}: holder {holder} drained"));
+            }
+            Ev::Flood { from, holder, bytes } => {
+                match self.fabric.try_read(now, from, holder, bytes) {
+                    Ok(c) => self.trace.record(
+                        now,
+                        format!("flood: {bytes} B {holder}->{from} drains at {}", c.complete),
+                    ),
+                    Err(e) => self.trace.record(now, format!("flood refused: {e}")),
+                }
+            }
+            Ev::HedgedProbe {
+                idx,
+                seg_idx,
+                requester,
+            } => self.run_hedged_probe(eng, idx, seg_idx, requester),
+            Ev::HedgeDone { idx } => {
+                self.trace
+                    .record(now, format!("hedged probe {idx}: winner delivered"));
+            }
+            Ev::HedgeLoser { idx } => {
+                self.hedge_losers_fired += 1;
+                self.trace.record(
+                    now,
+                    format!("hedged probe {idx}: cancelled loser fired anyway"),
+                );
+            }
+        }
+    }
+
+    /// [`Scenario::HedgedFlood`] only: one latency-sensitive 4 KiB read
+    /// through the hedging policy. A raced probe schedules the winner's
+    /// delivery and the loser's would-be completion, then cancels the
+    /// loser through the engine — the cancellation half of the race
+    /// contract ([`HedgeOutcome::loser_done`]).
+    fn run_hedged_probe(
+        &mut self,
+        eng: &mut Engine<Ev>,
+        idx: usize,
+        seg_idx: usize,
+        requester: NodeId,
+    ) {
+        let now = eng.now();
+        let seg = self.hedge_segs[seg_idx];
+        // Median-based deadline: the flood pushes a tail of workload reads
+        // out by tens of µs, which would drag a p99 deadline along with
+        // it; the median stays at the uncongested service time.
+        let cfg = HedgeConfig {
+            floor: SimDuration::from_micros(2),
+            quantile: 0.5,
+            multiplier: 1.0,
+        };
+        let out = match hedged_read(
+            &mut self.pool,
+            &self.pm,
+            &mut self.fabric,
+            now,
+            requester,
+            LogicalAddr::new(seg, 0),
+            4096,
+            &cfg,
+        ) {
+            Ok(out) => out,
+            Err(e) => {
+                self.checks.push(CheckResult::fail(
+                    "hedged-probe-served",
+                    format!("probe {idx} of {seg}: {e}"),
+                ));
+                return;
+            }
+        };
+        match &out {
+            HedgeOutcome::NotNeeded { complete } => {
+                self.hedge_not_needed += 1;
+                self.trace.record(
+                    now,
+                    format!("hedged probe {idx}: {seg} inside deadline, done {complete}"),
+                );
+            }
+            HedgeOutcome::Raced {
+                winner,
+                complete,
+                primary_done,
+                hedge_done,
+                ..
+            } => {
+                self.hedge_raced += 1;
+                if *winner == HedgeWinner::Hedge {
+                    self.hedge_wins += 1;
+                }
+                self.trace.record(
+                    now,
+                    format!(
+                        "hedged probe {idx}: {seg} raced, {winner:?} won \
+                         (primary@{primary_done} hedge@{hedge_done}), done {complete}"
+                    ),
+                );
+                eng.schedule_at(*complete, Ev::HedgeDone { idx })
+                    .expect("winner completion is never before now");
+                let loser_at = out.loser_done().expect("raced outcome has a loser");
+                let id = eng
+                    .schedule_at(loser_at, Ev::HedgeLoser { idx })
+                    .expect("loser cancellation is never before now");
+                self.hedge_cancels += 1;
+                if eng.cancel(id) {
+                    self.hedge_cancels_ok += 1;
+                }
+            }
+            HedgeOutcome::NoTwin { complete } => {
+                self.hedge_no_twin += 1;
+                self.trace.record(
+                    now,
+                    format!("hedged probe {idx}: {seg} has no live twin, done {complete}"),
+                );
+            }
+            HedgeOutcome::PrimaryFailed { read } => {
+                let expect = &self.hedge_model[seg_idx][..4096];
+                let check = check_degraded_read(expect, read);
+                if !check.passed {
+                    self.hedge_mismatches += 1;
+                    self.checks.push(check);
+                }
+                self.hedge_degraded += 1;
+                self.degraded_served += 1;
+                if let Some(t) = self.pool.telemetry_mut() {
+                    t.note_degraded_read();
+                }
+                self.trace.record(
+                    now,
+                    format!(
+                        "hedged probe {idx}: {seg} primary dead, served degraded via {:?}",
+                        read.source
+                    ),
+                );
             }
         }
     }
@@ -1297,6 +1519,57 @@ impl World {
                 // into rack 0 and demonstrably loses protected segments.
                 self.checks.push(host_only_contrast());
             }
+            Scenario::HedgedFlood => {
+                let h = self.healing.as_ref().expect("self-healing armed");
+                // The fast path never hedged, the flood window raced and
+                // the hedge won (the twin dodged the backlog), and no
+                // probe found its twin missing.
+                self.checks.push(expect(
+                    "hedge-race-exercised",
+                    self.hedge_not_needed >= 1
+                        && self.hedge_raced >= 1
+                        && self.hedge_wins >= 1
+                        && self.hedge_no_twin == 0,
+                    format!(
+                        "not_needed={} raced={} wins={} no_twin={}",
+                        self.hedge_not_needed,
+                        self.hedge_raced,
+                        self.hedge_wins,
+                        self.hedge_no_twin
+                    ),
+                ));
+                // Every race loser's completion event was cancelled
+                // through the engine, and none ever fired.
+                self.checks.push(expect(
+                    "hedge-cancel-honored",
+                    self.hedge_cancels >= 1
+                        && self.hedge_cancels_ok == self.hedge_cancels
+                        && self.hedge_losers_fired == 0,
+                    format!(
+                        "cancels={} ok={} losers_fired={}",
+                        self.hedge_cancels, self.hedge_cancels_ok, self.hedge_losers_fired
+                    ),
+                ));
+                // Inside the crash-repair window the hedge fell through
+                // to the degraded path byte-identically, while the
+                // detector and orchestrator rebuilt both twins.
+                self.checks.push(expect(
+                    "hedged-serves-during-rebuild",
+                    self.hedge_degraded >= 1
+                        && self.hedge_mismatches == 0
+                        && h.detector.confirmation_count() >= 1
+                        && self.promoted >= 2
+                        && self.lost_count == 0,
+                    format!(
+                        "degraded={} mismatches={} confirmations={} promoted={} lost={}",
+                        self.hedge_degraded,
+                        self.hedge_mismatches,
+                        h.detector.confirmation_count(),
+                        self.promoted,
+                        self.lost_count
+                    ),
+                ));
+            }
         }
         // Telemetry roll-up: the snapshot digest becomes part of the trace
         // (and therefore of the determinism contract), and the instrument
@@ -1414,7 +1687,18 @@ pub fn run_scenario(scenario: Scenario, seed: u64) -> ChaosReport {
         // the same instant resolve fault-first (FIFO tie-break).
         let interval = HealthConfig::default_chaos().probe_interval;
         let end = SimTime::ZERO + HORIZON;
-        let mut t = SimTime::ZERO + interval;
+        // HedgedFlood arms the detector only from the crash instant. A
+        // pre-crash sweep has nothing to detect, but its probe flits chain
+        // through the flooded wires and — because wire reservations are
+        // strict FIFO — fence *every* wire's free-at time at the flood's
+        // drain horizon, erasing the congested-primary / idle-twin
+        // asymmetry the hedge race exists to exploit.
+        let start = if scenario == Scenario::HedgedFlood {
+            SimTime::from_nanos(12_000)
+        } else {
+            SimTime::ZERO
+        };
+        let mut t = start + interval;
         while t <= end {
             eng.schedule_at(t, Ev::HealthTick)
                 .expect("sweep times are within the horizon");
@@ -1463,6 +1747,33 @@ pub fn run_scenario(scenario: Scenario, seed: u64) -> ChaosReport {
         for (idx, at_us) in [5u64, 12, 14, 20].into_iter().enumerate() {
             eng.schedule_at(SimTime::from_nanos(at_us * 1000), Ev::BatchWave { idx })
                 .expect("wave times are within the horizon");
+        }
+    }
+    if scenario == Scenario::HedgedFlood {
+        // Two bulk reads load the victim's up-wire back to back
+        // (~12.5 µs each at link1 speed, so busy until ~33 µs), then the
+        // victim crashes at 12 µs and rejoins cold at 24 µs. Probes: one
+        // before the flood (fast path, no hedge), one inside it (race;
+        // the twin wins), one inside the crash-repair window (degraded),
+        // and one after promotion and rejoin (fast path again).
+        for at_us in [8u64, 9] {
+            eng.schedule_at(SimTime::from_nanos(at_us * 1000), Ev::Flood {
+                from: NodeId(3),
+                holder: NodeId(1),
+                bytes: 256 * 1024,
+            })
+            .expect("flood times are within the horizon");
+        }
+        for (idx, (at_ns, seg_idx)) in [(4_000u64, 0usize), (10_000, 0), (14_000, 1), (26_000, 1)]
+            .into_iter()
+            .enumerate()
+        {
+            eng.schedule_at(SimTime::from_nanos(at_ns), Ev::HedgedProbe {
+                idx,
+                seg_idx,
+                requester: NodeId(0),
+            })
+            .expect("probe times are within the horizon");
         }
     }
     if scenario == Scenario::LinkSpike {

@@ -80,6 +80,11 @@ pub const R2_DIGEST_PATH_FILES: &[&str] = &[
     // Deterministic event ordering.
     "crates/sim/src/queue.rs",
     "crates/sim/src/calendar.rs",
+    // QoS decisions: admission verdicts, band service order, and hedge
+    // deadlines all feed digest-bearing traces.
+    "crates/qos/src/admit.rs",
+    "crates/qos/src/band.rs",
+    "crates/core/src/hedge.rs",
 ];
 
 /// Recoverable modules (rule R3): crash, fault-injection, and migration
@@ -94,8 +99,14 @@ pub const R3_RECOVERABLE_FILES: &[&str] = &[
     // survivable rack loss into a process abort.
     "crates/core/src/placement.rs",
     "crates/fabric/src/fabric.rs",
+    "crates/fabric/src/link.rs",
     "crates/fabric/src/datacenter.rs",
     "crates/mem/src/node.rs",
+    // QoS runs on the access path: a panic in admission, band service,
+    // or hedging turns one tenant's flood into a rack-wide abort.
+    "crates/qos/src/admit.rs",
+    "crates/qos/src/band.rs",
+    "crates/core/src/hedge.rs",
     // The event kernel: a panic mid-scan would take down every scenario,
     // and `schedule_at` now surfaces past-scheduling as a typed error.
     "crates/sim/src/calendar.rs",

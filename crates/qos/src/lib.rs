@@ -1,0 +1,35 @@
+// Tests may unwrap/expect freely; production code must not (see crates/lint).
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! `lmp-qos`: tenant-aware quality-of-service primitives.
+//!
+//! Disaggregated memory is shared infrastructure: one tenant flooding a
+//! fabric link inflates every other tenant's remote-access tail latency.
+//! This crate holds the two deterministic building blocks the stack uses
+//! to bound that interference:
+//!
+//! * [`TokenBucket`] / [`AdmissionController`] — per-tenant request
+//!   admission at the pool API. Integer fixed-point refill in sim-time
+//!   nanoseconds, so admission decisions are a pure function of the
+//!   (seeded) op schedule and never drift between runs.
+//! * [`Band`] / [`BandedQueue`] — a small fixed set of priority bands
+//!   replacing the strict-FIFO serialization backlog on a fabric link.
+//!   Service is weighted water-filling: a flooded low band starves
+//!   *loudly* (its backlog gauge grows without bound) but high-priority
+//!   traffic keeps a guaranteed share of the wire.
+//!
+//! Everything here is integer arithmetic on [`SimTime`] /
+//! [`SimDuration`]: no floats on decision paths, no wall clock, no
+//! ambient randomness. Both structures are charged into digest-bearing
+//! traces, so they are enrolled in the lmp-lint R2/R3 lists.
+//!
+//! [`SimTime`]: lmp_sim::time::SimTime
+//! [`SimDuration`]: lmp_sim::time::SimDuration
+
+mod admit;
+mod band;
+
+pub use admit::{AdmissionController, TenantId, TenantRate, TokenBucket};
+pub use band::{Band, BandWeights, BandedQueue, BAND_COUNT};

@@ -11,6 +11,7 @@
 use crate::trace::{Pattern, TraceSpec};
 use lmp_core::prelude::*;
 use lmp_fabric::{Fabric, MemOp, NodeId};
+use lmp_qos::Band;
 use lmp_sim::prelude::*;
 
 /// One tenant's static description.
@@ -33,8 +34,11 @@ pub struct Tenant {
 pub struct TenantReport {
     /// The tenant's server.
     pub server: NodeId,
-    /// Mean access latency per batch, in nanoseconds.
-    pub batch_latency_ns: Vec<f64>,
+    /// Per-access latency distribution over the whole run: integer
+    /// nanoseconds in log-linear buckets, so tenant p50/p99/p999
+    /// ([`Histogram::quantile`]) is first-class and digest-safe — no
+    /// float accumulation order to leak into trace digests.
+    pub latency: Histogram,
     /// Fraction of bytes served locally, whole run.
     pub local_fraction: f64,
 }
@@ -96,7 +100,7 @@ pub fn run(
         .iter()
         .map(|t| TenantReport {
             server: t.server,
-            batch_latency_ns: Vec::new(),
+            latency: Histogram::new(),
             local_fraction: 0.0,
         })
         .collect();
@@ -116,7 +120,6 @@ pub fn run(
                 t.working_set,
                 root.fork_indexed("tenant", (i as u64) << 16 | batch as u64),
             );
-            let mut sum_ns = 0u64;
             for op in &trace {
                 let addr = rack
                     .server(t.server)
@@ -126,14 +129,13 @@ pub fn run(
                     )
                     .expect("trace stays in bounds");
                 let a = pool.access(fabric, now, t.server, addr, 4096, op.op)?;
-                sum_ns += a.complete.duration_since(now).as_nanos();
+                reports[i]
+                    .latency
+                    .record_duration(a.complete.duration_since(now));
                 local_bytes[i] += a.local_bytes;
                 total_bytes[i] += a.local_bytes + a.remote_bytes;
                 now = a.complete;
             }
-            reports[i]
-                .batch_latency_ns
-                .push(sum_ns as f64 / trace.len().max(1) as f64);
         }
         // Background tasks between batches.
         rack.tick(pool, fabric, now);
@@ -151,6 +153,175 @@ pub fn run(
         migrations: rack.balancer().migration_count(),
         sizing_runs: rack.sizing_runs(),
         complete: now,
+    })
+}
+
+/// Per-tenant QoS knobs for [`run_qos`]: how the tenant's traffic is
+/// classified and paced, plus the open-loop arrival process that makes
+/// link contention observable in the first place.
+#[derive(Debug, Clone, Copy)]
+pub struct TenantQos {
+    /// Fabric priority band the tenant's accesses ride. Only observable
+    /// when the caller enabled bands on the fabric.
+    pub band: Band,
+    /// Admission limit; `None` admits unconditionally.
+    pub rate: Option<TenantRate>,
+    /// Gap between successive op issues within a batch (open-loop: ops
+    /// are issued on this schedule whether or not earlier ones finished).
+    pub issue_period: SimDuration,
+    /// Bytes per access (overrides the closed-loop default of 4 KiB so
+    /// an aggressor can flood with bulk transfers).
+    pub access_bytes: u64,
+}
+
+/// Per-tenant outcome of a [`run_qos`] round.
+#[derive(Debug, Clone)]
+pub struct QosTenantReport {
+    /// Latency distribution over admitted accesses (integer ns).
+    pub latency: Histogram,
+    /// Accesses admitted and completed.
+    pub admitted: u64,
+    /// Accesses refused by admission control (no fabric or DRAM charge).
+    pub rejected: u64,
+    /// Bytes served from the tenant's home server.
+    pub local_bytes: u64,
+    /// Bytes that crossed the fabric.
+    pub remote_bytes: u64,
+}
+
+/// Outcome of a [`run_qos`] run.
+#[derive(Debug, Clone)]
+pub struct QosReport {
+    /// Per-tenant results, in input order.
+    pub tenants: Vec<QosTenantReport>,
+    /// Completion time of the last admitted access.
+    pub complete: SimTime,
+}
+
+/// Open-loop, tenant-aware variant of [`run`]: each tenant's ops are
+/// *issued on a fixed schedule* (`issue_period`) instead of each waiting
+/// for the previous to complete, so tenants genuinely overlap in
+/// simulated time and contend for fabric wires — the noisy-neighbor
+/// setting the QoS machinery exists for. Accesses go through
+/// [`LogicalPool::access_as`], so each tenant's configured admission
+/// limit and priority band apply. Batches drain fully before the next
+/// begins (the backlog a flood builds is paid inside its batch, not
+/// leaked into the next), with the runtime's background tasks between.
+///
+/// Rejected ops are counted and dropped — an open-loop arrival that
+/// missed admission does not retry, mirroring a client that sheds load.
+// Workload driver: setup expects are config contracts, trapped loudly.
+#[allow(clippy::expect_used)]
+pub fn run_qos(
+    pool: &mut LogicalPool,
+    fabric: &mut Fabric,
+    rack: &mut RackRuntime,
+    tenants: &[Tenant],
+    qos: &[TenantQos],
+    batches: u32,
+    seed: u64,
+) -> Result<QosReport, PoolError> {
+    assert_eq!(tenants.len(), qos.len(), "one QoS spec per tenant");
+    let root = DetRng::new(seed);
+    let mut buffers = Vec::with_capacity(tenants.len());
+    for (i, t) in tenants.iter().enumerate() {
+        rack.register_demand(AppDemand {
+            server: t.server,
+            bytes: t.working_set,
+            priority: t.priority,
+        });
+        let stripes =
+            lmp_compute::DistVector::place_local_first(pool, t.working_set, t.server)?;
+        let rt = rack.server(t.server);
+        let mut base = None;
+        for (_, seg, len) in &stripes.stripes {
+            let va = rt.map(*seg, *len);
+            base.get_or_insert(va);
+        }
+        buffers.push(base.expect("non-empty working set"));
+        let tenant = TenantId(i as u32);
+        pool.set_tenant_band(tenant, qos[i].band);
+        if let Some(rate) = qos[i].rate {
+            pool.set_tenant_rate(tenant, rate);
+        }
+    }
+
+    let mut reports: Vec<QosTenantReport> = tenants
+        .iter()
+        .map(|_| QosTenantReport {
+            latency: Histogram::new(),
+            admitted: 0,
+            rejected: 0,
+            local_bytes: 0,
+            remote_bytes: 0,
+        })
+        .collect();
+
+    let mut batch_start = SimTime::ZERO;
+    for batch in 0..batches {
+        // Merged issue schedule across tenants, ordered by (time, tenant,
+        // index) — a total deterministic order.
+        let mut sched: Vec<(SimTime, usize, u64)> = Vec::new();
+        let mut traces = Vec::with_capacity(tenants.len());
+        for (i, t) in tenants.iter().enumerate() {
+            let spec = TraceSpec {
+                pattern: t.pattern,
+                access_bytes: qos[i].access_bytes,
+                write_fraction: 0.1,
+                length: t.ops_per_batch,
+            };
+            traces.push(spec.generate(
+                t.working_set,
+                root.fork_indexed("qos-tenant", (i as u64) << 16 | batch as u64),
+            ));
+            let period = qos[i].issue_period.as_nanos();
+            for j in 0..t.ops_per_batch {
+                let at = batch_start + SimDuration::from_nanos(period.saturating_mul(j));
+                sched.push((at, i, j));
+            }
+        }
+        sched.sort_unstable_by_key(|&(at, i, j)| (at, i, j));
+
+        let mut batch_end = batch_start;
+        for (at, i, j) in sched {
+            let t = &tenants[i];
+            let op = traces[i][j as usize];
+            let addr = rack
+                .server(t.server)
+                .resolve(
+                    lmp_core::runtime::VirtAddr(buffers[i].0 + op.offset),
+                    qos[i].access_bytes,
+                )
+                .expect("trace stays in bounds");
+            match pool.access_as(
+                fabric,
+                at,
+                TenantId(i as u32),
+                t.server,
+                addr,
+                qos[i].access_bytes,
+                op.op,
+            ) {
+                Ok(a) => {
+                    reports[i].admitted += 1;
+                    reports[i].latency.record_duration(a.complete.duration_since(at));
+                    reports[i].local_bytes += a.local_bytes;
+                    reports[i].remote_bytes += a.remote_bytes;
+                    if a.complete > batch_end {
+                        batch_end = a.complete;
+                    }
+                }
+                Err(PoolError::AdmissionRejected(_)) => reports[i].rejected += 1,
+                Err(e) => return Err(e),
+            }
+        }
+        rack.tick(pool, fabric, batch_end);
+        batch_start = batch_end;
+        let _ = batch;
+    }
+    Ok(QosReport {
+        tenants: reports,
+        complete: batch_start,
     })
 }
 
@@ -211,8 +382,12 @@ mod tests {
         let (mut pool, mut fabric, mut rack) = setup();
         let report = run(&mut pool, &mut fabric, &mut rack, &tenants(), 4, 42).unwrap();
         assert_eq!(report.tenants.len(), 3);
+        let ops = [300u64, 200, 200];
         for (i, t) in report.tenants.iter().enumerate() {
-            assert_eq!(t.batch_latency_ns.len(), 4);
+            // Every access of every batch lands in the latency histogram.
+            assert_eq!(t.latency.count(), ops[i] * 4);
+            assert!(t.latency.p99() >= t.latency.p50());
+            assert!(t.latency.p50() > 0);
             // Working sets fit locally, so locality should be total.
             assert!(
                 t.local_fraction > 0.99,
@@ -233,7 +408,14 @@ mod tests {
                 r.migrations,
                 r.tenants
                     .iter()
-                    .map(|t| t.batch_latency_ns.iter().map(|x| x.to_bits()).collect::<Vec<_>>())
+                    .map(|t| {
+                        (
+                            t.latency.count(),
+                            t.latency.p50(),
+                            t.latency.p99(),
+                            t.latency.quantile(0.999),
+                        )
+                    })
                     .collect::<Vec<_>>(),
             )
         };

@@ -75,20 +75,17 @@ fn main() {
         report.migrations, report.sizing_runs
     );
     println!(
-        "{:<8} {:>9} {:>14} {:>24}",
-        "tenant", "server", "local bytes", "batch latency (ns)"
+        "{:<8} {:>9} {:>14} {:>10} {:>10} {:>10}",
+        "tenant", "server", "local bytes", "p50 ns", "p99 ns", "p999 ns"
     );
     for (i, t) in report.tenants.iter().enumerate() {
-        let lat: Vec<String> = t
-            .batch_latency_ns
-            .iter()
-            .map(|l| format!("{l:.0}"))
-            .collect();
         println!(
-            "{i:<8} {:>9} {:>13.1}% {:>24}",
+            "{i:<8} {:>9} {:>13.1}% {:>10} {:>10} {:>10}",
             t.server,
             t.local_fraction * 100.0,
-            lat.join(" ")
+            t.latency.p50(),
+            t.latency.p99(),
+            t.latency.quantile(0.999),
         );
     }
     println!(
