@@ -13,16 +13,24 @@
 //!   placement, the first incast remedy).
 //! * [`ship`] — pull-vs-ship distributed reductions with exact byte
 //!   accounting, plus materialized-value computation for correctness tests.
+//! * [`operator`] — shippable operator descriptions (filter, aggregate,
+//!   count, top-k) whose result size depends on the data.
+//! * [`planner`] — the cost-based per-segment ship-vs-fetch planner, fed
+//!   by live fabric backlog, holder memory pressure, and selectivity.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod operator;
 pub mod placement;
+pub mod planner;
 pub mod scan;
 pub mod ship;
 pub mod task;
 
+pub use operator::{OpOutput, Operator, Predicate};
 pub use placement::DistVector;
+pub use planner::{fetch_reference, Choice, Plan, Planner, PushdownOutcome, SegmentPlan};
 pub use scan::{scan_ranges, scan_segment, ScanOutcome, ScanParams, DEFAULT_CHUNK};
 pub use ship::{reduce_timed, reduce_value, run_task, ReduceOp, ReduceOutcome, Strategy};
 pub use task::{Partial, Task};

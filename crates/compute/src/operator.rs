@@ -1,0 +1,269 @@
+//! Pushdown operator descriptions.
+//!
+//! The pushdown framework needs a *description* of work that can travel to
+//! a segment holder and whose result size is a property of the data, not
+//! of the operator alone. [`Operator`] generalizes the fixed-partial
+//! [`Task`](crate::task::Task) enum in exactly that direction:
+//!
+//! * **Aggregate** — fold to one scalar (8 bytes shipped, like `Task`).
+//! * **Count** — predicate count (8 bytes shipped).
+//! * **Filter** — return the *matching elements themselves*; shipped bytes
+//!   scale with selectivity, which is what makes ship-vs-fetch a real
+//!   decision for the [`Planner`](crate::planner::Planner).
+//! * **TopK** — return the k largest elements (≤ 8k bytes shipped).
+//!
+//! Every operator is executed per stripe and merged **in logical stripe
+//! order** at the requester, so a plan that ships some stripes and fetches
+//! the rest produces byte-identical output to an all-fetch reference.
+//!
+//! This module is on the lmp-lint R3 no-panic list: merges surface
+//! mismatched partials as [`PoolError::Internal`] instead of panicking.
+
+use crate::ship::ReduceOp;
+use lmp_core::prelude::PoolError;
+
+/// A total predicate over u64 elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Predicate {
+    /// Strictly greater than the threshold.
+    Greater(u64),
+    /// Strictly less than the threshold.
+    Less(u64),
+    /// `(element & mask) == value`.
+    EqMasked {
+        /// Bits to inspect.
+        mask: u64,
+        /// Required value of the masked bits.
+        value: u64,
+    },
+}
+
+impl Predicate {
+    /// Evaluate the predicate on one element.
+    pub fn matches(self, v: u64) -> bool {
+        match self {
+            Predicate::Greater(t) => v > t,
+            Predicate::Less(t) => v < t,
+            Predicate::EqMasked { mask, value } => v & mask == value,
+        }
+    }
+}
+
+/// A shippable operator over a byte range of little-endian u64 elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operator {
+    /// Fold every element with a [`ReduceOp`]; 8-byte result.
+    Aggregate(ReduceOp),
+    /// Count elements matching the predicate; 8-byte result.
+    Count(Predicate),
+    /// Return the matching elements, in scan order. Result size is
+    /// `8 × matches` — the operator's *selectivity* decides how many bytes
+    /// cross the fabric when shipped.
+    Filter(Predicate),
+    /// Return the `k` largest elements, descending. Result ≤ `8k` bytes.
+    TopK(u32),
+}
+
+/// An operator's (partial or final) output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpOutput {
+    /// Scalar accumulator (aggregates, counts).
+    Scalar(u64),
+    /// Matching elements in logical scan order (filter).
+    Rows(Vec<u64>),
+    /// The k largest elements seen so far, descending (top-k).
+    Top(Vec<u64>),
+}
+
+/// Iterate a byte slice as little-endian u64 elements; a tail shorter than
+/// 8 bytes is ignored (stripes address whole elements only).
+fn elements(bytes: &[u8]) -> impl Iterator<Item = u64> + '_ {
+    // chunks_exact(8) yields exactly-8-byte windows, so the fallback arm
+    // of unwrap_or is unreachable and the conversion is total.
+    bytes
+        .chunks_exact(8)
+        .map(|w| u64::from_le_bytes(w.try_into().unwrap_or([0u8; 8])))
+}
+
+impl Operator {
+    /// The identity output: merging it with any partial is a no-op.
+    pub fn identity(&self) -> OpOutput {
+        match *self {
+            Operator::Aggregate(op) => OpOutput::Scalar(op.identity()),
+            Operator::Count(_) => OpOutput::Scalar(0),
+            Operator::Filter(_) => OpOutput::Rows(Vec::new()),
+            Operator::TopK(_) => OpOutput::Top(Vec::new()),
+        }
+    }
+
+    /// Execute over one stripe's bytes.
+    pub fn execute(&self, bytes: &[u8]) -> OpOutput {
+        match *self {
+            Operator::Aggregate(op) => OpOutput::Scalar(op.fold_bytes(bytes)),
+            Operator::Count(p) => {
+                OpOutput::Scalar(elements(bytes).filter(|&v| p.matches(v)).count() as u64)
+            }
+            Operator::Filter(p) => {
+                OpOutput::Rows(elements(bytes).filter(|&v| p.matches(v)).collect())
+            }
+            Operator::TopK(k) => {
+                let mut all: Vec<u64> = elements(bytes).collect();
+                all.sort_unstable_by(|a, b| b.cmp(a));
+                all.truncate(k as usize);
+                OpOutput::Top(all)
+            }
+        }
+    }
+
+    /// Merge two partials. `a` must precede `b` in logical stripe order —
+    /// filter rows concatenate, so merge order is part of the result.
+    ///
+    /// # Errors
+    /// [`PoolError::Internal`] when the partial variants do not match the
+    /// operator (a protocol bug surfaced as an error, per the no-panic
+    /// contract for recoverable modules).
+    pub fn merge(&self, a: OpOutput, b: OpOutput) -> Result<OpOutput, PoolError> {
+        match (self, a, b) {
+            (Operator::Aggregate(op), OpOutput::Scalar(x), OpOutput::Scalar(y)) => {
+                Ok(OpOutput::Scalar(op.combine(x, y)))
+            }
+            (Operator::Count(_), OpOutput::Scalar(x), OpOutput::Scalar(y)) => {
+                Ok(OpOutput::Scalar(x.wrapping_add(y)))
+            }
+            (Operator::Filter(_), OpOutput::Rows(mut x), OpOutput::Rows(y)) => {
+                x.extend(y);
+                Ok(OpOutput::Rows(x))
+            }
+            (Operator::TopK(k), OpOutput::Top(mut x), OpOutput::Top(y)) => {
+                x.extend(y);
+                x.sort_unstable_by(|a, b| b.cmp(a));
+                x.truncate(*k as usize);
+                Ok(OpOutput::Top(x))
+            }
+            _ => Err(PoolError::Internal("operator partial variant mismatch")),
+        }
+    }
+
+    /// Bytes this output occupies when shipped across the fabric.
+    pub fn output_bytes(&self, out: &OpOutput) -> u64 {
+        match out {
+            OpOutput::Scalar(_) => 8,
+            OpOutput::Rows(v) | OpOutput::Top(v) => 8 * v.len() as u64,
+        }
+    }
+
+    /// Plan-time estimate of the shipped result size for a stripe of
+    /// `scan_bytes`, given a selectivity hint in `[0, 1]`
+    /// (bytes-returned / bytes-scanned, from stats or a prior run). Only
+    /// [`Operator::Filter`] is selectivity-dependent; the other operators
+    /// have closed-form bounds.
+    pub fn estimate_return_bytes(&self, scan_bytes: u64, selectivity: f64) -> u64 {
+        let whole_elements = (scan_bytes / 8) * 8;
+        match *self {
+            Operator::Aggregate(_) | Operator::Count(_) => 8,
+            Operator::TopK(k) => (8 * k as u64).min(whole_elements),
+            Operator::Filter(_) => {
+                let s = selectivity.clamp(0.0, 1.0);
+                // Round to whole elements; a filter never returns more
+                // than every element it scanned.
+                let est = (scan_bytes as f64 * s / 8.0).round() as u64 * 8;
+                est.min(whole_elements)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pack(vals: &[u64]) -> Vec<u8> {
+        vals.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    #[test]
+    fn predicates_are_total() {
+        assert!(Predicate::Greater(5).matches(6));
+        assert!(!Predicate::Greater(5).matches(5));
+        assert!(Predicate::Less(5).matches(4));
+        assert!(Predicate::EqMasked { mask: 0xff, value: 0x0a }.matches(0x990a));
+        assert!(!Predicate::EqMasked { mask: 0xff, value: 0x0a }.matches(0x0b));
+    }
+
+    #[test]
+    fn filter_preserves_scan_order_across_merges() {
+        let op = Operator::Filter(Predicate::Greater(10));
+        let a = op.execute(&pack(&[5, 20, 30]));
+        let b = op.execute(&pack(&[40, 1, 50]));
+        let merged = op.merge(a, b).unwrap();
+        assert_eq!(merged, OpOutput::Rows(vec![20, 30, 40, 50]));
+    }
+
+    #[test]
+    fn topk_truncates_and_merges() {
+        let op = Operator::TopK(3);
+        let a = op.execute(&pack(&[9, 1, 7, 3]));
+        assert_eq!(a, OpOutput::Top(vec![9, 7, 3]));
+        let b = op.execute(&pack(&[8, 2]));
+        let merged = op.merge(a, b).unwrap();
+        assert_eq!(merged, OpOutput::Top(vec![9, 8, 7]));
+    }
+
+    #[test]
+    fn count_and_aggregate_are_scalar() {
+        let data = pack(&[5, 15, 25]);
+        assert_eq!(
+            Operator::Count(Predicate::Greater(10)).execute(&data),
+            OpOutput::Scalar(2)
+        );
+        assert_eq!(
+            Operator::Aggregate(ReduceOp::Sum).execute(&data),
+            OpOutput::Scalar(45)
+        );
+    }
+
+    #[test]
+    fn identities_are_neutral() {
+        let data = pack(&[3, 11, 7, 19]);
+        for op in [
+            Operator::Aggregate(ReduceOp::Min),
+            Operator::Count(Predicate::Less(10)),
+            Operator::Filter(Predicate::Greater(5)),
+            Operator::TopK(2),
+        ] {
+            let x = op.execute(&data);
+            assert_eq!(op.merge(op.identity(), x.clone()).unwrap(), x);
+        }
+    }
+
+    #[test]
+    fn mismatched_partials_error_instead_of_panicking() {
+        let e = Operator::TopK(2)
+            .merge(OpOutput::Scalar(1), OpOutput::Top(vec![]))
+            .unwrap_err();
+        assert!(matches!(e, PoolError::Internal(_)));
+    }
+
+    #[test]
+    fn return_size_estimates() {
+        let op = Operator::Filter(Predicate::Greater(0));
+        assert_eq!(op.estimate_return_bytes(1024, 0.0), 0);
+        assert_eq!(op.estimate_return_bytes(1024, 1.0), 1024);
+        assert_eq!(op.estimate_return_bytes(1024, 0.5), 512);
+        // Clamped to whole elements of the scanned range.
+        assert_eq!(op.estimate_return_bytes(20, 1.0), 16);
+        assert_eq!(Operator::Aggregate(ReduceOp::Sum).estimate_return_bytes(1 << 30, 1.0), 8);
+        assert_eq!(Operator::TopK(4).estimate_return_bytes(1 << 20, 0.0), 32);
+        assert_eq!(Operator::TopK(100).estimate_return_bytes(24, 1.0), 24);
+    }
+
+    #[test]
+    fn unaligned_tails_are_ignored() {
+        let mut data = pack(&[42, 99]);
+        data.extend_from_slice(&[1, 2, 3]); // 3-byte tail
+        assert_eq!(
+            Operator::Count(Predicate::Greater(0)).execute(&data),
+            OpOutput::Scalar(2)
+        );
+    }
+}

@@ -84,8 +84,8 @@ impl ScanOutcome {
 /// A single-stripe special case of [`scan_ranges`], sharing its wave-batched
 /// issue loop.
 ///
-/// # Panics
-/// Panics for zero cores or a zero chunk size.
+/// # Errors
+/// [`PoolError::InvalidRequest`] for zero cores or a zero chunk size.
 #[allow(clippy::too_many_arguments)]
 pub fn scan_segment(
     pool: &mut LogicalPool,
@@ -112,8 +112,11 @@ pub fn scan_segment(
 /// whenever completions align. Pacing is per core: a core issues its next
 /// chunk once its previous data has landed *and* it has finished
 /// stream-summing it (closed loop).
-// The heap pop follows a peek on the same heap, so it cannot be empty.
-#[allow(clippy::unwrap_used)]
+///
+/// # Errors
+/// [`PoolError::InvalidRequest`] for zero cores or a zero chunk size —
+/// scans run on recoverable paths, so a malformed request must surface as
+/// an error rather than abort the process.
 pub fn scan_ranges(
     pool: &mut LogicalPool,
     fabric: &mut Fabric,
@@ -123,8 +126,12 @@ pub fn scan_ranges(
     params: ScanParams,
 ) -> Result<ScanOutcome, PoolError> {
     let ScanParams { cores, chunk, per_core } = params;
-    assert!(cores > 0, "scan needs cores");
-    assert!(chunk > 0, "scan needs a chunk size");
+    if cores == 0 {
+        return Err(PoolError::InvalidRequest("scan needs at least one core"));
+    }
+    if chunk == 0 {
+        return Err(PoolError::InvalidRequest("scan needs a nonzero chunk size"));
+    }
     let total: u64 = ranges.iter().map(|r| r.2).sum();
     let mut outcome = ScanOutcome {
         complete: start,
@@ -134,16 +141,19 @@ pub fn scan_ranges(
     if total == 0 {
         return Ok(outcome);
     }
-    // Map a global byte position to (segment, offset, bytes left in stripe).
-    let locate = |pos: u64| -> (SegmentId, u64, u64) {
+    // Map a global byte position to (segment, offset, bytes left in
+    // stripe). `None` is impossible for positions below `total` (the only
+    // ones the issue loop produces) but surfaces as a typed error rather
+    // than a panic: scans run on recoverable paths.
+    let locate = |pos: u64| -> Option<(SegmentId, u64, u64)> {
         let mut acc = 0;
         for (seg, off, len) in ranges {
             if pos < acc + len {
-                return (*seg, off + (pos - acc), acc + len - pos);
+                return Some((*seg, off + (pos - acc), acc + len - pos));
             }
             acc += len;
         }
-        unreachable!("position {pos} beyond vector end {total}")
+        None
     };
     let per_core_len = total / cores as u64;
     let remainder = total % cores as u64;
@@ -164,17 +174,18 @@ pub fn scan_ranges(
     while let Some(std::cmp::Reverse((now, c, pos, left))) = heap.pop() {
         // Gather the wave: every core ready at exactly `now` scans together.
         let mut wave = vec![(c, pos, left)];
-        while let Some(std::cmp::Reverse((t, ..))) = heap.peek() {
-            if *t != now {
+        while let Some(&std::cmp::Reverse((t, c2, pos2, left2))) = heap.peek() {
+            if t != now {
                 break;
             }
-            let std::cmp::Reverse((_, c2, pos2, left2)) = heap.pop().unwrap();
+            heap.pop();
             wave.push((c2, pos2, left2));
         }
         let mut ops = Vec::with_capacity(wave.len());
         let mut sizes = Vec::with_capacity(wave.len());
         for &(_, pos, left) in &wave {
-            let (seg, seg_off, stripe_left) = locate(pos);
+            let (seg, seg_off, stripe_left) = locate(pos)
+                .ok_or(PoolError::Internal("scan position beyond vector end"))?;
             let this = left.min(chunk).min(stripe_left);
             ops.push(BatchOp::read(LogicalAddr::new(seg, seg_off), this));
             sizes.push(this);
@@ -306,6 +317,24 @@ mod tests {
         let out = scan_ranges(&mut p, &mut f, SimTime::ZERO, NodeId(0), &[], ScanParams::with_cores(4)).unwrap();
         assert_eq!(out.complete, SimTime::ZERO);
         assert_eq!(out.local_bytes + out.remote_bytes, 0);
+    }
+
+    #[test]
+    fn zero_cores_or_chunk_is_a_typed_error() {
+        let (mut p, mut f) = setup(4);
+        let seg = p.alloc(FRAME_BYTES, Placement::On(NodeId(0))).unwrap();
+        let e = scan_segment(
+            &mut p, &mut f, SimTime::ZERO, NodeId(0), seg, 0, FRAME_BYTES,
+            ScanParams { cores: 0, ..ScanParams::default() },
+        )
+        .unwrap_err();
+        assert!(matches!(e, PoolError::InvalidRequest(_)), "{e:?}");
+        let e = scan_segment(
+            &mut p, &mut f, SimTime::ZERO, NodeId(0), seg, 0, FRAME_BYTES,
+            ScanParams { chunk: 0, ..ScanParams::default() },
+        )
+        .unwrap_err();
+        assert!(matches!(e, PoolError::InvalidRequest(_)), "{e:?}");
     }
 
     #[test]

@@ -4,17 +4,27 @@
 //!
 //! * **Pull** — the requesting server scans every stripe itself; remote
 //!   stripes cross the fabric (this is what a physical pool always does,
-//!   since the pool has no processors).
-//! * **Ship** — each holding server scans its own stripe at local DRAM
-//!   speed, in parallel, and only the 8-byte partial results cross the
+//!   since the pool has no processors). All stripes share one
+//!   [`scan_ranges`] call, so the requester's core budget is a property of
+//!   the machine, not of the stripe count.
+//! * **Ship** — each holding server scans its own stripes at local DRAM
+//!   speed, in parallel, and only the small partial results cross the
 //!   fabric. "The end result is an even larger performance improvement"
 //!   (§4.4) — the `nearmem` bench quantifies it.
+//!
+//! Holders are re-resolved against the **live** pool mapping on every run:
+//! a `DistVector` records where stripes lived at creation, but balancer
+//! migrations and post-crash promotions move segments. Each relocation is
+//! counted in the `compute.stale_holder` telemetry counter and in
+//! [`ReduceOutcome::stale_holders`], and any bytes a supposedly-local
+//! shipped scan still pulls across the fabric are charged honestly.
 
 use crate::placement::DistVector;
-use crate::scan::{scan_segment, ScanOutcome, ScanParams};
+use crate::scan::{scan_ranges, ScanParams};
 use lmp_core::prelude::*;
-use lmp_fabric::{Fabric, NodeId};
+use lmp_fabric::{Fabric, FabricError, NodeId};
 use lmp_sim::prelude::*;
+use std::collections::BTreeMap;
 
 /// Reduction operators over u64 little-endian elements.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,12 +58,12 @@ impl ReduceOp {
 
     /// Fold a byte slice as little-endian u64 elements (the tail shorter
     /// than 8 bytes is ignored, matching an element-aligned vector).
-    // chunks_exact(8) yields exactly-8-byte windows; the conversion is total.
-    #[allow(clippy::expect_used)]
     pub fn fold_bytes(self, bytes: &[u8]) -> u64 {
         let mut acc = self.identity();
         for w in bytes.chunks_exact(8) {
-            let v = u64::from_le_bytes(w.try_into().expect("chunks_exact(8)"));
+            // chunks_exact(8) yields exactly-8-byte windows, so the
+            // fallback arm is unreachable and the conversion is total.
+            let v = u64::from_le_bytes(w.try_into().unwrap_or([0u8; 8]));
             acc = self.combine(acc, v);
         }
         acc
@@ -78,6 +88,9 @@ pub struct ReduceOutcome {
     pub fabric_bytes: u64,
     /// Bytes scanned at local speed by their holder.
     pub local_bytes: u64,
+    /// Stripes whose live holder differed from the one recorded in the
+    /// `DistVector` (migration or promotion since creation).
+    pub stale_holders: u32,
 }
 
 impl ReduceOutcome {
@@ -87,9 +100,72 @@ impl ReduceOutcome {
     }
 }
 
+/// Live `(holder, segment, len)` stripes in logical order.
+pub(crate) type LiveStripes = Vec<(NodeId, SegmentId, u64)>;
+
+/// Resolve every stripe of `vector` against the live pool mapping,
+/// bumping the `compute.stale_holder` counter for each relocation.
+/// Returns the live `(holder, segment, len)` stripes in logical order plus
+/// the relocation count.
+///
+/// # Errors
+/// [`PoolError::UnknownSegment`] when a stripe's segment no longer exists.
+pub(crate) fn live_stripes(
+    pool: &mut LogicalPool,
+    vector: &DistVector,
+) -> Result<(LiveStripes, u32), PoolError> {
+    let mut out = Vec::with_capacity(vector.stripes.len());
+    let mut stale = 0u32;
+    for (recorded, seg, len) in &vector.stripes {
+        let live = pool
+            .holder_of(*seg)
+            .ok_or(PoolError::UnknownSegment(*seg))?;
+        if live != *recorded {
+            stale += 1;
+            if let Some(t) = pool.telemetry_mut() {
+                t.note_stale_holder();
+            }
+        }
+        out.push((live, *seg, *len));
+    }
+    Ok((out, stale))
+}
+
+/// Ship `bytes` of results from `holder` back to `requester` at `when`.
+pub(crate) fn ship_result(
+    fabric: &mut Fabric,
+    when: SimTime,
+    holder: NodeId,
+    requester: NodeId,
+    bytes: u64,
+) -> Result<SimTime, PoolError> {
+    fabric
+        .try_write(when, holder, requester, bytes)
+        .map(|c| c.complete)
+        .map_err(|e| match e {
+            FabricError::RequesterDown(n) => PoolError::ServerDown(n),
+            FabricError::HolderDown(n) => PoolError::ServerDown(n),
+            FabricError::Contract(why) => PoolError::Internal(why),
+        })
+}
+
+/// Group live stripes by holder, preserving logical order within each
+/// holder. `BTreeMap` keeps the holder iteration order deterministic.
+pub(crate) fn group_by_holder(
+    stripes: &[(NodeId, SegmentId, u64)],
+) -> BTreeMap<NodeId, Vec<(SegmentId, u64, u64)>> {
+    let mut groups: BTreeMap<NodeId, Vec<(SegmentId, u64, u64)>> = BTreeMap::new();
+    for (holder, seg, len) in stripes {
+        groups.entry(*holder).or_default().push((*seg, 0, *len));
+    }
+    groups
+}
+
 /// Time a distributed reduction with the given strategy.
 ///
-/// `params` applies per participating server.
+/// `params` applies per participating server: a Pull shares one core
+/// budget across every stripe, a Ship gives each *holder* (not each
+/// stripe) its own.
 pub fn reduce_timed(
     pool: &mut LogicalPool,
     fabric: &mut Fabric,
@@ -99,34 +175,39 @@ pub fn reduce_timed(
     strategy: Strategy,
     params: ScanParams,
 ) -> Result<ReduceOutcome, PoolError> {
+    let (stripes, stale) = live_stripes(pool, vector)?;
     let mut outcome = ReduceOutcome {
         complete: start,
         fabric_bytes: 0,
         local_bytes: 0,
+        stale_holders: stale,
     };
     match strategy {
         Strategy::Pull => {
-            for (_, seg, len) in &vector.stripes {
-                let s: ScanOutcome =
-                    scan_segment(pool, fabric, start, requester, *seg, 0, *len, params)?;
-                outcome.complete = outcome.complete.max(s.complete);
-                outcome.fabric_bytes += s.remote_bytes;
-                outcome.local_bytes += s.local_bytes;
-            }
+            // One scan over the concatenated stripes: the requester's
+            // cores divide the whole vector, not each stripe.
+            let ranges: Vec<(SegmentId, u64, u64)> =
+                stripes.iter().map(|(_, seg, len)| (*seg, 0, *len)).collect();
+            let s = scan_ranges(pool, fabric, start, requester, &ranges, params)?;
+            outcome.complete = outcome.complete.max(s.complete);
+            outcome.fabric_bytes += s.remote_bytes;
+            outcome.local_bytes += s.local_bytes;
         }
         Strategy::Ship => {
-            for (holder, seg, len) in &vector.stripes {
-                // The holder scans its stripe locally, in parallel with the
-                // other holders.
-                let s = scan_segment(pool, fabric, start, *holder, *seg, 0, *len, params)?;
+            for (holder, ranges) in group_by_holder(&stripes) {
+                // The holder scans its stripes locally, in parallel with
+                // the other holders. If a segment moved mid-run the scan's
+                // remote bytes are charged honestly rather than asserted
+                // away.
+                let s = scan_ranges(pool, fabric, start, holder, &ranges, params)?;
                 outcome.local_bytes += s.local_bytes;
-                debug_assert_eq!(s.remote_bytes, 0, "shipped scan must be local");
-                // The 8-byte partial travels back to the requester.
-                let done = if *holder == requester {
+                outcome.fabric_bytes += s.remote_bytes;
+                // One 8-byte combined partial per holder travels back.
+                let done = if holder == requester {
                     s.complete
                 } else {
                     outcome.fabric_bytes += 8;
-                    fabric.write(s.complete, *holder, requester, 8).complete
+                    ship_result(fabric, s.complete, holder, requester, 8)?
                 };
                 outcome.complete = outcome.complete.max(done);
             }
@@ -137,8 +218,8 @@ pub fn reduce_timed(
 
 /// Run an arbitrary shippable [`Task`](crate::task::Task) over a
 /// distributed vector: timing via the scan engine, the result from
-/// materialized stripe contents. With [`Strategy::Ship`] only each task's
-/// fixed-size partial crosses the fabric.
+/// materialized stripe contents. With [`Strategy::Ship`] only each
+/// holder's fixed-size partial crosses the fabric.
 #[allow(clippy::too_many_arguments)]
 pub fn run_task(
     pool: &mut LogicalPool,
@@ -150,37 +231,49 @@ pub fn run_task(
     strategy: Strategy,
     params: ScanParams,
 ) -> Result<(crate::task::Partial, ReduceOutcome), PoolError> {
+    let (stripes, stale) = live_stripes(pool, vector)?;
     let mut outcome = ReduceOutcome {
         complete: start,
         fabric_bytes: 0,
         local_bytes: 0,
+        stale_holders: stale,
     };
+    // The result is strategy-independent: fold stripes in logical order.
+    // A stripe addresses whole elements; a non-8-aligned length has an
+    // ignored tail that still occupies the stripe, so the next stripe's
+    // first element index rounds *up* — `len / 8` would drift every later
+    // stripe and break position-bearing tasks like FindFirst.
     let mut acc = task.identity();
     let mut element_base = 0u64;
-    for (holder, seg, len) in &vector.stripes {
-        let scanner = match strategy {
-            Strategy::Pull => requester,
-            Strategy::Ship => *holder,
-        };
-        let s = scan_segment(pool, fabric, start, scanner, *seg, 0, *len, params)?;
-        outcome.local_bytes += s.local_bytes;
+    for (_, seg, len) in &stripes {
         let bytes = pool.read_bytes(LogicalAddr::new(*seg, 0), *len)?;
-        let partial = task.execute(&bytes, element_base);
-        element_base += len / 8;
-        let done = match strategy {
-            Strategy::Pull => {
+        acc = task.combine(acc, task.execute(&bytes, element_base));
+        element_base += len.div_ceil(8);
+    }
+    match strategy {
+        Strategy::Pull => {
+            let ranges: Vec<(SegmentId, u64, u64)> =
+                stripes.iter().map(|(_, seg, len)| (*seg, 0, *len)).collect();
+            let s = scan_ranges(pool, fabric, start, requester, &ranges, params)?;
+            outcome.complete = outcome.complete.max(s.complete);
+            outcome.fabric_bytes += s.remote_bytes;
+            outcome.local_bytes += s.local_bytes;
+        }
+        Strategy::Ship => {
+            for (holder, ranges) in group_by_holder(&stripes) {
+                let s = scan_ranges(pool, fabric, start, holder, &ranges, params)?;
+                outcome.local_bytes += s.local_bytes;
                 outcome.fabric_bytes += s.remote_bytes;
-                s.complete
+                let done = if holder == requester {
+                    s.complete
+                } else {
+                    let pb = task.partial_bytes();
+                    outcome.fabric_bytes += pb;
+                    ship_result(fabric, s.complete, holder, requester, pb)?
+                };
+                outcome.complete = outcome.complete.max(done);
             }
-            Strategy::Ship if *holder != requester => {
-                let pb = task.partial_bytes();
-                outcome.fabric_bytes += pb;
-                fabric.write(s.complete, *holder, requester, pb).complete
-            }
-            Strategy::Ship => s.complete,
-        };
-        outcome.complete = outcome.complete.max(done);
-        acc = task.combine(acc, partial);
+        }
     }
     Ok((acc, outcome))
 }
@@ -203,6 +296,7 @@ pub fn reduce_value(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scan::scan_ranges;
     use lmp_fabric::LinkProfile;
     use lmp_mem::{DramProfile, FRAME_BYTES};
 
@@ -276,6 +370,8 @@ mod tests {
         // Shipping moves only partial results; pulling moves 3/4 of data.
         assert!(ship.fabric_bytes <= 3 * 8);
         assert_eq!(pull.fabric_bytes, len * 3 / 4);
+        assert_eq!(pull.stale_holders, 0);
+        assert_eq!(ship.stale_holders, 0);
     }
 
     #[test]
@@ -294,6 +390,63 @@ mod tests {
         .unwrap();
         assert_eq!(pull.complete, ship.complete);
         assert_eq!(ship.fabric_bytes, 0);
+    }
+
+    #[test]
+    fn pull_core_budget_is_shared_across_stripes() {
+        // Regression for the over-provisioning bug: a 4-stripe pull used to
+        // issue 4 independent scans, each with a fresh `params.cores`
+        // budget. The pull must now cost exactly what one scan over the
+        // concatenated ranges costs.
+        let (mut p, mut f) = setup(32);
+        let servers: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let v = DistVector::stripe_even(&mut p, 16 * FRAME_BYTES, &servers).unwrap();
+        let params = ScanParams::with_cores(4);
+        let pull = reduce_timed(
+            &mut p, &mut f, SimTime::ZERO, NodeId(0), &v, Strategy::Pull, params,
+        )
+        .unwrap();
+
+        let (mut p2, mut f2) = setup(32);
+        let v2 = DistVector::stripe_even(&mut p2, 16 * FRAME_BYTES, &servers).unwrap();
+        let ranges: Vec<(SegmentId, u64, u64)> =
+            v2.stripes.iter().map(|(_, seg, len)| (*seg, 0, *len)).collect();
+        let reference = scan_ranges(
+            &mut p2, &mut f2, SimTime::ZERO, NodeId(0), &ranges, params,
+        )
+        .unwrap();
+        assert_eq!(pull.complete, reference.complete);
+        assert_eq!(pull.fabric_bytes, reference.remote_bytes);
+    }
+
+    #[test]
+    fn stale_holder_is_resolved_and_counted() {
+        let (mut p, mut f) = setup(16);
+        p.attach_telemetry();
+        let servers = [NodeId(1), NodeId(2)];
+        let v = DistVector::stripe_even(&mut p, 4 * FRAME_BYTES, &servers).unwrap();
+        // Move the first stripe after the vector recorded its holder —
+        // the balancer/recovery race the planner must survive.
+        let (_, seg, _) = v.stripes[0];
+        lmp_core::migrate::migrate_segment(&mut p, &mut f, SimTime::ZERO, seg, NodeId(3))
+            .unwrap();
+        let start = SimTime::from_nanos(10_000_000);
+        let ship = reduce_timed(
+            &mut p, &mut f, start, NodeId(0), &v, Strategy::Ship, ScanParams::with_cores(4),
+        )
+        .unwrap();
+        assert_eq!(ship.stale_holders, 1);
+        // The relocated stripe scanned locally on its *new* holder: only
+        // the two 8-byte partials crossed the fabric.
+        assert_eq!(ship.fabric_bytes, 2 * 8);
+        assert_eq!(p.telemetry().unwrap().stale_holders(), 1);
+        // A second run counts the (still-stale) record again.
+        let again = reduce_timed(
+            &mut p, &mut f, start, NodeId(0), &v, Strategy::Ship, ScanParams::with_cores(4),
+        )
+        .unwrap();
+        assert_eq!(again.stale_holders, 1);
+        assert_eq!(p.telemetry().unwrap().stale_holders(), 2);
     }
 
     #[test]
@@ -339,6 +492,34 @@ mod tests {
         )
         .unwrap();
         assert_eq!(count, Partial::Scalar(4));
+    }
+
+    #[test]
+    fn unaligned_stripes_keep_global_element_indices() {
+        use crate::task::{Partial, Task};
+        // Regression for the `len / 8` drift: a 20-byte stripe holds 2
+        // whole elements plus a 4-byte ignored tail that still occupies
+        // the stripe, so the next stripe starts at element index 3
+        // (div_ceil), not 2 (floor).
+        let (mut p, _f) = setup(16);
+        let seg_a = p.alloc(FRAME_BYTES, Placement::On(NodeId(0))).unwrap();
+        let seg_b = p.alloc(FRAME_BYTES, Placement::On(NodeId(1))).unwrap();
+        p.write_bytes(LogicalAddr::new(seg_a, 0), &pack(&[1, 2])).unwrap();
+        p.write_bytes(LogicalAddr::new(seg_b, 0), &pack(&[7, 42])).unwrap();
+        let v = DistVector {
+            stripes: vec![(NodeId(0), seg_a, 20), (NodeId(1), seg_b, 16)],
+        };
+        let mut f = Fabric::new(LinkProfile::link1(), 4);
+        for strategy in [Strategy::Pull, Strategy::Ship] {
+            let (found, _) = run_task(
+                &mut p, &mut f, SimTime::ZERO, NodeId(0), &v, Task::FindFirst(42),
+                strategy, ScanParams::with_cores(2),
+            )
+            .unwrap();
+            // Stripe A spans element indices 0..3 (2 data + 1 tail slot);
+            // 42 is stripe B's second element → global index 4.
+            assert_eq!(found, Partial::Found(Some(4)), "{strategy:?}");
+        }
     }
 
     fn pack(vals: &[u64]) -> Vec<u8> {

@@ -1,0 +1,218 @@
+// Test/driver code: unwrap/expect on known-good setup is acceptable here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+//! Property tests for the pushdown planner: whatever per-segment mix of
+//! ship and fetch the cost model picks — under random placements,
+//! selectivities, background link load, and mid-flight migrations — the
+//! merged result must be byte-identical to the all-fetch reference, and
+//! the whole pipeline must be run-to-run deterministic.
+
+use lmp_compute::{
+    fetch_reference, Choice, DistVector, OpOutput, Operator, Planner, Predicate, ReduceOp,
+    ScanParams,
+};
+use lmp_core::prelude::*;
+use lmp_fabric::{Fabric, LinkProfile, NodeId};
+use lmp_mem::{DramProfile, FRAME_BYTES};
+use lmp_sim::prelude::*;
+use proptest::prelude::*;
+
+fn setup(shared_frames: u64) -> (LogicalPool, Fabric) {
+    let cfg = PoolConfig {
+        servers: 4,
+        capacity_per_server: (shared_frames + 2) * FRAME_BYTES,
+        shared_per_server: shared_frames * FRAME_BYTES,
+        dram: DramProfile::xeon_gold_5120(),
+        tlb_capacity: 64,
+    };
+    (LogicalPool::new(cfg), Fabric::new(LinkProfile::link1(), 4))
+}
+
+/// Deterministically fill every stripe from a seeded LCG, elements in
+/// `[0, modulus)`.
+fn fill_lcg(pool: &mut LogicalPool, v: &DistVector, seed: u64, modulus: u64) {
+    let mut x = seed | 1;
+    for (_, seg, len) in &v.stripes {
+        let mut bytes = Vec::with_capacity(*len as usize);
+        for _ in 0..(len / 8) {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            bytes.extend(((x >> 33) % modulus).to_le_bytes());
+        }
+        bytes.resize(*len as usize, 0);
+        pool.write_bytes(LogicalAddr::new(*seg, 0), &bytes).unwrap();
+    }
+}
+
+/// FNV-1a over a rendered form of the output plus outcome fields.
+fn digest(out: &OpOutput, complete: SimTime, fabric_bytes: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut fold = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    match out {
+        OpOutput::Scalar(v) => fold(*v),
+        OpOutput::Rows(v) | OpOutput::Top(v) => {
+            fold(v.len() as u64);
+            for x in v {
+                fold(*x);
+            }
+        }
+    }
+    fold(complete.as_nanos());
+    fold(fabric_bytes);
+    h
+}
+
+/// One full planner run in a fresh world; returns (output, digest, plan
+/// ship-count).
+#[allow(clippy::too_many_arguments)]
+fn run_world(
+    stripe_frames: &[u64],
+    placements: &[u32],
+    seed: u64,
+    modulus: u64,
+    selectivity: f64,
+    bg_load_mib: u64,
+    migrate_to: Option<u32>,
+    op: Operator,
+    forced: Option<Choice>,
+) -> (OpOutput, u64, usize) {
+    let (mut p, mut f) = setup(64);
+    let mut stripes = Vec::new();
+    for (frames, node) in stripe_frames.iter().zip(placements) {
+        let len = frames * FRAME_BYTES;
+        let seg = p.alloc(len, Placement::On(NodeId(*node))).unwrap();
+        stripes.push((NodeId(*node), seg, len));
+    }
+    let v = DistVector { stripes };
+    fill_lcg(&mut p, &v, seed, modulus);
+    // Background load: bulk transfers on a ring over the non-requester
+    // nodes, backlogging their up wires.
+    if bg_load_mib > 0 {
+        for h in 1..4u32 {
+            f.write(SimTime::ZERO, NodeId(h), NodeId(h % 3 + 1), bg_load_mib * MIB);
+        }
+    }
+    let planner = Planner::new(ScanParams::default(), selectivity);
+    let plan = planner
+        .plan(&mut p, &f, SimTime::ZERO, NodeId(0), &v, op)
+        .unwrap();
+    let plan = match forced {
+        Some(c) => plan.forced(c),
+        None => plan,
+    };
+    // Race the plan with a migration of the first stripe.
+    if let Some(dst) = migrate_to {
+        let (_, seg, _) = v.stripes[0];
+        if p.holder_of(seg) != Some(NodeId(dst)) {
+            lmp_core::migrate::migrate_segment(&mut p, &mut f, SimTime::ZERO, seg, NodeId(dst))
+                .unwrap();
+        }
+    }
+    let start = SimTime::from_nanos(100_000_000);
+    let (out, outcome) = planner
+        .execute(&mut p, &mut f, start, NodeId(0), op, &plan)
+        .unwrap();
+    let d = digest(&out, outcome.complete, outcome.fabric_bytes);
+    (out, d, plan.count(Choice::Ship))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Planner-chosen plans produce byte-identical results to the
+    /// all-fetch reference under random placements, selectivities, and
+    /// background link load — and the whole run is deterministic.
+    #[test]
+    fn planned_results_match_fetch_reference(
+        stripe_frames in proptest::collection::vec(1u64..6, 1..5),
+        placement_seed in any::<u64>(),
+        data_seed in any::<u64>(),
+        threshold in 0u64..64,
+        bg_load_mib in prop_oneof![Just(0u64), 1u64..256],
+        op_pick in 0u8..4,
+    ) {
+        let placements: Vec<u32> = stripe_frames
+            .iter()
+            .enumerate()
+            .map(|(i, _)| ((placement_seed >> (i * 8)) % 4) as u32)
+            .collect();
+        let modulus = 64;
+        let op = match op_pick {
+            0 => Operator::Filter(Predicate::Greater(threshold)),
+            1 => Operator::Count(Predicate::Less(threshold)),
+            2 => Operator::Aggregate(ReduceOp::Sum),
+            _ => Operator::TopK(1 + (threshold as u32 % 16)),
+        };
+        let selectivity = 1.0 - threshold as f64 / modulus as f64;
+
+        let (planned, d1, _) = run_world(
+            &stripe_frames, &placements, data_seed, modulus, selectivity,
+            bg_load_mib, None, op, None,
+        );
+        // Identical world, forced all-fetch: the reference result.
+        let (fetched, _, _) = run_world(
+            &stripe_frames, &placements, data_seed, modulus, selectivity,
+            bg_load_mib, None, op, Some(Choice::Fetch),
+        );
+        prop_assert_eq!(&planned, &fetched, "plan must not change the answer");
+        // Twice-run determinism: same world, same digest.
+        let (_, d2, _) = run_world(
+            &stripe_frames, &placements, data_seed, modulus, selectivity,
+            bg_load_mib, None, op, None,
+        );
+        prop_assert_eq!(d1, d2, "planner run must be deterministic");
+    }
+
+    /// A migration racing the plan never changes the answer, and the
+    /// relocation is visible in the stale-holder accounting.
+    #[test]
+    fn migration_between_plan_and_execute_preserves_results(
+        stripe_frames in proptest::collection::vec(1u64..4, 2..5),
+        data_seed in any::<u64>(),
+        dst in 0u32..4,
+        threshold in 0u64..64,
+    ) {
+        // All stripes start away from the requester and the migration
+        // target so capacity for the moved copy always exists.
+        let placements: Vec<u32> = stripe_frames.iter().enumerate()
+            .map(|(i, _)| 1 + (i as u32 % 2))
+            .collect();
+        let op = Operator::Filter(Predicate::Greater(threshold));
+        let (moved, _, _) = run_world(
+            &stripe_frames, &placements, data_seed, 64, 0.5, 0, Some(dst), op, None,
+        );
+        let (still, _, _) = run_world(
+            &stripe_frames, &placements, data_seed, 64, 0.5, 0, None, op, None,
+        );
+        prop_assert_eq!(&moved, &still, "migration must not change the answer");
+    }
+}
+
+/// Non-proptest spot check: the reference helper agrees with a hand fold.
+#[test]
+fn fetch_reference_matches_hand_fold() {
+    let (mut p, mut f) = setup(16);
+    let servers: Vec<NodeId> = (0..4).map(NodeId).collect();
+    let v = DistVector::stripe_even(&mut p, 4 * FRAME_BYTES, &servers).unwrap();
+    fill_lcg(&mut p, &v, 99, 1000);
+    let mut want = 0u64;
+    for (_, seg, len) in &v.stripes {
+        let bytes = p.read_bytes(LogicalAddr::new(*seg, 0), *len).unwrap();
+        for w in bytes.chunks_exact(8) {
+            want = want.wrapping_add(u64::from_le_bytes(w.try_into().unwrap()));
+        }
+    }
+    let planner = Planner::new(ScanParams::default(), 1.0);
+    let (out, _) = fetch_reference(
+        &planner, &mut p, &mut f, SimTime::ZERO, NodeId(0), &v,
+        Operator::Aggregate(ReduceOp::Sum),
+    )
+    .unwrap();
+    assert_eq!(out, OpOutput::Scalar(want));
+}

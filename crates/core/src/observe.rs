@@ -55,6 +55,11 @@ pub struct PoolTelemetry {
     hedge_issued: Option<CounterId>,
     hedge_won: Option<CounterId>,
     hedge_wasted: Option<CounterId>,
+    /// `compute.stale_holder` — a shipped scan found its stripe living on a
+    /// different node than the plan recorded (migration or post-crash
+    /// promotion in between). Registered lazily so compute-free runs keep
+    /// their historical digests.
+    stale_holder: Option<CounterId>,
 }
 
 impl PoolTelemetry {
@@ -108,6 +113,7 @@ impl PoolTelemetry {
             hedge_issued: None,
             hedge_won: None,
             hedge_wasted: None,
+            stale_holder: None,
         }
     }
 
@@ -236,6 +242,22 @@ impl PoolTelemetry {
             .hedge_wasted
             .get_or_insert_with(|| self.registry.counter("qos.hedge.wasted", &[]));
         self.registry.inc(id);
+    }
+
+    /// Note a compute-shipping holder relocation: the live pool mapping
+    /// disagreed with the holder a plan (or a `DistVector`) recorded.
+    pub fn note_stale_holder(&mut self) {
+        let id = *self
+            .stale_holder
+            .get_or_insert_with(|| self.registry.counter("compute.stale_holder", &[]));
+        self.registry.inc(id);
+    }
+
+    /// Total holder relocations observed by compute shipping so far.
+    pub fn stale_holders(&self) -> u64 {
+        self.stale_holder
+            .map(|id| self.registry.counter_value(id))
+            .unwrap_or(0)
     }
 
     /// The underlying registry.

@@ -85,6 +85,12 @@ pub const R2_DIGEST_PATH_FILES: &[&str] = &[
     "crates/qos/src/admit.rs",
     "crates/qos/src/band.rs",
     "crates/core/src/hedge.rs",
+    // Pushdown planning: per-segment ship-vs-fetch choices and holder
+    // grouping feed the bench digests; iteration order must be stable.
+    "crates/compute/src/ship.rs",
+    "crates/compute/src/scan.rs",
+    "crates/compute/src/planner.rs",
+    "crates/compute/src/operator.rs",
 ];
 
 /// Recoverable modules (rule R3): crash, fault-injection, and migration
@@ -111,6 +117,12 @@ pub const R3_RECOVERABLE_FILES: &[&str] = &[
     // and `schedule_at` now surfaces past-scheduling as a typed error.
     "crates/sim/src/calendar.rs",
     "crates/sim/src/engine.rs",
+    // Compute shipping runs against live holders mid-migration: a panic
+    // would turn a survivable relocation into a failed query.
+    "crates/compute/src/ship.rs",
+    "crates/compute/src/scan.rs",
+    "crates/compute/src/planner.rs",
+    "crates/compute/src/operator.rs",
 ];
 
 /// Bounds/translation arithmetic files (rule R4): every `+`/`-`/`*` on an
