@@ -38,6 +38,8 @@ impl SnoopFilter {
     /// # Panics
     /// Panics on zero capacity.
     pub fn new(capacity: usize) -> Self {
+        // lmp-lint: allow(no-panic) — documented `# Panics` ctor precondition;
+        // a zero capacity is a configuration bug, not a runtime fault.
         assert!(capacity > 0, "snoop filter needs capacity");
         SnoopFilter {
             capacity,
@@ -89,6 +91,8 @@ impl SnoopFilter {
             .iter()
             .min_by_key(|(b, stamp)| (**stamp, b.0))
             .map(|(b, _)| b)
+            // lmp-lint: allow(no-panic) — the eviction path only runs at
+            // capacity, so the entry map is structurally non-empty.
             .expect("filter non-empty at capacity");
         self.entries.remove(&victim);
         self.entries.insert(block, self.clock);

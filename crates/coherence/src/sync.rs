@@ -45,6 +45,9 @@ impl SpinLock {
         node: NodeId,
     ) -> Result<CoherenceCost, OutOfRegion> {
         let (holder, mut cost) = region.load(node, self.addr)?;
+        // lmp-lint: allow(no-panic) — release by a non-holder is a lock-
+        // protocol violation in the workload itself; masking it as Err would
+        // let a corrupt schedule keep running.
         assert_eq!(holder, node as u64 + 1, "release by non-holder {node}");
         cost.absorb(region.store(node, self.addr, 0)?);
         Ok(cost)
@@ -175,6 +178,9 @@ impl CohortLock {
         node: NodeId,
         thread: u32,
     ) -> Result<(Option<(NodeId, u32)>, CoherenceCost), OutOfRegion> {
+        // lmp-lint: allow(no-panic) — release by a non-holder is a lock-
+        // protocol violation in the workload itself; it must fail loudly
+        // rather than propagate.
         assert_eq!(self.holder, Some((node, thread)), "release by non-holder");
         let mut cost = CoherenceCost::default();
         // Prefer a same-node waiter while under the cohort cap.
@@ -240,6 +246,8 @@ impl Barrier {
     /// # Panics
     /// Panics for zero parties.
     pub fn new(base: u64, stride: u64, parties: u64) -> Self {
+        // lmp-lint: allow(no-panic) — documented `# Panics` ctor precondition;
+        // zero parties is an experiment-setup bug.
         assert!(parties > 0, "barrier needs at least one party");
         Barrier {
             count_addr: base,
@@ -303,6 +311,9 @@ impl SeqLock {
         node: NodeId,
     ) -> Result<CoherenceCost, OutOfRegion> {
         let (seq, mut cost) = region.load(node, self.seq_addr)?;
+        // lmp-lint: allow(no-panic) — a nested seqlock write is a protocol
+        // violation in the calling workload; continuing would corrupt the
+        // sequence word.
         assert_eq!(seq % 2, 0, "nested seqlock write");
         cost.absorb(region.store(node, self.seq_addr, seq + 1)?);
         Ok(cost)
@@ -315,6 +326,8 @@ impl SeqLock {
         node: NodeId,
     ) -> Result<CoherenceCost, OutOfRegion> {
         let (seq, mut cost) = region.load(node, self.seq_addr)?;
+        // lmp-lint: allow(no-panic) — write_end without a matching write_begin
+        // is a protocol violation; the sequence word is already inconsistent.
         assert_eq!(seq % 2, 1, "write_end without write_begin");
         cost.absorb(region.store(node, self.seq_addr, seq + 1)?);
         Ok(cost)

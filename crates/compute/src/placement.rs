@@ -47,8 +47,12 @@ impl DistVector {
         len: u64,
         servers: &[NodeId],
     ) -> Result<DistVector, PoolError> {
-        assert!(!servers.is_empty(), "need at least one server");
-        assert!(len > 0, "empty vector");
+        if servers.is_empty() {
+            return Err(PoolError::InvalidRequest("need at least one server"));
+        }
+        if len == 0 {
+            return Err(PoolError::InvalidRequest("empty vector"));
+        }
         let base = len / servers.len() as u64;
         let mut stripes = Vec::with_capacity(servers.len());
         let mut allocated = 0;
@@ -67,9 +71,11 @@ impl DistVector {
                     allocated += this;
                 }
                 Err(e) => {
-                    // Roll back previous stripes.
+                    // Roll back previous stripes. `?` on the free: these
+                    // segments were just allocated, so a failure here is
+                    // pool corruption and worth surfacing over `e`.
                     for (_, seg, _) in stripes {
-                        pool.free(seg).expect("fresh segment");
+                        pool.free(seg)?;
                     }
                     return Err(e);
                 }
@@ -89,7 +95,9 @@ impl DistVector {
         len: u64,
         preferred: NodeId,
     ) -> Result<DistVector, PoolError> {
-        assert!(len > 0, "empty vector");
+        if len == 0 {
+            return Err(PoolError::InvalidRequest("empty vector"));
+        }
         use lmp_mem::FRAME_BYTES;
         let mut remaining = len;
         let mut stripes = Vec::new();
@@ -114,7 +122,7 @@ impl DistVector {
         }
         if remaining > 0 {
             for (_, seg, _) in stripes {
-                pool.free(seg).expect("fresh segment");
+                pool.free(seg)?;
             }
             return Err(PoolError::Capacity {
                 requested_frames: remaining.div_ceil(FRAME_BYTES),

@@ -68,6 +68,9 @@ impl Task {
                     .map(|i| element_base + i as u64),
             ),
             Task::HistogramTopBits(bits) => {
+                // lmp-lint: allow(no-panic) — the planner clamps histogram
+                // width when building tasks; a wider request is a planner bug,
+                // not an input error.
                 assert!(bits <= 8, "histogram too wide to ship");
                 let mut buckets = vec![0u64; 1 << bits];
                 for v in elements(bytes) {
@@ -99,12 +102,18 @@ impl Task {
                 })
             }
             (Task::HistogramTopBits(_), Partial::Histogram(mut x), Partial::Histogram(y)) => {
+                // lmp-lint: allow(no-panic) — the planner pairs partials from
+                // the same task, so widths match; a mismatch is a merge-
+                // ordering bug.
                 assert_eq!(x.len(), y.len(), "histogram width mismatch");
                 for (a, b) in x.iter_mut().zip(y) {
                     *a += b;
                 }
                 Partial::Histogram(x)
             }
+            // lmp-lint: allow(no-panic) — the planner only merges partials of
+            // the task that produced them; a cross-kind merge is a planner
+            // bug.
             (task, a, b) => panic!("partial mismatch for {task:?}: {a:?} / {b:?}"),
         }
     }
@@ -125,6 +134,8 @@ impl Task {
 fn elements(bytes: &[u8]) -> impl Iterator<Item = u64> + '_ {
     bytes
         .chunks_exact(8)
+        // lmp-lint: allow(no-panic) — chunks_exact(8) yields exactly 8-byte
+        // slices, so the conversion is structurally infallible.
         .map(|w| u64::from_le_bytes(w.try_into().expect("chunks_exact(8)")))
 }
 

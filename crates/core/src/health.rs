@@ -220,7 +220,11 @@ impl FailureDetector {
     /// A detector over `nodes` servers, all Healthy, leases starting at
     /// `start`.
     pub fn new(cfg: HealthConfig, nodes: u32, start: SimTime) -> Self {
+        // lmp-lint: allow(no-panic) — documented ctor precondition on
+        // HealthConfig; an inverted config is a setup bug.
         assert!(cfg.suspect_after >= 1, "suspicion needs at least one miss");
+        // lmp-lint: allow(no-panic) — documented ctor precondition: a lease
+        // shorter than the probe interval can never be renewed.
         assert!(
             cfg.lease > cfg.probe_interval,
             "lease shorter than one probe interval confirms on any hiccup"

@@ -285,6 +285,9 @@ impl RackRuntime {
                 (0..pool.servers()).map(|s| pool.node(NodeId(s)).split().total()).collect();
             let floors: Vec<u64> = match &self.config.private_floors {
                 Some(f) => {
+                    // lmp-lint: allow(no-panic) — startup config validation; a
+                    // floors vector of the wrong arity is a harness-
+                    // configuration bug.
                     assert_eq!(f.len(), capacities.len(), "one floor per server");
                     f.clone()
                 }

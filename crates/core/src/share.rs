@@ -92,6 +92,9 @@ impl SharingRegistry {
                 // A crash may already have torn the segment down; the
                 // reference bookkeeping still completes.
                 Err(PoolError::UnknownSegment(_)) => {}
+                // lmp-lint: allow(no-panic) — freeing a fully-released shared
+                // segment can only fail if the registry and pool disagree —
+                // bookkeeping corruption that must not be masked.
                 Err(e) => panic!("free of fully-released {seg} failed: {e}"),
             }
             return Ok(true);

@@ -65,8 +65,12 @@ pub fn solve(
     private_floor_frames: &[u64],
     demands: &[AppDemand],
 ) -> SizingPlan {
+    // lmp-lint: allow(no-panic) — solver input contract: one floor per server;
+    // an arity mismatch is a caller bug.
     assert_eq!(capacity_frames.len(), private_floor_frames.len());
     for (c, f) in capacity_frames.iter().zip(private_floor_frames) {
+        // lmp-lint: allow(no-panic) — solver input contract: a floor above
+        // capacity makes the sizing LP infeasible by construction.
         assert!(f <= c, "private floor {f} exceeds capacity {c}");
     }
     let servers = capacity_frames.len();
@@ -94,6 +98,8 @@ pub fn solve(
     for &i in &order {
         let d = demands[i];
         let home = d.server.0 as usize;
+        // lmp-lint: allow(no-panic) — solver input contract: demands reference
+        // servers in the capacity vector; an unknown home is a caller bug.
         assert!(home < servers, "demand on unknown server {}", d.server);
         let mut need = d.bytes.div_ceil(FRAME_BYTES);
         // Local first.

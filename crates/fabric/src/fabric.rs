@@ -186,8 +186,6 @@ impl Fabric {
     /// # Panics
     /// Panics on an unknown node or non-positive multiplier.
     pub fn provision_uplink(&mut self, node: NodeId, multiplier: f64) {
-        // lmp-lint: allow(no-panic) — topology-setup precondition, documented
-        // under `# Panics`; runs before any simulation traffic exists.
         assert!(multiplier > 0.0, "link multiplier must be positive");
         let p = LinkProfile::new(
             format!("{}@{}x{multiplier:.0}", self.profile.name, node),
@@ -253,8 +251,6 @@ impl Fabric {
     /// [`Fabric::try_read`]/[`Fabric::try_write`] through it fail.
     pub fn set_port_down(&mut self, node: NodeId, down: bool) {
         let i = node.0 as usize;
-        // lmp-lint: allow(no-panic) — fault-injection setup precondition:
-        // an unknown NodeId is a harness-plan bug, caught before traffic.
         assert!(node.0 < self.node_count, "unknown node {node}");
         self.port_down[i] = down;
     }
@@ -271,11 +267,7 @@ impl Fabric {
     /// # Panics
     /// Panics on an unknown node or a factor below 1.0.
     pub fn degrade_node(&mut self, node: NodeId, factor: f64) {
-        // lmp-lint: allow(no-panic) — fault-injection setup preconditions,
-        // documented under `# Panics`; a factor < 1.0 would silently turn
-        // degradation into speed-up, corrupting every scenario digest.
         assert!(node.0 < self.node_count, "unknown node {node}");
-        // lmp-lint: allow(no-panic) — see above: plan-validation assert.
         assert!(factor >= 1.0, "degradation factor must be >= 1.0");
         self.latency_factor[node.0 as usize] = factor;
     }

@@ -71,7 +71,11 @@ impl LeafSpineFabric {
         uplink_multiplier: f64,
         extra_hop: SimDuration,
     ) -> Self {
+        // lmp-lint: allow(no-panic) — ctor precondition: an empty rack has no
+        // nodes to place on; a topology bug, not a runtime fault.
         assert!(leaves > 0 && per_leaf > 0, "empty rack");
+        // lmp-lint: allow(no-panic) — ctor precondition: a non-positive uplink
+        // multiplier breaks the latency model.
         assert!(uplink_multiplier > 0.0, "uplink multiplier must be positive");
         let node_links = (0..leaves * per_leaf * 2)
             .map(|_| Link::new(profile.clone()))
@@ -101,6 +105,8 @@ impl LeafSpineFabric {
 
     /// The leaf a node attaches to.
     pub fn leaf_of(&self, node: NodeId) -> u32 {
+        // lmp-lint: allow(no-panic) — node ids come from this topology's own
+        // enumeration; an unknown id is wiring corruption.
         assert!(node.0 < self.node_count(), "unknown node {node}");
         node.0 / self.per_leaf
     }
@@ -140,6 +146,9 @@ impl LeafSpineFabric {
         holder: NodeId,
         bytes: u64,
     ) -> RackCompletion {
+        // lmp-lint: allow(no-panic) — the pool routes local accesses off-
+        // fabric before this point; a same-node fabric access is a routing
+        // bug.
         assert!(requester != holder, "local access on the fabric");
         self.reads.inc();
         let same_leaf = self.leaf_of(requester) == self.leaf_of(holder);

@@ -450,11 +450,17 @@ pub fn check_coherence_mutex(seed: u64, nodes: u32, rounds: u32) -> CheckResult 
             }
         }
     }
-    // Drain a still-held critical section so the count is exact.
+    // Drain a still-held critical section so the count is exact. A failure
+    // here is a breach in its own right: the holder was inside the region
+    // moments ago, so the store and release must both succeed.
     if let Some((holder, entry_val)) = shadow.take() {
-        let _ = region.store(holder, CTR_ADDR, entry_val + 1);
+        if region.store(holder, CTR_ADDR, entry_val + 1).is_err() {
+            return CheckResult::fail(NAME, "drain store left the region");
+        }
         critical_sections += 1;
-        let _ = lock.release(&mut region, holder);
+        if lock.release(&mut region, holder).is_err() {
+            return CheckResult::fail(NAME, "drain release failed for the holder");
+        }
     }
     match region.load(0, CTR_ADDR) {
         Ok((v, _)) if v == critical_sections => {}

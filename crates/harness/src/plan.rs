@@ -143,7 +143,11 @@ impl FaultPlan {
     /// k-independent protection); spikes may hit any node. All times land
     /// in `[horizon/10, horizon)`.
     pub fn generate(seed: u64, cfg: &PlanConfig) -> Self {
+        // lmp-lint: allow(no-panic) — plan-generation precondition; a server-
+        // free plan is a harness-configuration bug.
         assert!(cfg.servers > 0, "plan needs servers");
+        // lmp-lint: allow(no-panic) — plan-generation precondition: crashing
+        // more servers than exist is a harness-configuration bug.
         assert!(
             cfg.crashes <= cfg.servers,
             "more crashes than distinct servers"

@@ -109,6 +109,8 @@ pub fn retry<T, F>(
 where
     F: FnMut(SimTime, u32) -> Result<T, PoolError>,
 {
+    // lmp-lint: allow(no-panic) — policy precondition: zero attempts means the
+    // operation can never run; a configuration bug.
     assert!(policy.max_attempts >= 1, "policy allows no attempts");
     let mut now = issued;
     let mut n = 0;

@@ -14,13 +14,16 @@
 //!   unreproducible.
 //! * **R2 `unordered-iter`** — no iteration (`.iter()`, `.values()`,
 //!   `.keys()`, `.drain()`, `.retain()`, `for … in`) over `HashMap` /
-//!   `HashSet` in files that construct snapshots, digests, fault plans, or
-//!   migration/balancing decisions. Those structures must be `BTreeMap` /
-//!   `BTreeSet`, or sorted before use.
+//!   `HashSet` in functions on the *digest-tainted* set: anything that
+//!   transitively constructs or feeds snapshots, digests, fault plans, or
+//!   migration/balancing decisions. The set is **inferred from the call
+//!   graph** (see [`reach`]), not hand-listed.
 //! * **R3 `no-panic`** — no `unwrap()` / `expect()` / `panic!` /
-//!   `assert!` family in the designated *recoverable* modules outside
-//!   `#[cfg(test)]`: recoverable pool/fabric paths must return
-//!   `PoolError` / `FabricError`.
+//!   `assert!` family in any function *reachable from a recoverable
+//!   seed*: public fns returning `Result<_, E>` for a workspace error
+//!   type, the sim `Engine` dispatch surface, and recovery orchestration
+//!   entry points. Reachability is inferred; findings carry the full
+//!   seed-to-site call chain (`--explain`).
 //! * **R4 `unchecked-arith`** — no bare `+` / `-` / `*` on designated
 //!   bounds/translation files; offsets and lengths must use `checked_*` /
 //!   `saturating_*` arithmetic.
@@ -28,127 +31,159 @@
 //!   silences one rule on one line. A suppression without a justification
 //!   (`bare-allow`) or that suppresses nothing (`unused-allow`) is itself
 //!   an error, so allows cannot rot.
+//! * **R6 `swallowed-error`** — `let _ = <fallible call>` or a bare
+//!   statement ending in `.ok()` that discards a `Result` produced by a
+//!   workspace function. Recoverable paths only work if errors *surface*.
+//! * **R7 `eager-metric`** — metric registration (`counter` / `gauge` /
+//!   `histogram` on the `MetricRegistry`) on a path reachable from a
+//!   constructor must use the lazy `Option<…Id>` + `get_or_insert_with`
+//!   idiom; eager registration widens every pre-existing snapshot and
+//!   breaks the committed digest baselines.
 //!
-//! The implementation is a line-oriented token scanner, not a parser: it
-//! blanks comments and string/char literals, tracks `#[cfg(test)]` brace
-//! regions, and matches word-boundary tokens. No `syn`, no proc-macro
-//! stack — the tool stays buildable offline against the vendored `shims/`.
+//! The implementation is a token scanner plus a name-resolved call graph,
+//! not a parser: it blanks comments and string/char literals, tracks
+//! `#[cfg(test)]` brace regions, extracts `fn` items and call edges, and
+//! runs BFS reachability. No `syn`, no proc-macro stack — the tool stays
+//! buildable offline against the vendored `shims/`.
+//!
+//! R2/R3 used to be driven by hand-maintained file lists that every PR
+//! had to extend — a forgotten enrollment was a *silent* coverage gap.
+//! The lists survive only as [`transition`] baselines: CI asserts the
+//! inferred sets are supersets of them, so inference can never regress
+//! below the coverage the lists had.
 //!
 //! [`TelemetrySnapshot`]: ../lmp_telemetry/struct.TelemetrySnapshot.html
 
+mod graph;
+mod items;
+mod reach;
 mod scan;
 
+pub use reach::{analyze, analyze_files, Analysis};
 pub use scan::{scan_source, FileClass, Finding, Rule};
 
+use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
-/// Files whose map/set iteration feeds snapshots, digests, fault plans, or
-/// migration/balancing decisions (rule R2). Matched as path suffixes with
-/// `/` separators.
-pub const R2_DIGEST_PATH_FILES: &[&str] = &[
-    // Snapshot & digest construction.
-    "crates/telemetry/src/registry.rs",
-    "crates/telemetry/src/snapshot.rs",
-    "crates/telemetry/src/span.rs",
-    "crates/harness/src/trace.rs",
-    "crates/harness/src/invariants.rs",
-    "crates/harness/src/scenario.rs",
-    // Fault plans.
-    "crates/harness/src/plan.rs",
-    // Migration / balancing / sizing decisions and their inputs.
-    "crates/core/src/balance.rs",
-    "crates/core/src/migrate.rs",
-    "crates/core/src/controller.rs",
-    "crates/core/src/sizing.rs",
-    "crates/core/src/observe.rs",
-    "crates/core/src/translate.rs",
-    "crates/core/src/pool.rs",
-    "crates/core/src/failure.rs",
-    "crates/core/src/heal.rs",
-    "crates/core/src/health.rs",
-    "crates/core/src/share.rs",
-    "crates/core/src/placement.rs",
-    "crates/mem/src/hotness.rs",
-    "crates/mem/src/node.rs",
-    // Exporters that feed the rack snapshot.
-    "crates/fabric/src/fabric.rs",
-    "crates/fabric/src/link.rs",
-    "crates/fabric/src/datacenter.rs",
-    "crates/coherence/src/region.rs",
-    "crates/coherence/src/directory.rs",
-    "crates/coherence/src/filter.rs",
-    // Deterministic event ordering.
-    "crates/sim/src/queue.rs",
-    "crates/sim/src/calendar.rs",
-    // QoS decisions: admission verdicts, band service order, and hedge
-    // deadlines all feed digest-bearing traces.
-    "crates/qos/src/admit.rs",
-    "crates/qos/src/band.rs",
-    "crates/core/src/hedge.rs",
-    // Pushdown planning: per-segment ship-vs-fetch choices and holder
-    // grouping feed the bench digests; iteration order must be stable.
-    "crates/compute/src/ship.rs",
-    "crates/compute/src/scan.rs",
-    "crates/compute/src/planner.rs",
-    "crates/compute/src/operator.rs",
-];
+/// The frozen hand-maintained R2/R3 file lists the call-graph analysis
+/// replaced. They are **not** consulted for classification any more; they
+/// exist only as the transition baseline: [`check_superset`] (run in CI)
+/// fails if the inferred sets ever stop covering them.
+pub mod transition {
+    /// Last hand-maintained R2 (digest-path) list, frozen at PR 9.
+    pub const LEGACY_R2_FILES: &[&str] = &[
+        // Snapshot & digest construction.
+        "crates/telemetry/src/registry.rs",
+        "crates/telemetry/src/snapshot.rs",
+        "crates/telemetry/src/span.rs",
+        "crates/harness/src/trace.rs",
+        "crates/harness/src/invariants.rs",
+        "crates/harness/src/scenario.rs",
+        // Fault plans.
+        "crates/harness/src/plan.rs",
+        // Migration / balancing / sizing decisions and their inputs.
+        "crates/core/src/balance.rs",
+        "crates/core/src/migrate.rs",
+        "crates/core/src/controller.rs",
+        "crates/core/src/sizing.rs",
+        "crates/core/src/observe.rs",
+        "crates/core/src/translate.rs",
+        "crates/core/src/pool.rs",
+        "crates/core/src/failure.rs",
+        "crates/core/src/heal.rs",
+        "crates/core/src/health.rs",
+        "crates/core/src/share.rs",
+        "crates/core/src/placement.rs",
+        "crates/mem/src/hotness.rs",
+        "crates/mem/src/node.rs",
+        // Exporters that feed the rack snapshot.
+        "crates/fabric/src/fabric.rs",
+        "crates/fabric/src/link.rs",
+        "crates/fabric/src/datacenter.rs",
+        "crates/coherence/src/region.rs",
+        "crates/coherence/src/directory.rs",
+        "crates/coherence/src/filter.rs",
+        // Deterministic event ordering.
+        "crates/sim/src/queue.rs",
+        "crates/sim/src/calendar.rs",
+        // QoS decisions: admission verdicts, band service order, and hedge
+        // deadlines all feed digest-bearing traces.
+        "crates/qos/src/admit.rs",
+        "crates/qos/src/band.rs",
+        "crates/core/src/hedge.rs",
+        // Pushdown planning: per-segment ship-vs-fetch choices and holder
+        // grouping feed the bench digests; iteration order must be stable.
+        "crates/compute/src/ship.rs",
+        "crates/compute/src/scan.rs",
+        "crates/compute/src/planner.rs",
+        "crates/compute/src/operator.rs",
+    ];
 
-/// Recoverable modules (rule R3): crash, fault-injection, and migration
-/// paths where a panic would turn an injected fault into a process abort.
-/// Errors must surface as `PoolError` / `FabricError` instead.
-pub const R3_RECOVERABLE_FILES: &[&str] = &[
-    "crates/core/src/pool.rs",
-    "crates/core/src/failure.rs",
-    "crates/core/src/heal.rs",
-    "crates/core/src/migrate.rs",
-    // Placement decisions run inside recovery: a panic here turns a
-    // survivable rack loss into a process abort.
-    "crates/core/src/placement.rs",
-    "crates/fabric/src/fabric.rs",
-    "crates/fabric/src/link.rs",
-    "crates/fabric/src/datacenter.rs",
-    "crates/mem/src/node.rs",
-    // QoS runs on the access path: a panic in admission, band service,
-    // or hedging turns one tenant's flood into a rack-wide abort.
-    "crates/qos/src/admit.rs",
-    "crates/qos/src/band.rs",
-    "crates/core/src/hedge.rs",
-    // The event kernel: a panic mid-scan would take down every scenario,
-    // and `schedule_at` now surfaces past-scheduling as a typed error.
-    "crates/sim/src/calendar.rs",
-    "crates/sim/src/engine.rs",
-    // Compute shipping runs against live holders mid-migration: a panic
-    // would turn a survivable relocation into a failed query.
-    "crates/compute/src/ship.rs",
-    "crates/compute/src/scan.rs",
-    "crates/compute/src/planner.rs",
-    "crates/compute/src/operator.rs",
-];
+    /// Last hand-maintained R3 (recoverable-module) list, frozen at PR 9.
+    pub const LEGACY_R3_FILES: &[&str] = &[
+        "crates/core/src/pool.rs",
+        "crates/core/src/failure.rs",
+        "crates/core/src/heal.rs",
+        "crates/core/src/migrate.rs",
+        "crates/core/src/placement.rs",
+        "crates/fabric/src/fabric.rs",
+        "crates/fabric/src/link.rs",
+        "crates/fabric/src/datacenter.rs",
+        "crates/mem/src/node.rs",
+        "crates/qos/src/admit.rs",
+        "crates/qos/src/band.rs",
+        "crates/core/src/hedge.rs",
+        "crates/sim/src/calendar.rs",
+        "crates/sim/src/engine.rs",
+        "crates/compute/src/ship.rs",
+        "crates/compute/src/scan.rs",
+        "crates/compute/src/planner.rs",
+        "crates/compute/src/operator.rs",
+    ];
+}
 
 /// Bounds/translation arithmetic files (rule R4): every `+`/`-`/`*` on an
 /// offset or length here must be `checked_*`/`saturating_*` — a wrap in
-/// these files is exactly the PR-4 `check_bounds` overflow class.
+/// these files is exactly the PR-4 `check_bounds` overflow class. R4 stays
+/// a designated-file rule: "is this arithmetic an address computation?" is
+/// a semantic property no call graph can infer.
 pub const R4_ARITH_FILES: &[&str] = &[
     "crates/core/src/addr.rs",
     "crates/mem/src/frame.rs",
 ];
 
-/// Classify `path` (any separator style) against the designated-file lists.
+/// Classify `path` (any separator style) for the file-local rules. Since
+/// the call-graph analysis took over R2/R3 scoping, only the R4 arith
+/// designation remains path-driven.
 pub fn classify(path: &Path) -> FileClass {
     let p = path.to_string_lossy().replace('\\', "/");
-    let suffix_match = |list: &[&str]| {
-        list.iter().any(|f| {
-            p.ends_with(f)
-                // Also accept scanning from inside the workspace root
-                // ("crates/core/src/pool.rs" given as the whole path).
-                || p == *f
-        })
-    };
+    let suffix_match = |list: &[&str]| list.iter().any(|f| p.ends_with(f) || p == *f);
     FileClass {
-        digest_path: suffix_match(R2_DIGEST_PATH_FILES),
-        recoverable: suffix_match(R3_RECOVERABLE_FILES),
+        digest_path: false,
+        recoverable: false,
         arith_path: suffix_match(R4_ARITH_FILES),
     }
+}
+
+/// Check the transition superset gate: every file on the legacy R2/R3
+/// lists must be covered by the inferred sets. Returns the violations
+/// (empty means the gate passes).
+pub fn check_superset(analysis: &Analysis) -> Vec<String> {
+    let covered = |set: &BTreeSet<String>, legacy: &str| {
+        set.iter().any(|f| f.ends_with(legacy) || f == legacy)
+    };
+    let mut missing = Vec::new();
+    for f in transition::LEGACY_R2_FILES {
+        if !covered(&analysis.r2_files, f) {
+            missing.push(format!("R2 coverage lost: {f} (was on the hand list)"));
+        }
+    }
+    for f in transition::LEGACY_R3_FILES {
+        if !covered(&analysis.r3_files, f) {
+            missing.push(format!("R3 coverage lost: {f} (was on the hand list)"));
+        }
+    }
+    missing
 }
 
 /// Walk the workspace rooted at `root` and return every `.rs` file the
@@ -184,7 +219,9 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Scan one on-disk file with its path-derived classification.
+/// Scan one on-disk file with its path-derived classification. Single-file
+/// mode runs the file-local rules only (R1, R4, R5); the graph rules need
+/// `--workspace`.
 pub fn scan_path(root: &Path, path: &Path) -> std::io::Result<Vec<Finding>> {
     let source = std::fs::read_to_string(path)?;
     let label = path
@@ -203,12 +240,23 @@ pub fn to_json(findings: &[Finding]) -> String {
         if i > 0 {
             s.push(',');
         }
+        let mut chain = String::from("[");
+        for (j, hop) in f.chain.iter().enumerate() {
+            if j > 0 {
+                chain.push(',');
+            }
+            chain.push('"');
+            chain.push_str(&json_escape(hop));
+            chain.push('"');
+        }
+        chain.push(']');
         s.push_str(&format!(
-            "\n  {{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
+            "\n  {{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\",\"chain\":{}}}",
             json_escape(&f.file),
             f.line,
             f.rule.name(),
-            json_escape(&f.message)
+            json_escape(&f.message),
+            chain
         ));
     }
     if !findings.is_empty() {

@@ -1,15 +1,28 @@
-//! CLI entry point: `lmp-lint [--workspace] [--format text|json] [paths…]`.
+//! CLI entry point:
+//! `lmp-lint [--workspace] [--format text|json] [--explain] [--check-superset] [paths…]`.
 //!
-//! Exit status: 0 when clean, 1 on any finding, 2 on usage/IO errors.
+//! `--workspace` runs the full call-graph analysis (R1–R7) over the
+//! workspace under the current directory; explicit paths run the
+//! file-local rules only (R1, R4, R5). `--explain` prints the
+//! seed-to-site call chain under each graph finding; `--check-superset`
+//! additionally enforces the transition gate (inferred R2/R3 coverage
+//! must contain every file from the frozen hand lists).
+//!
+//! Exit status: 0 when clean, 1 on any finding or superset violation,
+//! 2 on usage/IO errors.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use lmp_lint::{scan_path, to_json, workspace_sources, Finding};
+use lmp_lint::{
+    analyze_files, check_superset, scan_path, to_json, workspace_sources, Finding,
+};
 
 struct Args {
     workspace: bool,
     json: bool,
+    explain: bool,
+    superset: bool,
     paths: Vec<PathBuf>,
 }
 
@@ -17,12 +30,16 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         workspace: false,
         json: false,
+        explain: false,
+        superset: false,
         paths: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--workspace" => args.workspace = true,
+            "--explain" => args.explain = true,
+            "--check-superset" => args.superset = true,
             "--format" => match it.next().as_deref() {
                 Some("json") => args.json = true,
                 Some("text") => args.json = false,
@@ -35,13 +52,17 @@ fn parse_args() -> Result<Args, String> {
             },
             "--help" | "-h" => {
                 println!(
-                    "usage: lmp-lint [--workspace] [--format text|json] [paths…]\n\
+                    "usage: lmp-lint [--workspace] [--format text|json] [--explain]\n\
+                     \x20               [--check-superset] [paths…]\n\
                      \n\
-                     Scans Rust sources for the workspace determinism rules:\n\
-                     wall-clock, unordered-iter, no-panic, unchecked-arith, and\n\
-                     the allow-suppression rules (bare-allow, unused-allow).\n\
-                     With --workspace, walks crates/, src/, tests/, examples/\n\
-                     under the current directory. Exits 1 on any finding."
+                     Scans Rust sources for the workspace determinism rules.\n\
+                     With --workspace, builds the cross-file call graph and runs\n\
+                     the full rule set (wall-clock, unordered-iter, no-panic,\n\
+                     unchecked-arith, swallowed-error, eager-metric, plus the\n\
+                     allow-suppression rules); explicit paths run the file-local\n\
+                     rules only. --explain prints seed-to-site call chains;\n\
+                     --check-superset enforces the transition gate against the\n\
+                     frozen hand lists. Exits 1 on any finding."
                 );
                 std::process::exit(0);
             }
@@ -51,6 +72,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if !args.workspace && args.paths.is_empty() {
         return Err("nothing to scan: pass --workspace or explicit paths".to_string());
+    }
+    if args.superset && !args.workspace {
+        return Err("--check-superset requires --workspace".to_string());
     }
     Ok(args)
 }
@@ -65,16 +89,33 @@ fn main() -> ExitCode {
     };
 
     let root = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
-    let mut targets: Vec<PathBuf> = Vec::new();
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut scanned = 0usize;
+    let mut superset_violations: Vec<String> = Vec::new();
+
     if args.workspace {
-        match workspace_sources(&root) {
-            Ok(mut files) => targets.append(&mut files),
+        let files = match workspace_sources(&root) {
+            Ok(files) => files,
             Err(e) => {
                 eprintln!("lmp-lint: walking {}: {e}", root.display());
                 return ExitCode::from(2);
             }
+        };
+        scanned += files.len();
+        let analysis = match analyze_files(&root, &files) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("lmp-lint: reading workspace sources: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if args.superset {
+            superset_violations = check_superset(&analysis);
         }
+        findings.extend(analysis.findings);
     }
+
+    let mut path_targets: Vec<PathBuf> = Vec::new();
     for p in &args.paths {
         if p.is_dir() {
             let mut sub = Vec::new();
@@ -83,15 +124,14 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
             sub.sort();
-            targets.extend(sub);
+            path_targets.extend(sub);
         } else {
-            targets.push(p.clone());
+            path_targets.push(p.clone());
         }
     }
-    targets.dedup();
-
-    let mut findings: Vec<Finding> = Vec::new();
-    for path in &targets {
+    path_targets.dedup();
+    scanned += path_targets.len();
+    for path in &path_targets {
         match scan_path(&root, path) {
             Ok(mut f) => findings.append(&mut f),
             Err(e) => {
@@ -109,18 +149,27 @@ fn main() -> ExitCode {
     } else {
         for f in &findings {
             println!("{f}");
+            if args.explain && !f.chain.is_empty() {
+                for (i, hop) in f.chain.iter().enumerate() {
+                    println!("    {}{hop}", if i == 0 { "chain: " } else { "  -> " });
+                }
+            }
         }
         if !findings.is_empty() {
             eprintln!(
                 "lmp-lint: {} finding{} across {} file{}",
                 findings.len(),
                 if findings.len() == 1 { "" } else { "s" },
-                targets.len(),
-                if targets.len() == 1 { "" } else { "s" },
+                scanned,
+                if scanned == 1 { "" } else { "s" },
             );
         }
     }
-    if findings.is_empty() {
+    for v in &superset_violations {
+        eprintln!("lmp-lint: superset gate: {v}");
+    }
+
+    if findings.is_empty() && superset_violations.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(1)

@@ -1,5 +1,9 @@
 //! The token scanner: comment/string blanking, `#[cfg(test)]` region
 //! tracking, per-rule token matching, and suppression handling.
+//!
+//! The call-graph layers (`items`, `graph`, `reach`) build on the same
+//! blanked, flat token stream this module produces; the internals are
+//! `pub(crate)` for that reason.
 
 use std::collections::BTreeSet;
 
@@ -19,6 +23,12 @@ pub enum Rule {
     BareAllow,
     /// R5: suppression that matched no finding.
     UnusedAllow,
+    /// R6: a `Result` from a fallible workspace call discarded with
+    /// `let _ =` or a statement-final `.ok()`.
+    SwallowedError,
+    /// R7: metric registration on a constructor-reachable path that does
+    /// not go through the lazy-registration idiom.
+    EagerMetric,
 }
 
 impl Rule {
@@ -31,6 +41,8 @@ impl Rule {
             Rule::UncheckedArith => "unchecked-arith",
             Rule::BareAllow => "bare-allow",
             Rule::UnusedAllow => "unused-allow",
+            Rule::SwallowedError => "swallowed-error",
+            Rule::EagerMetric => "eager-metric",
         }
     }
 
@@ -40,6 +52,8 @@ impl Rule {
             "unordered-iter" => Some(Rule::UnorderedIter),
             "no-panic" => Some(Rule::NoPanic),
             "unchecked-arith" => Some(Rule::UncheckedArith),
+            "swallowed-error" => Some(Rule::SwallowedError),
+            "eager-metric" => Some(Rule::EagerMetric),
             _ => None,
         }
     }
@@ -62,6 +76,24 @@ pub struct Finding {
     pub rule: Rule,
     /// Human-readable explanation.
     pub message: String,
+    /// For call-graph findings: the seed-to-site call chain, one
+    /// `qual::name (file:line)` hop per entry, seed first. Empty for
+    /// file-local findings. Rendered by `--explain` and the JSON format.
+    pub chain: Vec<String>,
+}
+
+impl Finding {
+    /// A file-local finding (no call chain); `file` is filled in by the
+    /// caller once the label is known.
+    pub(crate) fn local(line: usize, rule: Rule, message: String) -> Finding {
+        Finding {
+            file: String::new(),
+            line,
+            rule,
+            message,
+            chain: Vec::new(),
+        }
+    }
 }
 
 impl std::fmt::Display for Finding {
@@ -92,60 +124,80 @@ pub struct FileClass {
 /// One source line after blanking: executable code with comments and
 /// string/char literals replaced by spaces, plus the comment text.
 #[derive(Debug, Default, Clone)]
-struct Line {
-    code: String,
-    comment: String,
+pub(crate) struct Line {
+    pub(crate) code: String,
+    pub(crate) comment: String,
 }
 
 /// A parsed `lmp-lint: allow(...)` suppression.
 #[derive(Debug)]
-struct Allow {
-    comment_line: usize,
-    target_line: usize,
-    rule: Option<Rule>,
-    raw_rule: String,
-    justified: bool,
-    used: bool,
+pub(crate) struct Allow {
+    pub(crate) comment_line: usize,
+    pub(crate) target_line: usize,
+    pub(crate) rule: Option<Rule>,
+    pub(crate) raw_rule: String,
+    pub(crate) justified: bool,
+    pub(crate) used: bool,
 }
 
 #[derive(Debug, Clone, PartialEq)]
-enum Tok {
+pub(crate) enum Tok {
     Word(String),
     Punct(char),
 }
 
 /// A token plus its 0-indexed source line. Rules run over the flat stream
 /// so they see through multi-line method chains and `for` headers.
-type FTok = (Tok, usize);
+pub(crate) type FTok = (Tok, usize);
 
-/// Scan one file's source. `label` is used verbatim in findings.
-pub fn scan_source(label: &str, source: &str, class: FileClass) -> Vec<Finding> {
+/// A file's blanked, tokenized form — the shared substrate for both the
+/// local rules here and the call-graph layers (`items`, `reach`).
+pub(crate) struct Prepared {
+    pub(crate) lines: Vec<Line>,
+    pub(crate) in_test: Vec<bool>,
+    pub(crate) per_line: Vec<Vec<Tok>>,
+    pub(crate) flat: Vec<FTok>,
+}
+
+/// Blank, mark test regions, and tokenize `source` once.
+pub(crate) fn prepare(source: &str) -> Prepared {
     let lines = blank(source);
     let in_test = test_regions(&lines);
     let per_line: Vec<Vec<Tok>> = lines.iter().map(|l| tokenize(&l.code)).collect();
-    let mut allows = collect_allows(&lines);
-
     let flat: Vec<FTok> = per_line
         .iter()
         .enumerate()
         .flat_map(|(i, v)| v.iter().cloned().map(move |t| (t, i)))
         .collect();
+    Prepared {
+        lines,
+        in_test,
+        per_line,
+        flat,
+    }
+}
 
+/// Run the file-local rules (no suppression handling, no call graph).
+pub(crate) fn local_findings(p: &Prepared, class: FileClass) -> Vec<Finding> {
     let mut findings = Vec::new();
-    let hash_names = collect_hash_names(&flat, &in_test);
-    rule_wall_clock(&flat, &mut findings);
+    let hash_names = collect_hash_names(&p.flat, &p.in_test);
+    rule_wall_clock(&p.flat, &mut findings);
     if class.digest_path {
-        rule_unordered_iter(&flat, &hash_names, &in_test, &mut findings);
+        rule_unordered_iter(&p.flat, &hash_names, &p.in_test, &mut findings);
     }
     if class.recoverable {
-        rule_no_panic(&flat, &in_test, &mut findings);
+        rule_no_panic(&p.flat, &p.in_test, &mut findings);
     }
     if class.arith_path {
-        rule_unchecked_arith(&flat, &per_line, &in_test, &mut findings);
+        rule_unchecked_arith(&p.flat, &p.per_line, &p.in_test, &mut findings);
     }
+    findings
+}
 
-    // Apply suppressions: a justified allow removes that rule's findings on
-    // its target line; everything else about the mechanism is an error.
+/// Apply suppressions: a justified allow removes that rule's findings on
+/// its target line; everything else about the mechanism is an error.
+pub(crate) fn apply_allows(lines: &[Line], findings: &mut Vec<Finding>) {
+    let mut allows = collect_allows(lines);
     findings.retain(|f| {
         let mut suppressed = false;
         for a in allows.iter_mut() {
@@ -158,35 +210,23 @@ pub fn scan_source(label: &str, source: &str, class: FileClass) -> Vec<Finding> 
     });
     for a in &allows {
         if a.rule.is_none() {
-            findings.push(Finding {
-                file: String::new(),
-                line: a.comment_line,
-                rule: Rule::BareAllow,
-                message: format!("allow(...) names unknown rule `{}`", a.raw_rule),
-            });
+            findings.push(Finding::local(a.comment_line, Rule::BareAllow, format!("allow(...) names unknown rule `{}`", a.raw_rule)));
         } else if !a.justified {
-            findings.push(Finding {
-                file: String::new(),
-                line: a.comment_line,
-                rule: Rule::BareAllow,
-                message: format!(
+            findings.push(Finding::local(a.comment_line, Rule::BareAllow, format!(
                     "allow({}) carries no justification — write `// lmp-lint: allow({}) — <why>`",
                     a.raw_rule, a.raw_rule
-                ),
-            });
+                )));
         } else if !a.used {
-            findings.push(Finding {
-                file: String::new(),
-                line: a.comment_line,
-                rule: Rule::UnusedAllow,
-                message: format!(
+            findings.push(Finding::local(a.comment_line, Rule::UnusedAllow, format!(
                     "allow({}) suppresses nothing on line {} — remove it",
                     a.raw_rule, a.target_line
-                ),
-            });
+                )));
         }
     }
+}
 
+/// Stamp the file label, order, and dedup a finding batch.
+pub(crate) fn finalize(label: &str, mut findings: Vec<Finding>) -> Vec<Finding> {
     for f in &mut findings {
         f.file = label.to_string();
     }
@@ -195,11 +235,19 @@ pub fn scan_source(label: &str, source: &str, class: FileClass) -> Vec<Finding> 
     findings
 }
 
+/// Scan one file's source. `label` is used verbatim in findings.
+pub fn scan_source(label: &str, source: &str, class: FileClass) -> Vec<Finding> {
+    let p = prepare(source);
+    let mut findings = local_findings(&p, class);
+    apply_allows(&p.lines, &mut findings);
+    finalize(label, findings)
+}
+
 // ---------------------------------------------------------------- blanking
 
 /// Replace comments and string/char literal contents with spaces, keeping
 /// line structure and column positions; capture comment text per line.
-fn blank(source: &str) -> Vec<Line> {
+pub(crate) fn blank(source: &str) -> Vec<Line> {
     #[derive(PartialEq)]
     enum St {
         Code,
@@ -285,8 +333,12 @@ fn blank(source: &str) -> Vec<Line> {
                 }
                 St::Str => {
                     if c == '\\' {
-                        line.code.push_str("  ");
-                        i += 2;
+                        // A trailing `\` at end of line is a string
+                        // continuation: only one char is present, so only
+                        // one blank keeps columns aligned.
+                        let consumed = if i + 1 < chars.len() { 2 } else { 1 };
+                        line.code.push_str(&" ".repeat(consumed));
+                        i += consumed;
                     } else if c == '"' {
                         line.code.push('"');
                         i += 1;
@@ -345,8 +397,12 @@ fn char_literal_end(chars: &[char], i: usize) -> Option<usize> {
     match chars.get(i + 1) {
         Some('\\') => {
             // Escape: find the closing quote within a small window
-            // (\n, \', \u{10FFFF} are all short).
-            (i + 3..chars.len().min(i + 12)).find(|&j| chars[j] == '\'')
+            // (\n, \', \u{10FFFF} are all short). A `"` cannot occur
+            // inside an escape, so stop there rather than swallow a
+            // real string opener into a bogus literal.
+            (i + 3..chars.len().min(i + 12))
+                .take_while(|&j| chars[j] != '"')
+                .find(|&j| chars[j] == '\'')
         }
         Some(_) if chars.get(i + 2) == Some(&'\'') => Some(i + 2),
         _ => None,
@@ -356,7 +412,7 @@ fn char_literal_end(chars: &[char], i: usize) -> Option<usize> {
 // ----------------------------------------------------------- test regions
 
 /// Per-line flag: inside a `#[cfg(test)]`-gated brace region.
-fn test_regions(lines: &[Line]) -> Vec<bool> {
+pub(crate) fn test_regions(lines: &[Line]) -> Vec<bool> {
     let mut flags = vec![false; lines.len()];
     let mut depth: i64 = 0;
     let mut pending = false;
@@ -400,7 +456,7 @@ fn test_regions(lines: &[Line]) -> Vec<bool> {
 
 // ------------------------------------------------------------- tokenizing
 
-fn tokenize(code: &str) -> Vec<Tok> {
+pub(crate) fn tokenize(code: &str) -> Vec<Tok> {
     let mut toks = Vec::new();
     let mut word = String::new();
     for c in code.chars() {
@@ -421,24 +477,24 @@ fn tokenize(code: &str) -> Vec<Tok> {
     toks
 }
 
-fn word(t: &Tok) -> Option<&str> {
+pub(crate) fn word(t: &Tok) -> Option<&str> {
     match t {
         Tok::Word(w) => Some(w),
         Tok::Punct(_) => None,
     }
 }
 
-fn fword(flat: &[FTok], i: usize) -> Option<&str> {
+pub(crate) fn fword(flat: &[FTok], i: usize) -> Option<&str> {
     flat.get(i).and_then(|(t, _)| word(t))
 }
 
-fn fpunct(flat: &[FTok], i: usize, c: char) -> bool {
+pub(crate) fn fpunct(flat: &[FTok], i: usize, c: char) -> bool {
     matches!(flat.get(i), Some((Tok::Punct(p), _)) if *p == c)
 }
 
 // ------------------------------------------------------------------ rules
 
-fn rule_wall_clock(flat: &[FTok], out: &mut Vec<Finding>) {
+pub(crate) fn rule_wall_clock(flat: &[FTok], out: &mut Vec<Finding>) {
     for (i, (t, li)) in flat.iter().enumerate() {
         let Some(w) = word(t) else { continue };
         let hit = match w {
@@ -461,17 +517,12 @@ fn rule_wall_clock(flat: &[FTok], out: &mut Vec<Finding>) {
             _ => None,
         };
         if let Some(why) = hit {
-            out.push(Finding {
-                file: String::new(),
-                line: li + 1,
-                rule: Rule::WallClock,
-                message: format!("{why}; the simulation is sim-time/seeded only"),
-            });
+            out.push(Finding::local(li + 1, Rule::WallClock, format!("{why}; the simulation is sim-time/seeded only")));
         }
     }
 }
 
-const ITER_METHODS: &[&str] = &[
+pub(crate) const ITER_METHODS: &[&str] = &[
     "iter",
     "iter_mut",
     "keys",
@@ -487,7 +538,7 @@ const ITER_METHODS: &[&str] = &[
 /// Identifiers bound to `HashMap`/`HashSet` on non-test lines: struct
 /// fields and `let`/params via `name: HashMap<…>`, plus constructor
 /// assignments `name = HashMap::new()`.
-fn collect_hash_names(flat: &[FTok], in_test: &[bool]) -> BTreeSet<String> {
+pub(crate) fn collect_hash_names(flat: &[FTok], in_test: &[bool]) -> BTreeSet<String> {
     let mut names = BTreeSet::new();
     for (i, (t, li)) in flat.iter().enumerate() {
         if in_test[*li] {
@@ -529,7 +580,7 @@ fn collect_hash_names(flat: &[FTok], in_test: &[bool]) -> BTreeSet<String> {
     names
 }
 
-fn rule_unordered_iter(
+pub(crate) fn rule_unordered_iter(
     flat: &[FTok],
     hash_names: &BTreeSet<String>,
     in_test: &[bool],
@@ -548,15 +599,10 @@ fn rule_unordered_iter(
         {
             if let Some(m) = fword(flat, i + 2) {
                 if ITER_METHODS.contains(&m) {
-                    out.push(Finding {
-                        file: String::new(),
-                        line: flat[i + 2].1 + 1,
-                        rule: Rule::UnorderedIter,
-                        message: format!(
+                    out.push(Finding::local(flat[i + 2].1 + 1, Rule::UnorderedIter, format!(
                             "`{w}.{m}()` iterates an unordered map/set on a digest-feeding \
                              path; use BTreeMap/BTreeSet or sort before use"
-                        ),
-                    });
+                        )));
                 }
             }
         }
@@ -582,15 +628,10 @@ fn rule_unordered_iter(
                     match &flat[r].0 {
                         Tok::Punct('{') | Tok::Punct(';') => break,
                         Tok::Word(name) if hash_names.contains(name) => {
-                            out.push(Finding {
-                                file: String::new(),
-                                line: flat[r].1 + 1,
-                                rule: Rule::UnorderedIter,
-                                message: format!(
+                            out.push(Finding::local(flat[r].1 + 1, Rule::UnorderedIter, format!(
                                     "`for … in` over unordered `{name}` on a digest-feeding \
                                      path; use BTreeMap/BTreeSet or sort before use"
-                                ),
-                            });
+                                )));
                             break;
                         }
                         _ => {}
@@ -602,7 +643,7 @@ fn rule_unordered_iter(
     }
 }
 
-const PANIC_MACROS: &[&str] = &[
+pub(crate) const PANIC_MACROS: &[&str] = &[
     "panic",
     "assert",
     "assert_eq",
@@ -612,7 +653,7 @@ const PANIC_MACROS: &[&str] = &[
     "unimplemented",
 ];
 
-fn rule_no_panic(flat: &[FTok], in_test: &[bool], out: &mut Vec<Finding>) {
+pub(crate) fn rule_no_panic(flat: &[FTok], in_test: &[bool], out: &mut Vec<Finding>) {
     for (i, (t, li)) in flat.iter().enumerate() {
         if in_test[*li] {
             continue;
@@ -630,14 +671,9 @@ fn rule_no_panic(flat: &[FTok], in_test: &[bool], out: &mut Vec<Finding>) {
             None
         };
         if let Some(what) = hit {
-            out.push(Finding {
-                file: String::new(),
-                line: li + 1,
-                rule: Rule::NoPanic,
-                message: format!(
+            out.push(Finding::local(li + 1, Rule::NoPanic, format!(
                     "`{what}` in a recoverable module; return PoolError/FabricError instead"
-                ),
-            });
+                )));
         }
     }
 }
@@ -648,7 +684,7 @@ const NON_OPERAND_KEYWORDS: &[&str] = &[
     "mut", "return", "in", "let", "if", "else", "match", "break", "move",
 ];
 
-fn rule_unchecked_arith(
+pub(crate) fn rule_unchecked_arith(
     flat: &[FTok],
     per_line: &[Vec<Tok>],
     in_test: &[bool],
@@ -690,21 +726,16 @@ fn rule_unchecked_arith(
         if is_num(flat.get(i - 1)) && is_num(flat.get(i + 1)) {
             continue;
         }
-        out.push(Finding {
-            file: String::new(),
-            line: li + 1,
-            rule: Rule::UncheckedArith,
-            message: format!(
+        out.push(Finding::local(li + 1, Rule::UncheckedArith, format!(
                 "bare `{op}` on a bounds/translation path; use checked_*/saturating_* \
                  arithmetic"
-            ),
-        });
+            )));
     }
 }
 
 // ----------------------------------------------------------- suppressions
 
-fn collect_allows(lines: &[Line]) -> Vec<Allow> {
+pub(crate) fn collect_allows(lines: &[Line]) -> Vec<Allow> {
     let mut allows = Vec::new();
     for (i, line) in lines.iter().enumerate() {
         // Doc comments (`///`, `//!`) never carry suppressions — they

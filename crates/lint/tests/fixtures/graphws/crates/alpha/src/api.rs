@@ -1,0 +1,30 @@
+//! Seed surface of the call-graph fixture workspace.
+
+pub struct AlphaError;
+
+/// Recoverable seed: returns `Result<_, AlphaError>` where `AlphaError`
+/// is a workspace-declared type.
+pub fn entry() -> Result<u64, AlphaError> {
+    helper();
+    Ok(0)
+}
+
+/// Not a seed: the error type is not declared in this workspace.
+pub fn stdlib_result() -> Result<u64, String> {
+    Ok(1)
+}
+
+/// Swallowed-error site: discards the fallible `entry()`.
+pub fn swallows() {
+    let _ = entry();
+}
+
+/// Digest sink by name; taints its ancestors onto the R2 set.
+pub fn digest_of(xs: &[u64]) -> u64 {
+    xs.iter().sum()
+}
+
+/// Ancestor of a digest sink: on the R2 set without being a seed.
+pub fn publish() -> u64 {
+    digest_of(&[1, 2, 3])
+}

@@ -1,0 +1,17 @@
+//! Middle of the fixture call chains: cross-file free, method, and
+//! trait-impl edges all route through here.
+
+pub fn helper() {
+    let w = make_widget();
+    w.deep_check(1);
+    spin(&w);
+    direct_panic();
+}
+
+fn spin(w: &Widget) {
+    w.run();
+}
+
+fn make_widget() -> Widget {
+    Widget
+}

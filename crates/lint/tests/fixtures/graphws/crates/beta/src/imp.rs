@@ -1,0 +1,29 @@
+//! Panic sites of the fixture workspace, reached only through the
+//! alpha crate's seed: an inherent method, a trait impl, and a free fn.
+
+pub struct Widget;
+
+impl Widget {
+    pub fn deep_check(&self, n: u64) {
+        assert!(n > 0, "fixture inherent-method panic");
+    }
+}
+
+pub trait Run {
+    fn run(&self);
+}
+
+impl Run for Widget {
+    fn run(&self) {
+        panic!("fixture trait-impl panic");
+    }
+}
+
+pub fn direct_panic() {
+    panic!("fixture free-fn panic");
+}
+
+/// Unreachable from any seed: must NOT be flagged.
+pub fn dormant_panic() {
+    panic!("never reached from a recoverable surface");
+}

@@ -1,0 +1,31 @@
+//! Eager-metric surface of the fixture workspace.
+
+pub struct MetricRegistry;
+
+impl MetricRegistry {
+    pub fn counter(&mut self, _name: &str) -> u64 {
+        0
+    }
+}
+
+pub struct Probe;
+
+impl Probe {
+    /// Eager registration in a constructor: flagged.
+    pub fn new(reg: &mut MetricRegistry) -> Self {
+        reg.counter("probe_ops");
+        Probe
+    }
+}
+
+pub struct Baseline;
+
+impl Baseline {
+    /// Owns its registry: establishing the baseline instrument set is
+    /// exempt, so this must NOT be flagged.
+    pub fn new() -> Self {
+        let mut reg = MetricRegistry::new();
+        reg.counter("baseline_ops");
+        Baseline
+    }
+}

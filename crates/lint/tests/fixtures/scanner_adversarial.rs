@@ -1,0 +1,45 @@
+//! Adversarial scanner fixture: raw strings, lifetime ticks, char
+//! literals, escapes, string continuations, and nested block comments.
+//! Panic tokens hidden inside literals and comments must stay quiet;
+//! the seeded sites marked `finding` below must all be reported.
+
+pub fn raw_strings() {
+    let _plain = r"panic!(inside raw) and .unwrap() too";
+    let _hashed = r#"a " quote then .expect("no") inside"#;
+    let _nested = r##"closes only at two hashes: "# panic!() "##;
+    let r#fn = 1u32;
+    let _ = r#fn + 1;
+}
+
+pub fn lifetimes<'a, 'b>(x: &'a str, _y: &'b str) -> &'a str {
+    let _tick: char = 'a';
+    let _quote = '"';
+    let _escaped_quote = '\'';
+    let _backslash = '\\';
+    let _unicode = '\u{10FFFF}';
+    x
+}
+
+pub fn strings_and_continuations() {
+    let _s = "escaped quote \" then panic! still inside";
+    let _c = "continuation with a trailing backslash \
+        panic!(still inside the string) .unwrap()";
+    let _t = "done";
+    assert!(!_t.is_empty(), "seeded");
+}
+
+/* outer comment with panic!()
+   /* nested block */ still commented: .expect("quiet")
+*/
+pub fn after_comments() {
+    todo!()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_in_tests_stay_quiet() {
+        let _odd = "'";
+        panic!("test code is exempt");
+    }
+}

@@ -71,6 +71,8 @@ impl RegionSplit {
     /// # Panics
     /// Panics if `shared_budget > total`.
     pub fn new(total: u64, shared_budget: u64) -> Self {
+        // lmp-lint: allow(no-panic) — documented `# Panics` ctor precondition;
+        // an over-budget split is a configuration bug.
         assert!(
             shared_budget <= total,
             "shared budget {shared_budget} exceeds {total} frames"

@@ -32,6 +32,8 @@ impl FrameStore {
     /// Panics when the write would cross the frame boundary — callers split
     /// multi-frame operations, mirroring how hardware splits cache lines.
     pub fn write(&mut self, frame: FrameId, offset: u64, data: &[u8]) {
+        // lmp-lint: allow(no-panic) — documented `# Panics` frame-boundary
+        // contract, mirroring how hardware faults on cross-line writes.
         assert!(
             offset + data.len() as u64 <= FRAME_BYTES,
             "write crosses frame boundary: offset {offset} + {} > {FRAME_BYTES}",
@@ -50,6 +52,8 @@ impl FrameStore {
     /// # Panics
     /// Panics when the read would cross the frame boundary.
     pub fn read(&self, frame: FrameId, offset: u64, len: usize) -> Vec<u8> {
+        // lmp-lint: allow(no-panic) — documented `# Panics` frame-boundary
+        // contract, mirroring how hardware faults on cross-line reads.
         assert!(
             offset + len as u64 <= FRAME_BYTES,
             "read crosses frame boundary: offset {offset} + {len} > {FRAME_BYTES}"
@@ -70,6 +74,8 @@ impl FrameStore {
     /// # Panics
     /// Panics when `data` is not exactly one frame long.
     pub fn write_frame(&mut self, frame: FrameId, data: &[u8]) {
+        // lmp-lint: allow(no-panic) — documented `# Panics` whole-frame
+        // contract; callers size buffers from FRAME_BYTES.
         assert_eq!(data.len() as u64, FRAME_BYTES, "whole-frame write size");
         self.write(frame, 0, data);
     }

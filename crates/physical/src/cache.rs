@@ -77,6 +77,8 @@ impl PoolCache {
         policy: AdmissionPolicy,
     ) -> Self {
         let capacity_frames = capacity_bytes / FRAME_BYTES;
+        // lmp-lint: allow(no-panic) — ctor precondition: a cache smaller than
+        // one frame can hold nothing; a sizing bug.
         assert!(capacity_frames > 0, "cache smaller than one frame");
         PoolCache {
             server,
@@ -148,6 +150,9 @@ impl PoolCache {
                         .iter()
                         .min_by_key(|(f, stamp)| (**stamp, f.0))
                         .map(|(f, _)| f)
+                        // lmp-lint: allow(no-panic) — the eviction branch only
+                        // runs when the cache is full, so the resident map is
+                        // structurally non-empty.
                         .expect("cache full implies non-empty");
                     self.resident.remove(&victim);
                     self.evictions.inc();

@@ -31,6 +31,8 @@ impl LoadedLatencyCurve {
     /// # Panics
     /// Panics if `max < min`.
     pub fn new(min: SimDuration, max: SimDuration) -> Self {
+        // lmp-lint: allow(no-panic) — documented `# Panics` ctor precondition;
+        // an inverted latency range is a model-configuration bug.
         assert!(max >= min, "loaded latency max {max} < min {min}");
         LoadedLatencyCurve {
             min,

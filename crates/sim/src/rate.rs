@@ -21,6 +21,8 @@ impl SlidingRate {
     /// # Panics
     /// Panics on a zero-length window.
     pub fn new(window: SimDuration) -> Self {
+        // lmp-lint: allow(no-panic) — documented `# Panics` ctor precondition;
+        // a zero-length window divides by zero.
         assert!(!window.is_zero(), "zero-length rate window");
         SlidingRate {
             window,
@@ -82,6 +84,8 @@ impl BusyTracker {
     /// # Panics
     /// Panics on a zero-length window.
     pub fn new(window: SimDuration) -> Self {
+        // lmp-lint: allow(no-panic) — documented `# Panics` ctor precondition;
+        // a zero-length window divides by zero.
         assert!(!window.is_zero(), "zero-length utilization window");
         BusyTracker {
             window,

@@ -50,6 +50,8 @@ impl DetRng {
     /// # Panics
     /// Panics when `bound == 0`.
     pub fn below(&mut self, bound: u64) -> u64 {
+        // lmp-lint: allow(no-panic) — documented `# Panics` precondition;
+        // below(0) has no valid result.
         assert!(bound > 0, "below(0)");
         self.inner.gen_range(0..bound)
     }

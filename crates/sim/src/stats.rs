@@ -308,6 +308,8 @@ impl Ewma {
     /// # Panics
     /// Panics for alpha outside `(0, 1]`.
     pub fn new(alpha: f64) -> Self {
+        // lmp-lint: allow(no-panic) — documented `# Panics` ctor precondition;
+        // alpha outside (0, 1] is not a smoothing factor.
         assert!(alpha > 0.0 && alpha <= 1.0, "alpha out of range: {alpha}");
         Ewma { alpha, value: None }
     }

@@ -50,6 +50,8 @@ impl SimTime {
         SimDuration(
             self.0
                 .checked_sub(earlier.0)
+                // lmp-lint: allow(no-panic) — documented `# Panics` contract;
+                // a negative duration means event ordering is already broken.
                 .expect("duration_since: earlier instant is in the future"),
         )
     }
@@ -125,6 +127,9 @@ impl SimDuration {
     /// Panics on negative, NaN, or overflowing factors.
     pub fn mul_f64(self, factor: f64) -> SimDuration {
         let v = self.0 as f64 * factor;
+        // lmp-lint: allow(no-panic) — documented `# Panics` contract;
+        // operator-style API cannot return Result and a NaN factor is a model
+        // bug.
         assert!(
             v.is_finite() && v >= 0.0 && v <= u64::MAX as f64,
             "invalid duration scale: {factor}"
@@ -139,6 +144,8 @@ impl Add<SimDuration> for SimTime {
         SimTime(
             self.0
                 .checked_add(rhs.0)
+                // lmp-lint: allow(no-panic) — Add impl cannot return Result;
+                // simulated-time overflow is unrecoverable and ends the run.
                 .expect("SimTime overflow: simulation ran too long"),
         )
     }
@@ -164,6 +171,8 @@ impl Sub<SimDuration> for SimTime {
 impl Add for SimDuration {
     type Output = SimDuration;
     fn add(self, rhs: SimDuration) -> SimDuration {
+        // lmp-lint: allow(no-panic) — Add impl cannot return Result;
+        // simulated-duration overflow is unrecoverable.
         SimDuration(self.0.checked_add(rhs.0).expect("SimDuration overflow"))
     }
 }

@@ -34,6 +34,8 @@ impl Bandwidth {
     /// # Panics
     /// Panics on negative or non-finite rates.
     pub fn from_bytes_per_sec(bps: f64) -> Self {
+        // lmp-lint: allow(no-panic) — documented `# Panics` ctor precondition;
+        // a negative or NaN bandwidth is a model-configuration bug.
         assert!(bps.is_finite() && bps >= 0.0, "invalid bandwidth: {bps}");
         Bandwidth { bytes_per_sec: bps }
     }

@@ -31,7 +31,9 @@ impl PoolGraph {
         vertices: u32,
         placement: Placement,
     ) -> Result<Self, PoolError> {
-        assert!(vertices >= 3, "graph too small");
+        if vertices < 3 {
+            return Err(PoolError::InvalidRequest("ring graph needs >= 3 vertices"));
+        }
         let mut offsets = Vec::with_capacity(vertices as usize + 1);
         let mut edges: Vec<u32> = Vec::with_capacity(vertices as usize * 2);
         for v in 0..vertices {
@@ -69,7 +71,11 @@ impl PoolGraph {
         let a = pool.access(fabric, now, client, addr, 4, MemOp::Read)?;
         let bytes = pool.read_bytes(addr, 4)?;
         Ok((
-            u32::from_le_bytes(bytes.try_into().expect("4 bytes")),
+            u32::from_le_bytes(
+                bytes
+                    .try_into()
+                    .map_err(|_| PoolError::Internal("read_bytes returned a short buffer"))?,
+            ),
             a.complete,
         ))
     }
@@ -101,7 +107,9 @@ pub fn bfs(
     client: NodeId,
     root: u32,
 ) -> Result<BfsResult, PoolError> {
-    assert!(root < graph.vertices);
+    if root >= graph.vertices {
+        return Err(PoolError::InvalidRequest("BFS root outside the graph"));
+    }
     let mut visited = vec![false; graph.vertices as usize];
     let mut queue = std::collections::VecDeque::new();
     visited[root as usize] = true;

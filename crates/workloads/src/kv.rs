@@ -61,7 +61,9 @@ impl KvStore {
     /// Create the store, placing slot segments per `config.placement`
     /// (round-robin across servers by default).
     pub fn create(pool: &mut LogicalPool, config: KvConfig) -> Result<Self, PoolError> {
-        assert!(config.slots > 0 && config.slots_per_segment > 0);
+        if config.slots == 0 || config.slots_per_segment == 0 {
+            return Err(PoolError::InvalidRequest("KvConfig needs nonzero slots"));
+        }
         let nsegs = config.slots.div_ceil(config.slots_per_segment);
         let mut segments = Vec::with_capacity(nsegs as usize);
         for _ in 0..nsegs {
@@ -80,10 +82,15 @@ impl KvStore {
         })
     }
 
-    fn addr_of(&self, key: u64) -> LogicalAddr {
-        assert!(key < self.config.slots, "key {key} out of range");
+    fn addr_of(&self, key: u64) -> Result<LogicalAddr, PoolError> {
+        if key >= self.config.slots {
+            return Err(PoolError::InvalidRequest("key out of the keyspace"));
+        }
         let seg = self.segments[(key / self.config.slots_per_segment) as usize];
-        LogicalAddr::new(seg, (key % self.config.slots_per_segment) * SLOT_BYTES)
+        Ok(LogicalAddr::new(
+            seg,
+            (key % self.config.slots_per_segment) * SLOT_BYTES,
+        ))
     }
 
     /// Timed + materialized GET. Returns the value bytes and completion.
@@ -95,7 +102,7 @@ impl KvStore {
         client: NodeId,
         key: u64,
     ) -> Result<(Vec<u8>, SimTime), PoolError> {
-        let addr = self.addr_of(key);
+        let addr = self.addr_of(key)?;
         let a = pool.access(fabric, now, client, addr, SLOT_BYTES, MemOp::Read)?;
         self.gets.inc();
         self.account(&a);
@@ -103,10 +110,8 @@ impl KvStore {
         Ok((value, a.complete))
     }
 
-    /// Timed + materialized PUT.
-    ///
-    /// # Panics
-    /// Panics when `value` exceeds [`SLOT_BYTES`].
+    /// Timed + materialized PUT. Rejects values longer than
+    /// [`SLOT_BYTES`] with [`PoolError::InvalidRequest`].
     pub fn put(
         &mut self,
         pool: &mut LogicalPool,
@@ -116,8 +121,10 @@ impl KvStore {
         key: u64,
         value: &[u8],
     ) -> Result<SimTime, PoolError> {
-        assert!(value.len() as u64 <= SLOT_BYTES, "value too large");
-        let addr = self.addr_of(key);
+        if value.len() as u64 > SLOT_BYTES {
+            return Err(PoolError::InvalidRequest("value exceeds the KV slot"));
+        }
+        let addr = self.addr_of(key)?;
         let a = pool.access(fabric, now, client, addr, SLOT_BYTES, MemOp::Write)?;
         self.puts.inc();
         self.account(&a);
@@ -140,10 +147,10 @@ impl KvStore {
         client: NodeId,
         keys: &[u64],
     ) -> Result<(Vec<Vec<u8>>, SimTime), PoolError> {
-        let ops: Vec<BatchOp> = keys
-            .iter()
-            .map(|&k| BatchOp::read(self.addr_of(k), SLOT_BYTES))
-            .collect();
+        let mut ops = Vec::with_capacity(keys.len());
+        for &k in keys {
+            ops.push(BatchOp::read(self.addr_of(k)?, SLOT_BYTES));
+        }
         let r = pool.access_batch(fabric, now, client, &ops)?;
         self.gets.add(keys.len() as u64);
         for a in &r.ops {
@@ -151,15 +158,14 @@ impl KvStore {
         }
         let mut values = Vec::with_capacity(keys.len());
         for &k in keys {
-            values.push(pool.read_bytes(self.addr_of(k), SLOT_BYTES)?);
+            values.push(pool.read_bytes(self.addr_of(k)?, SLOT_BYTES)?);
         }
         Ok((values, r.complete))
     }
 
     /// Batched multi-key PUT; the write analogue of [`KvStore::multi_get`].
-    ///
-    /// # Panics
-    /// Panics when any value exceeds [`SLOT_BYTES`].
+    /// Rejects any value longer than [`SLOT_BYTES`] with
+    /// [`PoolError::InvalidRequest`] before any write is issued.
     pub fn multi_put(
         &mut self,
         pool: &mut LogicalPool,
@@ -168,13 +174,13 @@ impl KvStore {
         client: NodeId,
         entries: &[(u64, &[u8])],
     ) -> Result<SimTime, PoolError> {
-        let ops: Vec<BatchOp> = entries
-            .iter()
-            .map(|&(k, v)| {
-                assert!(v.len() as u64 <= SLOT_BYTES, "value too large");
-                BatchOp::write(self.addr_of(k), SLOT_BYTES)
-            })
-            .collect();
+        let mut ops = Vec::with_capacity(entries.len());
+        for &(k, v) in entries {
+            if v.len() as u64 > SLOT_BYTES {
+                return Err(PoolError::InvalidRequest("value exceeds the KV slot"));
+            }
+            ops.push(BatchOp::write(self.addr_of(k)?, SLOT_BYTES));
+        }
         let r = pool.access_batch(fabric, now, client, &ops)?;
         self.puts.add(entries.len() as u64);
         for a in &r.ops {
@@ -183,7 +189,7 @@ impl KvStore {
         for &(k, v) in entries {
             let mut padded = vec![0u8; SLOT_BYTES as usize];
             padded[..v.len()].copy_from_slice(v);
-            pool.write_bytes(self.addr_of(k), &padded)?;
+            pool.write_bytes(self.addr_of(k)?, &padded)?;
         }
         Ok(r.complete)
     }
@@ -211,9 +217,10 @@ impl KvStore {
         l as f64 / (l + r) as f64
     }
 
-    /// The segment that backs `key` (for tests and balancing checks).
-    pub fn segment_of(&self, key: u64) -> SegmentId {
-        self.addr_of(key).segment
+    /// The segment that backs `key` (for tests and balancing checks), or
+    /// an error for a key outside the keyspace.
+    pub fn segment_of(&self, key: u64) -> Result<SegmentId, PoolError> {
+        Ok(self.addr_of(key)?.segment)
     }
 
     /// Export store counters into a telemetry registry.
@@ -243,6 +250,8 @@ impl KvWorkload {
         KvWorkload {
             rng,
             zipf: Zipf::new(config.slots, config.zipf_exponent.max(1e-9))
+                // lmp-lint: allow(no-panic) — `slots > 0` and the clamped
+                // exponent make these parameters valid by construction.
                 .expect("valid zipf parameters"),
             write_fraction: config.write_fraction,
             slots: config.slots,
@@ -359,14 +368,14 @@ mod tests {
         let keys: Vec<u64> = (0..8).collect();
         let client = (0..4)
             .map(NodeId)
-            .find(|c| p.holder_of(kv.segment_of(0)) != Some(*c))
+            .find(|c| p.holder_of(kv.segment_of(0).unwrap()) != Some(*c))
             .unwrap();
         kv.multi_get(&mut p, &mut f, SimTime::ZERO, client, &keys)
             .unwrap();
         assert_eq!(f.read_count(), 8, "one logical read op per key");
         assert_eq!(kv.op_counts(), (8, 0));
         // 8 adjacent 256 B slots coalesce into one 2 KiB DRAM run.
-        let holder = p.holder_of(kv.segment_of(0)).unwrap();
+        let holder = p.holder_of(kv.segment_of(0).unwrap()).unwrap();
         assert_eq!(p.node(holder).dram().access_count(), 1);
     }
 

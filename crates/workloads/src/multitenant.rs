@@ -93,7 +93,7 @@ pub fn run(
             let va = rt.map(*seg, *len);
             base.get_or_insert(va);
         }
-        buffers.push(base.expect("non-empty working set"));
+        buffers.push(base.ok_or(PoolError::InvalidRequest("tenant working set is empty"))?);
     }
 
     let mut reports: Vec<TenantReport> = tenants
@@ -127,7 +127,7 @@ pub fn run(
                         lmp_core::runtime::VirtAddr(buffers[i].0 + op.offset),
                         4096,
                     )
-                    .expect("trace stays in bounds");
+                    .map_err(|_| PoolError::Internal("trace op resolved out of bounds"))?;
                 let a = pool.access(fabric, now, t.server, addr, 4096, op.op)?;
                 reports[i]
                     .latency
@@ -221,7 +221,9 @@ pub fn run_qos(
     batches: u32,
     seed: u64,
 ) -> Result<QosReport, PoolError> {
-    assert_eq!(tenants.len(), qos.len(), "one QoS spec per tenant");
+    if tenants.len() != qos.len() {
+        return Err(PoolError::InvalidRequest("one QoS spec per tenant required"));
+    }
     let root = DetRng::new(seed);
     let mut buffers = Vec::with_capacity(tenants.len());
     for (i, t) in tenants.iter().enumerate() {
@@ -238,7 +240,7 @@ pub fn run_qos(
             let va = rt.map(*seg, *len);
             base.get_or_insert(va);
         }
-        buffers.push(base.expect("non-empty working set"));
+        buffers.push(base.ok_or(PoolError::InvalidRequest("tenant working set is empty"))?);
         let tenant = TenantId(i as u32);
         pool.set_tenant_band(tenant, qos[i].band);
         if let Some(rate) = qos[i].rate {
@@ -292,7 +294,7 @@ pub fn run_qos(
                     lmp_core::runtime::VirtAddr(buffers[i].0 + op.offset),
                     qos[i].access_bytes,
                 )
-                .expect("trace stays in bounds");
+                .map_err(|_| PoolError::Internal("trace op resolved out of bounds"))?;
             match pool.access_as(
                 fabric,
                 at,

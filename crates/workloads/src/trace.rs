@@ -56,10 +56,16 @@ impl TraceSpec {
     // a caller bug in experiment setup, trapped loudly.
     #[allow(clippy::expect_used)]
     pub fn generate(&self, buffer_len: u64, mut rng: DetRng) -> Vec<TraceOp> {
+        // lmp-lint: allow(no-panic) — generate returns the trace by value; an
+        // access larger than the buffer is an experiment-setup bug.
         assert!(self.access_bytes > 0 && self.access_bytes <= buffer_len);
         let positions = buffer_len / self.access_bytes;
+        // lmp-lint: allow(no-panic) — positions is nonzero whenever
+        // access_bytes <= buffer_len, checked just above.
         assert!(positions > 0);
         let zipf = match self.pattern {
+            // lmp-lint: allow(no-panic) — positions >= 1 and the clamped
+            // exponent make the zipf parameters valid by construction.
             Pattern::Zipfian(s) => Some(Zipf::new(positions, s.max(1e-9)).expect("valid zipf")),
             _ => None,
         };
@@ -69,10 +75,16 @@ impl TraceSpec {
                 Pattern::Sequential => i % positions,
                 Pattern::Uniform => rng.below(positions),
                 Pattern::Zipfian(_) => {
+                    // lmp-lint: allow(no-panic) — the zipf table is built in
+                    // the Zipfian arm above; this arm only runs for that
+                    // pattern.
                     (zipf.as_ref().expect("zipf built").sample(&mut rng) as u64 - 1)
                         .min(positions - 1)
                 }
                 Pattern::PhasedHotspot { phases } => {
+                    // lmp-lint: allow(no-panic) — phase-count precondition on
+                    // the pattern itself; a zero-phase hotspot is an
+                    // experiment-setup bug.
                     assert!(phases > 0, "need at least one phase");
                     let phase = (i * phases as u64 / self.length.max(1)).min(phases as u64 - 1);
                     let hot_len = (positions / 10).max(1);

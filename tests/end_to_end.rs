@@ -175,7 +175,7 @@ fn crash_recovery_under_kv_load() {
     // Mirror writes must go through the manager from here on; re-put keys
     // to sync replicas (cheap way to exercise protected writes).
     for key in 0..1024u64 {
-        let addr = LogicalAddr::new(kv.segment_of(key), (key % 128) * 256);
+        let addr = LogicalAddr::new(kv.segment_of(key).unwrap(), (key % 128) * 256);
         pm.write(&mut pool, addr, &key.to_le_bytes()).unwrap();
     }
 
